@@ -1,0 +1,97 @@
+//! Internal builder for assembling [`AppSpec`]s without index juggling.
+
+use pema_sim::topology::{
+    AppSpec, CallGroup, EndpointNode, NodeSpec, RequestClass, ServiceId, ServiceSpec,
+};
+
+/// Incremental [`AppSpec`] assembler. Endpoints are declared bottom-up
+/// (children before parents) so parents can reference child indices.
+pub struct AppBuilder {
+    name: String,
+    services: Vec<ServiceSpec>,
+    endpoints: Vec<EndpointNode>,
+    classes: Vec<RequestClass>,
+    nodes: Vec<NodeSpec>,
+    net_delay_s: f64,
+    slo_ms: f64,
+    generous: Vec<f64>,
+}
+
+impl AppBuilder {
+    /// Starts an application with the given SLO and per-hop delay.
+    pub fn new(name: &str, slo_ms: f64, net_delay_s: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            services: Vec::new(),
+            endpoints: Vec::new(),
+            classes: Vec::new(),
+            nodes: Vec::new(),
+            net_delay_s,
+            slo_ms,
+            generous: Vec::new(),
+        }
+    }
+
+    /// Adds `n` identical worker nodes with `cores` cores each.
+    pub fn nodes(mut self, n: usize, cores: f64) -> Self {
+        self.nodes = (0..n).map(|_| NodeSpec { cores }).collect();
+        self
+    }
+
+    /// Registers a service with its generous (ample) allocation and
+    /// returns its index.
+    pub fn service(&mut self, spec: ServiceSpec, generous: f64) -> usize {
+        self.services.push(spec);
+        self.generous.push(generous);
+        self.services.len() - 1
+    }
+
+    /// Declares a leaf endpoint (no downstream calls).
+    pub fn leaf(&mut self, service: usize, work_scale: f64) -> usize {
+        self.ep(service, work_scale, vec![])
+    }
+
+    /// Declares an endpoint. `groups` lists sequential call groups; each
+    /// group holds `(child endpoint, probability)` pairs issued in
+    /// parallel.
+    pub fn ep(&mut self, service: usize, work_scale: f64, groups: Vec<Vec<(usize, f64)>>) -> usize {
+        self.endpoints.push(EndpointNode {
+            service: ServiceId(service),
+            work_scale,
+            groups: groups
+                .into_iter()
+                .map(|calls| CallGroup { calls })
+                .collect(),
+        });
+        self.endpoints.len() - 1
+    }
+
+    /// Declares a request class rooted at `root`.
+    pub fn class(&mut self, name: &str, weight: f64, root: usize) {
+        self.classes.push(RequestClass {
+            name: name.to_string(),
+            weight,
+            root,
+        });
+    }
+
+    /// Finalizes and validates the spec.
+    ///
+    /// # Panics
+    /// Panics on an invalid topology — app definitions are static data,
+    /// so failing fast at construction is correct.
+    pub fn build(self) -> AppSpec {
+        let app = AppSpec {
+            name: self.name,
+            services: self.services,
+            endpoints: self.endpoints,
+            classes: self.classes,
+            nodes: self.nodes,
+            net_delay_s: self.net_delay_s,
+            slo_ms: self.slo_ms,
+            generous_alloc: self.generous,
+        };
+        app.validate().expect("app definition invalid");
+        app
+    }
+}

@@ -1,0 +1,215 @@
+//! HotelReservation — the 18-service DeathStarBench app (paper §2.1,
+//! Fig. 4).
+//!
+//! All business logic is Go (gRPC, effectively unbounded goroutine
+//! concurrency), with Memcached in front of MongoDB for the read-heavy
+//! paths. SLO: 50 ms p95 end-to-end — by far the tightest of the three
+//! applications, which is why its latency is dominated by fan-out and
+//! cache-miss behaviour rather than queueing.
+
+use crate::builder::AppBuilder;
+use pema_sim::topology::AppSpec;
+use pema_sim::ServiceSpec;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// HotelReservation's SLO on p95 response time, ms.
+pub const SLO_MS: f64 = 50.0;
+
+/// Workload levels of Fig. 5.
+pub const PAPER_WORKLOADS: [f64; 3] = [300.0, 500.0, 700.0];
+/// Workload levels of Fig. 15.
+pub const FIG15_WORKLOADS: [f64; 3] = [400.0, 600.0, 800.0];
+
+/// Cache-miss probability for the Memcached-fronted lookups.
+const MISS_P: f64 = 0.3;
+
+/// Builds the HotelReservation application model.
+pub fn hotelreservation() -> AppSpec {
+    let mut b = AppBuilder::new("hotelreservation", SLO_MS, 0.00025).nodes(4, 20.0);
+
+    let go = |name: &str, demand: f64, cv: f64, base_mb: f64| {
+        let mut s = ServiceSpec::new(name, demand).cv(cv).threads(None).pre(0.55);
+        s.mem_base_bytes = base_mb * MB;
+        s.mem_per_job_bytes = 32.0 * 1024.0;
+        s
+    };
+    let store = |name: &str, demand: f64, cv: f64, base_mb: f64| {
+        let mut s = ServiceSpec::new(name, demand).cv(cv).threads(Some(12));
+        s.mem_base_bytes = base_mb * MB;
+        s.mem_per_job_bytes = 64.0 * 1024.0;
+        s
+    };
+
+    // Business logic.
+    let frontend = b.service(go("front-end", 0.0013, 1.3, 60.0), 2.0);
+    let search = b.service(go("search", 0.0009, 1.0, 40.0), 1.5);
+    let geo = b.service(go("geo", 0.0007, 0.9, 35.0), 1.0);
+    let rate = b.service(go("rate", 0.0008, 1.0, 35.0), 1.0);
+    let profile = b.service(go("profile", 0.0009, 1.0, 40.0), 1.5);
+    let recommend = b.service(go("recommend", 0.0008, 0.9, 35.0), 1.0);
+    let user = b.service(go("user", 0.0005, 0.8, 30.0), 0.8);
+    let reservation = b.service(go("reservation", 0.0009, 1.1, 40.0), 1.0);
+    let consul = b.service(go("consul", 0.0002, 0.6, 25.0), 0.5);
+    // Caches.
+    let memc_rate = b.service(store("memc-rate", 0.00015, 0.5, 128.0), 0.6);
+    let memc_profile = b.service(store("memc-profile", 0.00015, 0.5, 128.0), 0.6);
+    let memc_reserve = b.service(store("memc-reserve", 0.00015, 0.5, 128.0), 0.6);
+    // Persistent stores.
+    let mongo_geo = b.service(store("mongo-geo", 0.0007, 0.7, 200.0), 0.8);
+    let mongo_rate = b.service(store("mongo-rate", 0.0008, 0.7, 200.0), 0.8);
+    let mongo_profile = b.service(store("mongo-profile", 0.0008, 0.7, 200.0), 0.8);
+    let mongo_recommend = b.service(store("mongo-recommend", 0.0007, 0.7, 200.0), 0.8);
+    let mongo_reserve = b.service(store("mongo-reserve", 0.0008, 0.7, 200.0), 0.8);
+    let mongo_user = b.service(store("mongo-user", 0.0006, 0.7, 200.0), 0.8);
+
+    // Endpoints bottom-up.
+    let ep_mongo_geo = b.leaf(mongo_geo, 1.0);
+    let ep_mongo_rate = b.leaf(mongo_rate, 1.0);
+    let ep_mongo_profile = b.leaf(mongo_profile, 1.0);
+    let ep_mongo_recommend = b.leaf(mongo_recommend, 1.0);
+    let ep_mongo_reserve = b.leaf(mongo_reserve, 1.0);
+    let ep_mongo_user = b.leaf(mongo_user, 1.0);
+    let ep_consul = b.leaf(consul, 1.0);
+
+    // Cache lookup then miss-path to Mongo.
+    let ep_memc_rate = b.leaf(memc_rate, 1.0);
+    let ep_memc_profile = b.leaf(memc_profile, 1.0);
+    let ep_memc_reserve = b.leaf(memc_reserve, 1.0);
+
+    let ep_geo = b.ep(geo, 1.0, vec![vec![(ep_mongo_geo, MISS_P)]]);
+    let ep_rate = b.ep(
+        rate,
+        1.0,
+        vec![vec![(ep_memc_rate, 1.0)], vec![(ep_mongo_rate, MISS_P)]],
+    );
+    let ep_profile = b.ep(
+        profile,
+        1.0,
+        vec![vec![(ep_memc_profile, 1.0)], vec![(ep_mongo_profile, MISS_P)]],
+    );
+    let ep_recommend = b.ep(recommend, 1.0, vec![vec![(ep_mongo_recommend, 1.0)]]);
+    let ep_user = b.ep(user, 1.0, vec![vec![(ep_mongo_user, 1.0)]]);
+    let ep_reservation = b.ep(
+        reservation,
+        1.0,
+        vec![
+            vec![(ep_memc_reserve, 1.0)],
+            vec![(ep_mongo_reserve, 0.8)],
+        ],
+    );
+    let ep_search = b.ep(
+        search,
+        1.0,
+        vec![
+            vec![(ep_geo, 1.0), (ep_rate, 1.0)],
+            vec![(ep_reservation, 0.5)],
+        ],
+    );
+
+    // Front-end entry points (touch consul occasionally for discovery).
+    let ep_fe_search = b.ep(
+        frontend,
+        1.0,
+        vec![
+            vec![(ep_search, 1.0), (ep_consul, 0.1)],
+            vec![(ep_profile, 1.0)],
+        ],
+    );
+    let ep_fe_recommend = b.ep(
+        frontend,
+        0.9,
+        vec![vec![(ep_recommend, 1.0), (ep_consul, 0.1)], vec![(ep_profile, 1.0)]],
+    );
+    let ep_fe_user = b.ep(frontend, 0.6, vec![vec![(ep_user, 1.0)]]);
+    let ep_fe_reserve = b.ep(
+        frontend,
+        1.1,
+        vec![vec![(ep_user, 1.0)], vec![(ep_reservation, 1.0)]],
+    );
+
+    b.class("search", 0.55, ep_fe_search);
+    b.class("recommend", 0.30, ep_fe_recommend);
+    b.class("login", 0.10, ep_fe_user);
+    b.class("reserve", 0.05, ep_fe_reserve);
+
+    let mut app = b.build();
+    let place = [
+        ("front-end", 0),
+        ("search", 0),
+        ("consul", 0),
+        ("geo", 1),
+        ("rate", 1),
+        ("memc-rate", 1),
+        ("mongo-geo", 1),
+        ("mongo-rate", 1),
+        ("profile", 2),
+        ("memc-profile", 2),
+        ("mongo-profile", 2),
+        ("recommend", 2),
+        ("mongo-recommend", 2),
+        ("user", 3),
+        ("mongo-user", 3),
+        ("reservation", 3),
+        ("memc-reserve", 3),
+        ("mongo-reserve", 3),
+    ];
+    for (name, node) in place {
+        let id = app.service_by_name(name).unwrap();
+        app.services[id.0].node = node;
+    }
+    app.validate().unwrap();
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_eighteen_services() {
+        assert_eq!(hotelreservation().n_services(), 18);
+    }
+
+    #[test]
+    fn validates() {
+        hotelreservation().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_bottleneck_services_present() {
+        // Table 1 uses front-end and search as induced bottlenecks.
+        let app = hotelreservation();
+        assert!(app.service_by_name("front-end").is_some());
+        assert!(app.service_by_name("search").is_some());
+    }
+
+    #[test]
+    fn all_go_services_unbounded() {
+        let app = hotelreservation();
+        let fe = app.service_by_name("front-end").unwrap();
+        assert!(app.services[fe.0].threads.is_none());
+    }
+
+    #[test]
+    fn demand_band() {
+        let app = hotelreservation();
+        let total: f64 = app.expected_demand().iter().sum();
+        assert!(total > 0.002 && total < 0.008, "total demand {total}");
+    }
+
+    #[test]
+    fn generous_alloc_is_ample_at_peak() {
+        let app = hotelreservation();
+        let demand = app.expected_demand();
+        for (i, d) in demand.iter().enumerate() {
+            let util = d * 800.0 / app.generous_alloc[i];
+            assert!(
+                util < 0.6,
+                "{} at {:.0}%",
+                app.services[i].name,
+                util * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! SockShop — the 13-service e-commerce demo (paper §2.1, Fig. 2).
+//!
+//! Front-end (NodeJS), business logic (`orders`/`carts` in Java with
+//! bursty JVM demand, `user`/`catalogue`/`payment` in Go, `shipping`
+//! feeding a RabbitMQ queue consumed by `queue-master`), and four
+//! databases (MySQL for the catalogue, MongoDB for the rest).
+//! SLO: 250 ms p95 end-to-end (paper §2.1).
+//!
+//! Demands are calibrated so the optimum total allocation lands in the
+//! paper's range (≈6–14 cores over 250–950 rps) and so the Java tiers
+//! show the burst-throttling behaviour of Fig. 8.
+
+use crate::builder::AppBuilder;
+use pema_sim::topology::AppSpec;
+use pema_sim::ServiceSpec;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// SockShop's SLO on p95 response time, ms.
+pub const SLO_MS: f64 = 250.0;
+
+/// The workload levels the paper evaluates SockShop at (Figs. 5/15).
+pub const PAPER_WORKLOADS: [f64; 3] = [250.0, 550.0, 950.0];
+/// Fig. 15 workload levels.
+pub const FIG15_WORKLOADS: [f64; 3] = [300.0, 700.0, 1100.0];
+
+/// Builds the SockShop application model.
+pub fn sockshop() -> AppSpec {
+    let mut b = AppBuilder::new("sockshop", SLO_MS, 0.0004).nodes(4, 20.0);
+
+    let mem = |spec: ServiceSpec, base_mb: f64, per_job_kb: f64| {
+        let mut s = spec;
+        s.mem_base_bytes = base_mb * MB;
+        s.mem_per_job_bytes = per_job_kb * 1024.0;
+        s
+    };
+
+    // --- services (name, mean demand s, cv, threads) ---
+    // NodeJS front-end: moderate per-request cost, few worker threads.
+    let front_end = b.service(
+        mem(
+            ServiceSpec::new("front-end", 0.0024).cv(1.1).threads(Some(16)).pre(0.5),
+            160.0,
+            96.0,
+        ),
+        5.0,
+    );
+    // Java services: bursty (JIT/GC), larger pools.
+    let orders = b.service(
+        mem(ServiceSpec::new("orders", 0.0020).cv(1.8).threads(Some(24)), 420.0, 256.0),
+        2.0,
+    );
+    let carts = b.service(
+        mem(ServiceSpec::new("carts", 0.0016).cv(1.8).threads(Some(24)), 400.0, 256.0),
+        2.0,
+    );
+    let shipping = b.service(
+        mem(ServiceSpec::new("shipping", 0.0007).cv(1.4).threads(Some(16)), 350.0, 128.0),
+        1.0,
+    );
+    let queue_master = b.service(
+        mem(ServiceSpec::new("queue-master", 0.0006).cv(1.2).threads(Some(16)), 330.0, 128.0),
+        1.0,
+    );
+    // Go services: cheap, steady, effectively unbounded concurrency.
+    let user = b.service(
+        mem(ServiceSpec::new("user", 0.0008).cv(0.8).threads(None), 40.0, 48.0),
+        1.5,
+    );
+    let catalogue = b.service(
+        mem(ServiceSpec::new("catalogue", 0.0010).cv(0.8).threads(None), 45.0, 48.0),
+        1.5,
+    );
+    let payment = b.service(
+        mem(ServiceSpec::new("payment", 0.0004).cv(0.6).threads(None), 35.0, 32.0),
+        1.0,
+    );
+    // Message broker.
+    let rabbitmq = b.service(
+        mem(ServiceSpec::new("rabbitmq", 0.0003).cv(0.6).threads(Some(8)), 120.0, 64.0),
+        0.8,
+    );
+    // Databases.
+    let catalogue_db = b.service(
+        mem(ServiceSpec::new("catalogue-db", 0.0008).cv(0.7).threads(Some(12)), 380.0, 96.0),
+        1.5,
+    );
+    let user_db = b.service(
+        mem(ServiceSpec::new("user-db", 0.0005).cv(0.7).threads(Some(12)), 300.0, 96.0),
+        1.0,
+    );
+    let carts_db = b.service(
+        mem(ServiceSpec::new("carts-db", 0.0007).cv(0.7).threads(Some(12)), 320.0, 96.0),
+        1.2,
+    );
+    let orders_db = b.service(
+        mem(ServiceSpec::new("orders-db", 0.0006).cv(0.7).threads(Some(12)), 320.0, 96.0),
+        1.0,
+    );
+
+    // --- endpoints, bottom-up ---
+    let ep_catalogue_db = b.leaf(catalogue_db, 1.0);
+    let ep_user_db = b.leaf(user_db, 1.0);
+    let ep_carts_db = b.leaf(carts_db, 1.0);
+    let ep_orders_db = b.leaf(orders_db, 1.0);
+    // Shipping propagates through RabbitMQ to queue-master; the real
+    // hand-off is asynchronous, but modeling it synchronously both
+    // generates the right CPU load and only adds ~1 ms to checkout.
+    let ep_queue_master = b.leaf(queue_master, 1.0);
+    let ep_rabbit = b.ep(rabbitmq, 1.0, vec![vec![(ep_queue_master, 1.0)]]);
+
+    let ep_catalogue = b.ep(catalogue, 1.0, vec![vec![(ep_catalogue_db, 1.0)]]);
+    let ep_catalogue_img = b.ep(catalogue, 0.6, vec![vec![(ep_catalogue_db, 0.4)]]);
+    let ep_user = b.ep(user, 1.0, vec![vec![(ep_user_db, 1.0)]]);
+    let ep_carts_get = b.ep(carts, 1.0, vec![vec![(ep_carts_db, 1.0)]]);
+    let ep_carts_update = b.ep(carts, 1.3, vec![vec![(ep_carts_db, 1.0)]]);
+    let ep_payment = b.leaf(payment, 1.0);
+    let ep_shipping = b.ep(shipping, 1.0, vec![vec![(ep_rabbit, 1.0)]]);
+    // Checkout: orders orchestrates user+carts lookup, then payment,
+    // then shipping and persists to its database.
+    let ep_orders = b.ep(
+        orders,
+        1.5,
+        vec![
+            vec![(ep_user, 1.0), (ep_carts_get, 1.0)],
+            vec![(ep_payment, 1.0)],
+            vec![(ep_shipping, 1.0), (ep_orders_db, 1.0)],
+        ],
+    );
+
+    // Front-end entry points.
+    let ep_fe_browse = b.ep(
+        front_end,
+        1.0,
+        vec![vec![(ep_catalogue, 1.0), (ep_catalogue_img, 0.7)]],
+    );
+    let ep_fe_cart = b.ep(
+        front_end,
+        0.9,
+        vec![vec![(ep_carts_update, 1.0), (ep_user, 0.5)]],
+    );
+    let ep_fe_login = b.ep(front_end, 0.7, vec![vec![(ep_user, 1.0)]]);
+    let ep_fe_checkout = b.ep(front_end, 1.2, vec![vec![(ep_orders, 1.0)]]);
+
+    // --- traffic mix ---
+    b.class("browse", 0.50, ep_fe_browse);
+    b.class("cart", 0.22, ep_fe_cart);
+    b.class("login", 0.13, ep_fe_login);
+    b.class("checkout", 0.15, ep_fe_checkout);
+
+    let mut app = b.build();
+    // Placement (5-node cluster in the paper: 1 master + 4 workers; we
+    // model the 4 workers).
+    let place = [
+        ("front-end", 0),
+        ("catalogue", 0),
+        ("catalogue-db", 0),
+        ("orders", 1),
+        ("orders-db", 1),
+        ("payment", 1),
+        ("carts", 2),
+        ("carts-db", 2),
+        ("user", 2),
+        ("user-db", 3),
+        ("shipping", 3),
+        ("rabbitmq", 3),
+        ("queue-master", 3),
+    ];
+    for (name, node) in place {
+        let id = app.service_by_name(name).unwrap();
+        app.services[id.0].node = node;
+    }
+    app.validate().unwrap();
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_thirteen_services() {
+        assert_eq!(sockshop().n_services(), 13);
+    }
+
+    #[test]
+    fn validates() {
+        sockshop().validate().unwrap();
+    }
+
+    #[test]
+    fn key_services_present() {
+        let app = sockshop();
+        for name in [
+            "front-end",
+            "orders",
+            "carts",
+            "user",
+            "catalogue",
+            "payment",
+            "shipping",
+            "queue-master",
+            "rabbitmq",
+            "catalogue-db",
+            "user-db",
+            "carts-db",
+            "orders-db",
+        ] {
+            assert!(app.service_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn front_end_on_every_path() {
+        let app = sockshop();
+        let fe = app.service_by_name("front-end").unwrap();
+        let visits = app.expected_visits();
+        assert!((visits[fe.0] - 1.0).abs() < 1e-9, "front-end visited once per request");
+    }
+
+    #[test]
+    fn per_request_demand_in_expected_band() {
+        let app = sockshop();
+        let total: f64 = app.expected_demand().iter().sum();
+        // Calibration target: ~4–8 ms of CPU per request (see module docs).
+        assert!(total > 0.003 && total < 0.009, "total demand {total}");
+    }
+
+    #[test]
+    fn generous_allocation_is_ample() {
+        let app = sockshop();
+        let demand = app.expected_demand();
+        // At the top workload, generous allocation keeps every service
+        // below ~55% average utilization.
+        for (i, d) in demand.iter().enumerate() {
+            let util = d * 950.0 / app.generous_alloc[i];
+            assert!(
+                util < 0.55,
+                "service {} would run at {:.0}% under generous alloc",
+                app.services[i].name,
+                util * 100.0
+            );
+        }
+    }
+}

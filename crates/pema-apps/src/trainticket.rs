@@ -1,0 +1,309 @@
+//! TrainTicket — the 41-service booking system (paper §2.1, Fig. 3).
+//!
+//! The largest of the three prototypes: a gateway, 24 Java/Node business
+//! services arranged in layered call chains, and 16 databases. Java
+//! tiers get high demand CVs (JIT/GC bursts) and bounded thread pools,
+//! which makes them throttle at allocations where their *average*
+//! utilization is still low — the behaviour behind the paper's Fig. 8
+//! (seat/basic/ticketinfo bottleneck thresholds at 15–45% utilization).
+//! SLO: 900 ms p95 end-to-end.
+
+use crate::builder::AppBuilder;
+use pema_sim::topology::AppSpec;
+use pema_sim::ServiceSpec;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// TrainTicket's SLO on p95 response time, ms.
+pub const SLO_MS: f64 = 900.0;
+
+/// Workload levels of Fig. 5.
+pub const PAPER_WORKLOADS: [f64; 3] = [100.0, 200.0, 300.0];
+/// Workload levels of Fig. 15.
+pub const FIG15_WORKLOADS: [f64; 3] = [125.0, 225.0, 325.0];
+
+/// Builds the TrainTicket application model.
+pub fn trainticket() -> AppSpec {
+    let mut b = AppBuilder::new("trainticket", SLO_MS, 0.0015).nodes(4, 20.0);
+
+    // Java business service: bursty, bounded pool, heavy footprint.
+    let java = |name: &str, demand_ms: f64, cv: f64| {
+        let mut s = ServiceSpec::new(name, demand_ms * 1e-3)
+            .cv(cv)
+            .threads(Some(24))
+            .pre(0.55);
+        s.mem_base_bytes = 450.0 * MB;
+        s.mem_per_job_bytes = 384.0 * 1024.0;
+        s
+    };
+    // Database (MongoDB/MySQL): steadier demand.
+    let db = |name: &str, demand_ms: f64| {
+        let mut s = ServiceSpec::new(name, demand_ms * 1e-3).cv(0.8).threads(Some(12));
+        s.mem_base_bytes = 300.0 * MB;
+        s.mem_per_job_bytes = 128.0 * 1024.0;
+        s
+    };
+
+    // ---- services ----
+    let gateway = b.service(java("gateway", 2.2, 1.5).threads(Some(32)), 3.0);
+    let auth = b.service(java("auth", 1.5, 1.5), 1.8);
+    let verif = b.service(java("verification-code", 0.9, 1.2), 1.2);
+    let user = b.service(java("user", 1.4, 1.4), 1.8);
+    let basic = b.service(java("basic", 4.0, 2.0), 5.5);
+    let station = b.service(java("station", 1.2, 1.5), 2.0);
+    let train = b.service(java("train", 1.2, 1.5), 2.0);
+    let price = b.service(java("price", 1.2, 1.5), 2.0);
+    let config = b.service(java("config", 0.8, 1.2), 1.2);
+    let contacts = b.service(java("contacts", 1.3, 1.4), 1.5);
+    let order = b.service(java("order", 4.0, 2.0), 2.5);
+    let order_other = b.service(java("order-other", 3.6, 2.0), 2.2);
+    let seat = b.service(java("seat", 3.0, 2.4), 4.0);
+    let travel = b.service(java("travel", 9.0, 2.2), 4.0);
+    let travel2 = b.service(java("travel2", 8.0, 2.2), 3.5);
+    let ticketinfo = b.service(java("ticketinfo", 3.2, 2.0), 3.5);
+    let preserve = b.service(java("preserve", 7.0, 2.2), 3.5);
+    let preserve_other = b.service(java("preserve-other", 6.5, 2.2), 2.5);
+    let security = b.service(java("security", 1.6, 1.5), 1.8);
+    let inside_pay = b.service(java("inside-payment", 2.0, 1.8), 2.0);
+    let payment = b.service(java("payment", 1.6, 1.6), 1.8);
+    let cancel = b.service(java("cancel", 2.0, 1.8), 1.8);
+    let rebook = b.service(java("rebook", 2.2, 1.8), 1.8);
+    let notification = b.service(java("notification", 1.2, 1.4), 1.5);
+    let consign = b.service(java("consign", 1.4, 1.5), 1.5);
+
+    let mongo_user = b.service(db("mongo-user", 1.1), 1.2);
+    let mongo_auth = b.service(db("mongo-auth", 0.9), 1.0);
+    let mongo_station = b.service(db("mongo-station", 0.9), 1.0);
+    let mongo_train = b.service(db("mongo-train", 0.9), 1.0);
+    let mongo_price = b.service(db("mongo-price", 0.9), 1.0);
+    let mongo_config = b.service(db("mongo-config", 0.9), 1.0);
+    let mongo_contacts = b.service(db("mongo-contacts", 1.0), 1.0);
+    let mongo_order = b.service(db("mongo-order", 1.3), 1.4);
+    let mongo_order_other = b.service(db("mongo-order-other", 1.2), 1.2);
+    let mongo_travel = b.service(db("mongo-travel", 1.2), 1.4);
+    let mongo_travel2 = b.service(db("mongo-travel2", 1.1), 1.2);
+    let mongo_security = b.service(db("mongo-security", 0.9), 1.0);
+    let mongo_payment = b.service(db("mongo-payment", 1.0), 1.0);
+    let mongo_consign = b.service(db("mongo-consign", 0.9), 1.0);
+    let mongo_seat = b.service(db("mongo-seat", 1.0), 1.2);
+    let mongo_notification = b.service(db("mongo-notification", 0.8), 1.0);
+
+    // ---- endpoints, bottom-up ----
+    let ep_mongo_user = b.leaf(mongo_user, 1.0);
+    let ep_mongo_auth = b.leaf(mongo_auth, 1.0);
+    let ep_mongo_station = b.leaf(mongo_station, 1.0);
+    let ep_mongo_train = b.leaf(mongo_train, 1.0);
+    let ep_mongo_price = b.leaf(mongo_price, 1.0);
+    let ep_mongo_config = b.leaf(mongo_config, 1.0);
+    let ep_mongo_contacts = b.leaf(mongo_contacts, 1.0);
+    let ep_mongo_order = b.leaf(mongo_order, 1.0);
+    let ep_mongo_order_other = b.leaf(mongo_order_other, 1.0);
+    let ep_mongo_travel = b.leaf(mongo_travel, 1.0);
+    let ep_mongo_travel2 = b.leaf(mongo_travel2, 1.0);
+    let ep_mongo_security = b.leaf(mongo_security, 1.0);
+    let ep_mongo_payment = b.leaf(mongo_payment, 1.0);
+    let ep_mongo_consign = b.leaf(mongo_consign, 1.0);
+    let ep_mongo_seat = b.leaf(mongo_seat, 1.0);
+    let ep_mongo_notification = b.leaf(mongo_notification, 1.0);
+
+    // Layer-4/5 helpers.
+    let ep_station = b.ep(station, 3.0, vec![vec![(ep_mongo_station, 1.0)]]);
+    let ep_train = b.ep(train, 3.0, vec![vec![(ep_mongo_train, 1.0)]]);
+    let ep_price = b.ep(price, 3.0, vec![vec![(ep_mongo_price, 1.0)]]);
+    let ep_config = b.ep(config, 1.0, vec![vec![(ep_mongo_config, 1.0)]]);
+    let ep_contacts = b.ep(contacts, 1.0, vec![vec![(ep_mongo_contacts, 1.0)]]);
+    let ep_user = b.ep(user, 1.0, vec![vec![(ep_mongo_user, 1.0)]]);
+    let ep_verif = b.leaf(verif, 1.0);
+    let ep_security = b.ep(security, 1.0, vec![vec![(ep_mongo_security, 1.0)]]);
+    let ep_notification = b.ep(notification, 1.0, vec![vec![(ep_mongo_notification, 1.0)]]);
+    let ep_payment = b.ep(payment, 1.0, vec![vec![(ep_mongo_payment, 1.0)]]);
+    let ep_order_q = b.ep(order, 0.8, vec![vec![(ep_mongo_order, 1.0)]]);
+    let ep_order_create = b.ep(order, 1.2, vec![vec![(ep_mongo_order, 1.0)]]);
+    let ep_order_other = b.ep(order_other, 1.0, vec![vec![(ep_mongo_order_other, 1.0)]]);
+    let ep_seat = b.ep(
+        seat,
+        1.0,
+        vec![vec![(ep_config, 1.0)], vec![(ep_mongo_seat, 1.0)]],
+    );
+    // Batch seat availability over the trains a search returns.
+    let ep_seat_batch = b.ep(
+        seat,
+        5.0,
+        vec![vec![(ep_config, 1.0)], vec![(ep_mongo_seat, 1.0)]],
+    );
+
+    // basic: fans out to station/train/price in parallel.
+    let ep_basic = b.ep(
+        basic,
+        4.0,
+        vec![vec![(ep_station, 1.0), (ep_train, 1.0), (ep_price, 1.0)]],
+    );
+    let ep_basic_lite = b.ep(basic, 0.4, vec![vec![(ep_station, 0.5)]]);
+    let ep_ticketinfo = b.ep(ticketinfo, 3.0, vec![vec![(ep_basic_lite, 1.0)]]);
+
+    // travel: the search workhorse (layer 2).
+    let ep_travel = b.ep(
+        travel,
+        1.0,
+        vec![
+            vec![(ep_mongo_travel, 1.0)],
+            vec![(ep_basic, 1.0), (ep_ticketinfo, 1.0)],
+            vec![(ep_seat_batch, 0.7)],
+        ],
+    );
+    let ep_travel2 = b.ep(
+        travel2,
+        1.0,
+        vec![
+            vec![(ep_mongo_travel2, 1.0)],
+            vec![(ep_basic, 1.0), (ep_ticketinfo, 1.0)],
+            vec![(ep_seat_batch, 0.7)],
+        ],
+    );
+
+    // preserve: the booking orchestrator.
+    let ep_preserve = b.ep(
+        preserve,
+        1.0,
+        vec![
+            vec![(ep_security, 1.0), (ep_contacts, 1.0), (ep_user, 1.0)],
+            vec![(ep_seat, 1.0)],
+            vec![(ep_order_create, 1.0)],
+            vec![(ep_notification, 0.6)],
+        ],
+    );
+    let ep_preserve_other = b.ep(
+        preserve_other,
+        1.0,
+        vec![
+            vec![(ep_security, 1.0), (ep_contacts, 1.0), (ep_user, 1.0)],
+            vec![(ep_seat, 1.0)],
+            vec![(ep_order_other, 1.0)],
+            vec![(ep_notification, 0.6)],
+        ],
+    );
+
+    let ep_inside_pay = b.ep(
+        inside_pay,
+        1.0,
+        vec![vec![(ep_order_q, 1.0)], vec![(ep_payment, 1.0)]],
+    );
+    let ep_cancel = b.ep(
+        cancel,
+        1.0,
+        vec![vec![(ep_order_q, 1.0)], vec![(ep_inside_pay, 0.5)]],
+    );
+    let ep_rebook = b.ep(
+        rebook,
+        1.0,
+        vec![vec![(ep_order_q, 1.0)], vec![(ep_travel, 0.5), (ep_seat, 1.0)]],
+    );
+    let ep_auth = b.ep(
+        auth,
+        1.0,
+        vec![vec![(ep_verif, 1.0)], vec![(ep_user, 1.0), (ep_mongo_auth, 1.0)]],
+    );
+    let ep_consign = b.ep(
+        consign,
+        1.0,
+        vec![vec![(ep_mongo_consign, 1.0), (ep_user, 0.5)]],
+    );
+
+    // Gateway entry points (layer 1).
+    let ep_gw_search = b.ep(gateway, 1.0, vec![vec![(ep_travel, 1.0)]]);
+    let ep_gw_search_hs = b.ep(gateway, 1.0, vec![vec![(ep_travel2, 1.0)]]);
+    let ep_gw_book = b.ep(gateway, 1.1, vec![vec![(ep_preserve, 1.0)]]);
+    let ep_gw_book_other = b.ep(gateway, 1.1, vec![vec![(ep_preserve_other, 1.0)]]);
+    let ep_gw_pay = b.ep(gateway, 0.9, vec![vec![(ep_inside_pay, 1.0)]]);
+    let ep_gw_orders = b.ep(gateway, 0.8, vec![vec![(ep_order_q, 1.0), (ep_order_other, 0.3)]]);
+    let ep_gw_cancel = b.ep(gateway, 0.9, vec![vec![(ep_cancel, 1.0)]]);
+    let ep_gw_rebook = b.ep(gateway, 0.9, vec![vec![(ep_rebook, 1.0)]]);
+    let ep_gw_login = b.ep(gateway, 0.8, vec![vec![(ep_auth, 1.0)]]);
+    let ep_gw_consign = b.ep(gateway, 0.8, vec![vec![(ep_consign, 1.0)]]);
+
+    b.class("search", 0.35, ep_gw_search);
+    b.class("search-hs", 0.15, ep_gw_search_hs);
+    b.class("book", 0.15, ep_gw_book);
+    b.class("book-other", 0.05, ep_gw_book_other);
+    b.class("pay", 0.08, ep_gw_pay);
+    b.class("orders", 0.10, ep_gw_orders);
+    b.class("cancel", 0.04, ep_gw_cancel);
+    b.class("rebook", 0.03, ep_gw_rebook);
+    b.class("login", 0.10, ep_gw_login);
+    b.class("consign", 0.05, ep_gw_consign);
+
+    let mut app = b.build();
+    // Spread across the four worker nodes deterministically by index.
+    for i in 0..app.services.len() {
+        app.services[i].node = i % 4;
+    }
+    app.validate().unwrap();
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_fortyone_services() {
+        assert_eq!(trainticket().n_services(), 41);
+    }
+
+    #[test]
+    fn validates() {
+        trainticket().validate().unwrap();
+    }
+
+    #[test]
+    fn fig8_bottleneck_services_present() {
+        let app = trainticket();
+        for name in ["seat", "basic", "ticketinfo"] {
+            assert!(app.service_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn every_service_receives_traffic() {
+        let app = trainticket();
+        let visits = app.expected_visits();
+        for (i, v) in visits.iter().enumerate() {
+            assert!(
+                *v > 0.0,
+                "service {} receives no traffic",
+                app.services[i].name
+            );
+        }
+    }
+
+    #[test]
+    fn demand_band() {
+        let app = trainticket();
+        let total: f64 = app.expected_demand().iter().sum();
+        // Java-heavy stack: ~15–30 ms CPU per request.
+        assert!(total > 0.025 && total < 0.055, "total demand {total}");
+    }
+
+    #[test]
+    fn generous_alloc_is_ample_at_peak() {
+        let app = trainticket();
+        let demand = app.expected_demand();
+        for (i, d) in demand.iter().enumerate() {
+            let util = d * 325.0 / app.generous_alloc[i];
+            assert!(
+                util < 0.6,
+                "{} at {:.0}%",
+                app.services[i].name,
+                util * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn gateway_visited_exactly_once_per_request() {
+        let app = trainticket();
+        let gw = app.service_by_name("gateway").unwrap();
+        let visits = app.expected_visits();
+        assert!((visits[gw.0] - 1.0).abs() < 1e-9);
+    }
+}

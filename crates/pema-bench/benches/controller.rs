@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks: controller-side costs.
+//!
+//! PEMA's pitch is being *lightweight*: one control decision is a few
+//! array scans plus an RHDb lookup. These benches quantify that — step
+//! latency for 13/41-service applications, RHDb rollback queries at
+//! realistic history sizes, and the workload-aware manager's dispatch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pema_core::{
+    Observation, PemaController, PemaParams, RangeConfig, Rhdb, RhdbRecord, ServiceObs,
+    WorkloadAwarePema,
+};
+use pema_workload::WorkloadRange;
+
+fn obs(n: usize, p95: f64) -> Observation {
+    Observation {
+        p95_ms: p95,
+        rps: 500.0,
+        services: vec![
+            ServiceObs {
+                util_pct: 25.0,
+                throttle_s: 0.0,
+            };
+            n
+        ],
+    }
+}
+
+fn bench_controller_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller_step");
+    for n in [13usize, 41] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut ctrl = PemaController::new(PemaParams::defaults(250.0), vec![2.0; n]);
+            let o = obs(n, 120.0);
+            b.iter(|| ctrl.step(&o));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rhdb_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rhdb_best_feasible");
+    for size in [100usize, 1000, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut db = Rhdb::new(size);
+            for t in 0..size as u64 {
+                db.insert(RhdbRecord {
+                    t,
+                    alloc: vec![1.0 + (t % 17) as f64 * 0.1; 13],
+                    response_ms: 100.0 + (t % 29) as f64,
+                    violated: t % 7 == 0,
+                    rps: 500.0,
+                });
+            }
+            b.iter(|| db.best_feasible().map(|r| r.total()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_manager_step(c: &mut Criterion) {
+    c.bench_function("manager_step_13svc_8ranges", |b| {
+        let params = PemaParams::defaults(250.0);
+        let cfg = RangeConfig {
+            initial: WorkloadRange::new(200.0, 1000.0),
+            target_width: 100.0,
+            split_after: 1,
+            m_learn_steps: 2,
+        };
+        let mut mgr = WorkloadAwarePema::new(params, vec![2.0; 13], cfg);
+        // Mature the tree first.
+        for i in 0..200 {
+            let rps = 200.0 + (i as f64 * 97.0) % 800.0;
+            let mut o = obs(13, 180.0);
+            o.rps = rps;
+            mgr.step(&o);
+        }
+        let o = obs(13, 180.0);
+        b.iter(|| mgr.step(&o));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_controller_step,
+    bench_rhdb_queries,
+    bench_manager_step
+);
+criterion_main!(benches);

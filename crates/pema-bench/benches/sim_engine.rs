@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks: discrete-event engine throughput.
+//!
+//! Measures wall time per simulated window on the three application
+//! models — the quantity that bounds every experiment in the suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pema_sim::ClusterSim;
+
+fn bench_windows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_window_10s");
+    g.sample_size(10);
+    for (app, rps) in [
+        (pema_apps::toy_chain(), 150.0),
+        (pema_apps::sockshop(), 550.0),
+        (pema_apps::hotelreservation(), 500.0),
+        (pema_apps::trainticket(), 225.0),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(app.name.clone()),
+            &(app, rps),
+            |b, (app, rps)| {
+                b.iter(|| {
+                    let mut sim = ClusterSim::new(app, 1);
+                    sim.run_window(*rps, 1.0, 10.0)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_persistent_stepping(c: &mut Criterion) {
+    c.bench_function("sim_persistent_5x2s_sockshop", |b| {
+        b.iter(|| {
+            let app = pema_apps::sockshop();
+            let mut sim = ClusterSim::new(&app, 2);
+            for _ in 0..5 {
+                sim.run_window(550.0, 0.0, 2.0);
+            }
+            sim.now()
+        });
+    });
+}
+
+criterion_group!(benches, bench_windows, bench_persistent_stepping);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Runs the complete experiment suite — every table and figure of the
+//! paper plus the ablations — by invoking the sibling binaries in
+//! order. Each experiment writes `results/<id>.csv`; pass
+//! `--force` to re-run experiments whose CSV already exists.
+
+use std::process::Command;
+
+fn main() {
+    let force = std::env::args().any(|a| a == "--force");
+    let exes = [
+        "fig05", "fig06", "fig07", "fig08", "table1", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "ablation_ma",
+        "ablation_explore", "ablation_thresholds", "ablation_fluid", "ablation_early",
+    ];
+    let self_path = std::env::current_exe().expect("current_exe");
+    let dir = self_path.parent().expect("bin dir");
+    let t0 = std::time::Instant::now();
+    for exe in exes {
+        let marker = match exe {
+            "fig07" => "fig07a".to_string(),
+            other => other.to_string(),
+        };
+        if !force && pema_bench::result_exists(&marker) {
+            println!("=== {exe}: results/{marker}.csv exists, skipping (use --force) ===");
+            continue;
+        }
+        println!("\n=== running {exe} ===");
+        let t = std::time::Instant::now();
+        let status = Command::new(dir.join(exe))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+        assert!(status.success(), "{exe} failed with {status}");
+        println!("=== {exe} done in {:?} ===", t.elapsed());
+    }
+    println!("\nfull suite done in {:?}", t0.elapsed());
+}

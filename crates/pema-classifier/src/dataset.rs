@@ -1,0 +1,260 @@
+//! Labeled dataset generation by *inducing* bottlenecks.
+//!
+//! Mirrors the paper's methodology (§3.2): "we intentionally create
+//! bottlenecks and use feature extraction to identify which performance
+//! metrics can be used to identify the bottleneck services reliably."
+//! For each designated service we sweep its allocation from generous
+//! down to starvation while every other service stays generous; a
+//! window whose p95 violates the SLO is, by construction, bottlenecked
+//! on the starved service. Each (window × service) pair yields one
+//! sample; the starved service in a violating window is the positive
+//! class. The dataset is balanced 1:1 by subsampling negatives.
+
+use crate::features::Feature;
+use pema_sim::{Allocation, AppSpec, ClusterSim};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One labeled sample: the five raw candidate features of one service
+/// in one window.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Raw values for all five candidate features, in
+    /// [`Feature::ALL`] order.
+    pub raw: [f64; 5],
+    /// True when this service is the induced bottleneck of a violating
+    /// window.
+    pub label: bool,
+    /// Service index (for debugging/inspection).
+    pub service: usize,
+}
+
+impl Sample {
+    /// Projects the sample onto a feature subset.
+    pub fn project(&self, features: &[Feature]) -> Vec<f64> {
+        features
+            .iter()
+            .map(|f| {
+                let idx = Feature::ALL.iter().position(|g| g == f).unwrap();
+                self.raw[idx]
+            })
+            .collect()
+    }
+}
+
+/// A balanced labeled dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The samples (positives and negatives interleaved arbitrarily).
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Number of positive samples.
+    pub fn positives(&self) -> usize {
+        self.samples.iter().filter(|s| s.label).count()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Sweep configuration for dataset generation.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Offered load during the sweeps.
+    pub rps: f64,
+    /// Allocation levels per starved service (log-spaced between the
+    /// generous allocation and `min_scale × generous`).
+    pub levels: usize,
+    /// Lowest sweep point as a fraction of the generous allocation.
+    pub min_scale: f64,
+    /// Measured window length, virtual seconds.
+    pub window_s: f64,
+    /// Settling time before each window.
+    pub warmup_s: f64,
+    /// Independent windows measured per sweep level (distinct seeds).
+    pub repeats: usize,
+    /// RNG seed (sweeps and negative subsampling).
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            rps: 0.0, // caller must set
+            levels: 10,
+            min_scale: 0.08,
+            window_s: 15.0,
+            warmup_s: 3.0,
+            repeats: 3,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a balanced dataset for an application by starving each of
+/// `bottleneck_services` (names) in turn.
+///
+/// # Panics
+/// Panics if a service name is unknown or `rps` is not positive.
+pub fn generate_dataset(app: &AppSpec, bottleneck_services: &[&str], cfg: &DatasetConfig) -> Dataset {
+    assert!(cfg.rps > 0.0, "DatasetConfig::rps must be set");
+    let targets: Vec<usize> = bottleneck_services
+        .iter()
+        .map(|n| {
+            app.service_by_name(n)
+                .unwrap_or_else(|| panic!("unknown service {n}"))
+                .0
+        })
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut positives: Vec<Sample> = Vec::new();
+    let mut negatives: Vec<Sample> = Vec::new();
+
+    let mut harvest = |stats: &pema_sim::WindowStats, starved: Option<usize>| {
+        let violating = stats.p95_ms > app.slo_ms;
+        for (i, s) in stats.per_service.iter().enumerate() {
+            let raw = [
+                Feature::Utilization.extract(s),
+                Feature::Throttling.extract(s),
+                Feature::Memory.extract(s),
+                Feature::SelfTime.extract(s),
+                Feature::Duration.extract(s),
+            ];
+            let label = violating && starved == Some(i);
+            let sample = Sample {
+                raw,
+                label,
+                service: i,
+            };
+            if label {
+                positives.push(sample);
+            } else {
+                negatives.push(sample);
+            }
+        }
+    };
+
+    // Healthy baseline windows (all generous).
+    for k in 0..3u64 {
+        let mut sim = ClusterSim::new(app, cfg.seed.wrapping_add(k));
+        let stats = sim.run_window(cfg.rps, cfg.warmup_s, cfg.window_s);
+        harvest(&stats, None);
+    }
+
+    // Starvation sweeps.
+    for &t in &targets {
+        let generous = app.generous_alloc[t];
+        for level in 0..cfg.levels {
+            let frac = cfg.min_scale
+                * (1.0 / cfg.min_scale).powf(1.0 - level as f64 / (cfg.levels - 1).max(1) as f64);
+            let mut alloc = Allocation::new(app.generous_alloc.clone());
+            alloc.set(t, generous * frac);
+            for rep in 0..cfg.repeats.max(1) {
+                let seed = cfg
+                    .seed
+                    .wrapping_add(100 + level as u64)
+                    .wrapping_add(10_000 * rep as u64)
+                    .wrapping_add(1_000_000 * t as u64);
+                let mut sim = ClusterSim::new(app, seed);
+                sim.set_allocation(&alloc);
+                let stats = sim.run_window(cfg.rps, cfg.warmup_s, cfg.window_s);
+                harvest(&stats, Some(t));
+            }
+        }
+    }
+
+    // Balance 1:1 by subsampling negatives.
+    let n_pos = positives.len();
+    let mut samples = positives;
+    if n_pos > 0 && !negatives.is_empty() {
+        for _ in 0..n_pos.min(negatives.len()) {
+            let j = rng.gen_range(0..negatives.len());
+            samples.push(negatives.swap_remove(j));
+        }
+    } else {
+        // No violations induced: return the negatives so callers can
+        // at least detect the situation via positives() == 0.
+        samples.extend(negatives);
+    }
+    Dataset { samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DatasetConfig {
+        DatasetConfig {
+            rps: 150.0,
+            levels: 6,
+            window_s: 8.0,
+            warmup_s: 2.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn starving_logic_service_produces_positives() {
+        let app = pema_apps::toy_chain();
+        let ds = generate_dataset(&app, &["logic"], &cfg());
+        assert!(ds.positives() > 0, "sweep should induce violations");
+        // Balanced within one sample.
+        let neg = ds.len() - ds.positives();
+        assert!(
+            (ds.positives() as i64 - neg as i64).abs() <= 1,
+            "dataset not balanced: {} pos / {} neg",
+            ds.positives(),
+            neg
+        );
+    }
+
+    #[test]
+    fn positives_show_higher_throttling() {
+        let app = pema_apps::toy_chain();
+        let ds = generate_dataset(&app, &["logic"], &cfg());
+        let mean = |label: bool| {
+            let v: Vec<f64> = ds
+                .samples
+                .iter()
+                .filter(|s| s.label == label)
+                .map(|s| s.raw[1])
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(
+            mean(true) > mean(false) + 0.1,
+            "bottleneck samples should throttle more: {} vs {}",
+            mean(true),
+            mean(false)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_service_panics() {
+        let app = pema_apps::toy_chain();
+        generate_dataset(&app, &["nope"], &cfg());
+    }
+
+    #[test]
+    fn projection_selects_features() {
+        let s = Sample {
+            raw: [1.0, 2.0, 3.0, 4.0, 5.0],
+            label: true,
+            service: 0,
+        };
+        assert_eq!(
+            s.project(&[Feature::Duration, Feature::Utilization]),
+            vec![5.0, 1.0]
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # pema-classifier — the bottleneck-detection study (paper Table 1)
+//!
+//! The paper justifies PEMA's choice of monitoring signals with an
+//! offline study: induce bottlenecks on designated services, collect
+//! five candidate per-service metrics, and measure how accurately each
+//! feature subset classifies "is this service the bottleneck?". CPU
+//! utilization + CFS throttling win (94–100% accuracy across the three
+//! applications), so PEMA needs nothing heavier than Prometheus.
+//!
+//! This crate mechanizes the study against the simulator:
+//!
+//! * [`generate_dataset`] — starve designated services, harvest
+//!   labeled `(service, window)` samples (§3.2's methodology);
+//! * [`Logistic`] / [`Stump`] — from-scratch classifiers;
+//! * [`cross_validate`] / [`feature_study`] — k-fold accuracy of any
+//!   feature subset, reproducing Table 1's rows.
+//!
+//! Note the study is *calibration evidence*, not part of the
+//! controller: PEMA itself never trains anything.
+
+pub mod dataset;
+pub mod eval;
+pub mod features;
+pub mod logistic;
+pub mod stump;
+
+pub use dataset::{generate_dataset, Dataset, DatasetConfig, Sample};
+pub use eval::{cross_validate, feature_study};
+pub use features::{extract_vector, Feature};
+pub use logistic::{FitConfig, Logistic};
+pub use stump::Stump;

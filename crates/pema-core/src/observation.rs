@@ -1,0 +1,76 @@
+//! The controller's view of one monitoring interval.
+//!
+//! PEMA is deliberately lightweight: per interval it consumes only the
+//! end-to-end p95 response time (Linkerd in the paper), the offered
+//! load, and two per-service metrics (CPU utilization and CFS
+//! throttling time from Prometheus). This struct is that scrape. It is
+//! substrate-agnostic — the simulator, or a real metrics pipeline,
+//! produces it.
+
+/// Per-service observations for one interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceObs {
+    /// Mean CPU utilization over the interval, percent of allocation.
+    pub util_pct: f64,
+    /// CFS throttle stall accumulated over the interval, seconds.
+    pub throttle_s: f64,
+}
+
+/// One monitoring interval's observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// p95 end-to-end response time over the interval, ms. May be
+    /// `INFINITY` when the application is fully saturated.
+    pub p95_ms: f64,
+    /// Offered load during the interval, requests/second.
+    pub rps: f64,
+    /// Per-service metrics, indexed like the allocation vector.
+    pub services: Vec<ServiceObs>,
+}
+
+impl Observation {
+    /// Builds an observation from parallel metric slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_slices(p95_ms: f64, rps: f64, util_pct: &[f64], throttle_s: &[f64]) -> Self {
+        assert_eq!(util_pct.len(), throttle_s.len(), "metric slice lengths");
+        Observation {
+            p95_ms,
+            rps,
+            services: util_pct
+                .iter()
+                .zip(throttle_s)
+                .map(|(&u, &h)| ServiceObs {
+                    util_pct: u,
+                    throttle_s: h,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of services observed.
+    pub fn n_services(&self) -> usize {
+        self.services.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slices_zips() {
+        let o = Observation::from_slices(120.0, 700.0, &[10.0, 20.0], &[0.0, 1.5]);
+        assert_eq!(o.n_services(), 2);
+        assert_eq!(o.services[1].util_pct, 20.0);
+        assert_eq!(o.services[1].throttle_s, 1.5);
+        assert_eq!(o.p95_ms, 120.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_slices_rejects_mismatch() {
+        Observation::from_slices(1.0, 1.0, &[1.0], &[]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Dynamic response-time targets (paper §3.4, Eqn. 9, Fig. 10c).
+//!
+//! When a PEMA process covers a wide workload range, a single target at
+//! the SLO would let allocations learned at low load violate the SLO at
+//! the top of the range. The paper therefore tilts the target:
+//!
+//! `R(λ) = m · (λ − λ_max) + R_SLO`
+//!
+//! with slope `m ≥ 0` learned once — at startup, with the allocation
+//! held fixed while the workload varies — by ordinary least squares on
+//! (workload, response) pairs (Fig. 10a).
+
+use pema_metrics::linear_regression;
+
+/// The tilted target of Eqn. 9.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicTarget {
+    /// Latency-per-rps slope `m` (ms per rps), ≥ 0.
+    pub m: f64,
+    /// Upper end of the active workload range, rps.
+    pub lambda_max: f64,
+    /// The SLO response time, ms.
+    pub r_slo_ms: f64,
+}
+
+impl DynamicTarget {
+    /// Target response time at workload `lambda`, clamped to
+    /// `[0.3 · R_SLO, R_SLO]` so a pathological slope can never push
+    /// the target to zero or above the SLO.
+    pub fn at(&self, lambda: f64) -> f64 {
+        let r = self.m.max(0.0) * (lambda - self.lambda_max) + self.r_slo_ms;
+        r.clamp(0.3 * self.r_slo_ms, self.r_slo_ms)
+    }
+}
+
+/// Collects (workload, response) samples during the fixed-allocation
+/// startup phase and fits `m`.
+#[derive(Debug, Clone, Default)]
+pub struct SlopeLearner {
+    samples: Vec<(f64, f64)>,
+}
+
+impl SlopeLearner {
+    /// Creates an empty learner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one (rps, p95 ms) sample. Non-finite responses (full
+    /// saturation) are skipped — they carry no slope information.
+    pub fn record(&mut self, rps: f64, p95_ms: f64) {
+        if p95_ms.is_finite() && rps.is_finite() && rps >= 0.0 {
+            self.samples.push((rps, p95_ms));
+        }
+    }
+
+    /// Number of usable samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Fits the slope `m` (ms per rps), clamped at 0 — response times
+    /// cannot meaningfully *fall* with workload; a negative fit means
+    /// noise dominated, and a flat target is the safe answer.
+    pub fn fit(&self) -> Option<f64> {
+        let xs: Vec<f64> = self.samples.iter().map(|s| s.0).collect();
+        let ys: Vec<f64> = self.samples.iter().map(|s| s.1).collect();
+        linear_regression(&xs, &ys).map(|(m, _)| m.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_tilts_below_slo() {
+        let t = DynamicTarget {
+            m: 0.5,
+            lambda_max: 400.0,
+            r_slo_ms: 250.0,
+        };
+        assert_eq!(t.at(400.0), 250.0);
+        assert_eq!(t.at(300.0), 200.0);
+        // Clamped at 30% of SLO.
+        assert_eq!(t.at(0.0), 75.0);
+    }
+
+    #[test]
+    fn target_never_exceeds_slo() {
+        let t = DynamicTarget {
+            m: 0.5,
+            lambda_max: 400.0,
+            r_slo_ms: 250.0,
+        };
+        assert_eq!(t.at(800.0), 250.0);
+    }
+
+    #[test]
+    fn negative_slope_treated_as_flat() {
+        let t = DynamicTarget {
+            m: -3.0,
+            lambda_max: 400.0,
+            r_slo_ms: 250.0,
+        };
+        assert_eq!(t.at(100.0), 250.0);
+    }
+
+    #[test]
+    fn learner_recovers_slope() {
+        let mut l = SlopeLearner::new();
+        for rps in [100.0, 150.0, 200.0, 250.0, 300.0] {
+            l.record(rps, 0.4 * rps + 30.0);
+        }
+        let m = l.fit().unwrap();
+        assert!((m - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learner_clamps_negative_slope() {
+        let mut l = SlopeLearner::new();
+        l.record(100.0, 200.0);
+        l.record(200.0, 100.0);
+        assert_eq!(l.fit(), Some(0.0));
+    }
+
+    #[test]
+    fn learner_skips_saturated_samples() {
+        let mut l = SlopeLearner::new();
+        l.record(100.0, f64::INFINITY);
+        l.record(100.0, f64::NAN);
+        assert!(l.is_empty());
+        l.record(100.0, 50.0);
+        assert_eq!(l.len(), 1);
+        assert!(l.fit().is_none(), "one sample cannot fit a slope");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests on the PEMA controller: invariants that must hold for
+//! *any* observation sequence, not just the happy paths the unit tests
+//! cover.
+
+use pema_core::{Action, Observation, PemaController, PemaParams, ServiceObs};
+use proptest::prelude::*;
+
+/// Arbitrary per-service observation.
+fn arb_service() -> impl Strategy<Value = ServiceObs> {
+    (0.0f64..120.0, 0.0f64..30.0).prop_map(|(u, h)| ServiceObs {
+        util_pct: u,
+        throttle_s: h,
+    })
+}
+
+/// Arbitrary observation for `n` services, p95 spanning healthy to
+/// deeply violating.
+fn arb_obs(n: usize) -> impl Strategy<Value = Observation> {
+    (
+        prop_oneof![10.0f64..240.0, 250.1f64..2000.0, Just(f64::INFINITY)],
+        50.0f64..1000.0,
+        proptest::collection::vec(arb_service(), n),
+    )
+        .prop_map(|(p95, rps, services)| Observation {
+            p95_ms: p95,
+            rps,
+            services,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reduction steps are monotonic: no service grows unless the
+    /// action was a rollback or an exploration jump.
+    #[test]
+    fn reductions_are_monotonic(
+        seed in 0u64..1000,
+        observations in proptest::collection::vec(arb_obs(6), 1..40)
+    ) {
+        let mut params = PemaParams::defaults(250.0);
+        params.seed = seed;
+        let mut ctrl = PemaController::new(params, vec![2.0; 6]);
+        for obs in &observations {
+            let before = ctrl.allocation().to_vec();
+            let out = ctrl.step(obs);
+            match out.action {
+                Action::Reduced { .. } | Action::Held => {
+                    for (a, b) in out.alloc.iter().zip(&before) {
+                        prop_assert!(*a <= *b + 1e-12);
+                    }
+                }
+                Action::RolledBack { .. } | Action::Explored { .. } => {}
+            }
+        }
+    }
+
+    /// The allocation floor is never violated.
+    #[test]
+    fn floor_always_respected(
+        seed in 0u64..1000,
+        observations in proptest::collection::vec(arb_obs(4), 1..60)
+    ) {
+        let mut params = PemaParams::defaults(250.0);
+        params.seed = seed;
+        let min_cpu = params.min_cpu;
+        let mut ctrl = PemaController::new(params, vec![1.5; 4]);
+        for obs in &observations {
+            let out = ctrl.step(obs);
+            for &a in &out.alloc {
+                prop_assert!(a >= min_cpu - 1e-12);
+            }
+        }
+    }
+
+    /// A violating observation always yields a rollback action, and the
+    /// controller never stays on the exact allocation that violated.
+    #[test]
+    fn violations_always_roll_back(
+        seed in 0u64..1000,
+        preamble in proptest::collection::vec(arb_obs(4), 0..10)
+    ) {
+        let mut params = PemaParams::defaults(250.0);
+        params.seed = seed;
+        let mut ctrl = PemaController::new(params, vec![1.5; 4]);
+        for obs in &preamble {
+            ctrl.step(obs);
+        }
+        let violating = Observation {
+            p95_ms: 400.0,
+            rps: 100.0,
+            services: vec![ServiceObs { util_pct: 50.0, throttle_s: 1.0 }; 4],
+        };
+        let out = ctrl.step(&violating);
+        let rolled = matches!(out.action, Action::RolledBack { .. });
+        prop_assert!(rolled);
+    }
+
+    /// Thresholds are monotone non-decreasing over any run.
+    #[test]
+    fn thresholds_never_decrease(
+        seed in 0u64..1000,
+        observations in proptest::collection::vec(arb_obs(5), 1..40)
+    ) {
+        let mut params = PemaParams::defaults(250.0);
+        params.seed = seed;
+        let mut ctrl = PemaController::new(params, vec![2.0; 5]);
+        let mut prev_u = ctrl.util_thresholds().to_vec();
+        let mut prev_h = ctrl.throttle_thresholds().to_vec();
+        for obs in &observations {
+            ctrl.step(obs);
+            for (new, old) in ctrl.util_thresholds().iter().zip(&prev_u) {
+                prop_assert!(new >= old);
+            }
+            for (new, old) in ctrl.throttle_thresholds().iter().zip(&prev_h) {
+                prop_assert!(new >= old);
+            }
+            prev_u = ctrl.util_thresholds().to_vec();
+            prev_h = ctrl.throttle_thresholds().to_vec();
+        }
+    }
+
+    /// The controller is a pure function of (params, observation
+    /// sequence): identical runs agree step by step.
+    #[test]
+    fn replay_determinism(
+        seed in 0u64..1000,
+        observations in proptest::collection::vec(arb_obs(3), 1..25)
+    ) {
+        let mk = || {
+            let mut params = PemaParams::defaults(250.0);
+            params.seed = seed;
+            PemaController::new(params, vec![2.0; 3])
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for obs in &observations {
+            let oa = a.step(obs);
+            let ob = b.step(obs);
+            prop_assert_eq!(oa.alloc, ob.alloc);
+        }
+    }
+}

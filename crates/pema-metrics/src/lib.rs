@@ -1,0 +1,30 @@
+//! Metric primitives for the PEMA reproduction.
+//!
+//! The paper's controller consumes three observables, all of which are
+//! produced by metric machinery in this crate:
+//!
+//! * end-to-end latency percentiles (Linkerd in the paper) — served by
+//!   [`histogram::LatencyHistogram`] and the streaming estimator
+//!   [`p2::P2Quantile`];
+//! * per-service CPU utilization and CFS throttling time (Prometheus
+//!   `cpu_usage_seconds_total` / `cpu_cfs_throttled_seconds_total`) —
+//!   served by [`registry::MetricRegistry`] counters and gauges;
+//! * moving averages of the response time (Eqns. 10/11 of the paper) —
+//!   served by [`window::MovingAvg`] and [`window::RollingWindow`].
+//!
+//! Everything here is deterministic and allocation-conscious: histograms
+//! are fixed-size log-bucketed arrays, windows are ring buffers, and the
+//! registry hands out integer handles rather than string lookups on the
+//! hot path.
+
+pub mod histogram;
+pub mod p2;
+pub mod registry;
+pub mod stats;
+pub mod window;
+
+pub use histogram::LatencyHistogram;
+pub use p2::P2Quantile;
+pub use registry::{CounterHandle, GaugeHandle, MetricRegistry, MetricSnapshot};
+pub use stats::{linear_regression, mean, percentile_sorted, std_dev, Summary};
+pub use window::{MovingAvg, RollingWindow};

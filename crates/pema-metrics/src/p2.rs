@@ -1,0 +1,219 @@
+//! P² (piecewise-parabolic) streaming quantile estimator.
+//!
+//! Jain & Chlamtac's classic algorithm estimates a single quantile in
+//! O(1) memory without storing samples. The simulator uses the bucketed
+//! [`crate::LatencyHistogram`] for windows it fully owns; P² is offered
+//! for long-running streams (e.g. the 36-hour extended run of Fig. 14)
+//! where per-window reset is undesirable, and doubles as an independent
+//! cross-check of histogram quantiles in tests.
+
+/// Streaming estimator for one quantile of an unbounded stream.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated values at marker positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Increments to desired positions per new sample.
+    increments: [f64; 5],
+    count: usize,
+    /// First five samples, used to initialize the markers.
+    init: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile (e.g. 0.95).
+    ///
+    /// # Panics
+    /// Panics if `q` is not within (0, 1).
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            init: [0.0; 5],
+        }
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            self.init[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.init.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.heights = self.init;
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments.iter()) {
+            *d += inc;
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate of the quantile, or `None` with no samples.
+    /// With fewer than five samples, returns the exact order statistic.
+    pub fn value(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut v: Vec<f64> = self.init[..self.count].to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((self.q * self.count as f64).ceil() as usize).clamp(1, self.count);
+            return Some(v[rank - 1]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_quantile() {
+        P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert!(P2Quantile::new(0.5).value().is_none());
+    }
+
+    #[test]
+    fn small_counts_exact() {
+        let mut p = P2Quantile::new(0.5);
+        p.record(3.0);
+        assert_eq!(p.value(), Some(3.0));
+        p.record(1.0);
+        p.record(2.0);
+        assert_eq!(p.value(), Some(2.0));
+    }
+
+    #[test]
+    fn uniform_stream_p95() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut p = P2Quantile::new(0.95);
+        for _ in 0..200_000 {
+            p.record(rng.gen::<f64>());
+        }
+        let v = p.value().unwrap();
+        assert!((v - 0.95).abs() < 0.02, "p95 of U(0,1) estimated {v}");
+    }
+
+    #[test]
+    fn exponential_stream_median() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut p = P2Quantile::new(0.5);
+        for _ in 0..200_000 {
+            let u: f64 = rng.gen::<f64>();
+            p.record(-(1.0 - u).ln()); // Exp(1)
+        }
+        let v = p.value().unwrap();
+        let expect = std::f64::consts::LN_2;
+        assert!((v - expect).abs() < 0.05, "median Exp(1) estimated {v}");
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut p = P2Quantile::new(0.9);
+        p.record(f64::NAN);
+        p.record(f64::INFINITY);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    fn agrees_with_histogram_on_lognormal() {
+        use crate::LatencyHistogram;
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut p = P2Quantile::new(0.95);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100_000 {
+            // Log-normal-ish latency in seconds.
+            let z: f64 = rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5;
+            let v = (0.05 * (z * 1.2).exp()).max(1e-6);
+            p.record(v);
+            h.record(v);
+        }
+        let pv = p.value().unwrap();
+        let hv = h.quantile(0.95).unwrap();
+        assert!(
+            (pv - hv).abs() < hv * 0.1,
+            "P2 {pv} vs histogram {hv} disagree"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! A small Prometheus-flavoured metric registry.
+//!
+//! The simulated cluster exposes per-service counters mirroring the
+//! cAdvisor metrics the paper scrapes:
+//!
+//! * `cpu_usage_seconds_total` — cumulative CPU seconds consumed,
+//! * `cpu_cfs_throttled_seconds_total` — cumulative CFS throttle stall,
+//! * `memory_usage_bytes` — gauge.
+//!
+//! Consumers take [`MetricSnapshot`]s and diff them across a scrape
+//! interval, exactly as a Prometheus `rate()` would. Handles are plain
+//! indices so the simulator's hot path never hashes strings.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle to a registered counter (monotonically increasing `f64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterHandle(usize);
+
+/// Handle to a registered gauge (instantaneous `f64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaugeHandle(usize);
+
+#[derive(Default)]
+struct Inner {
+    counter_names: Vec<String>,
+    counters: Vec<f64>,
+    gauge_names: Vec<String>,
+    gauges: Vec<f64>,
+    counter_index: HashMap<String, usize>,
+    gauge_index: HashMap<String, usize>,
+}
+
+/// Shared registry of named counters and gauges.
+///
+/// Cloning shares the underlying storage (like a Prometheus registry
+/// handle): the simulator writes, the controller-side scraper reads.
+#[derive(Clone, Default)]
+pub struct MetricRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-resolves) a counter by name.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        let mut g = self.inner.write();
+        if let Some(&i) = g.counter_index.get(name) {
+            return CounterHandle(i);
+        }
+        let i = g.counters.len();
+        g.counters.push(0.0);
+        g.counter_names.push(name.to_string());
+        g.counter_index.insert(name.to_string(), i);
+        CounterHandle(i)
+    }
+
+    /// Registers (or re-resolves) a gauge by name.
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        let mut g = self.inner.write();
+        if let Some(&i) = g.gauge_index.get(name) {
+            return GaugeHandle(i);
+        }
+        let i = g.gauges.len();
+        g.gauges.push(0.0);
+        g.gauge_names.push(name.to_string());
+        g.gauge_index.insert(name.to_string(), i);
+        GaugeHandle(i)
+    }
+
+    /// Adds `v` to a counter. Negative increments are ignored (counters
+    /// are monotone by definition).
+    pub fn counter_add(&self, h: CounterHandle, v: f64) {
+        if v <= 0.0 || !v.is_finite() {
+            return;
+        }
+        self.inner.write().counters[h.0] += v;
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&self, h: GaugeHandle, v: f64) {
+        self.inner.write().gauges[h.0] = v;
+    }
+
+    /// Reads a counter's current cumulative value.
+    pub fn counter_value(&self, h: CounterHandle) -> f64 {
+        self.inner.read().counters[h.0]
+    }
+
+    /// Reads a gauge's current value.
+    pub fn gauge_value(&self, h: GaugeHandle) -> f64 {
+        self.inner.read().gauges[h.0]
+    }
+
+    /// Takes a point-in-time snapshot of every metric (a "scrape").
+    pub fn snapshot(&self) -> MetricSnapshot {
+        let g = self.inner.read();
+        MetricSnapshot {
+            counters: g
+                .counter_names
+                .iter()
+                .cloned()
+                .zip(g.counters.iter().copied())
+                .collect(),
+            gauges: g
+                .gauge_names
+                .iter()
+                .cloned()
+                .zip(g.gauges.iter().copied())
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time scrape of a [`MetricRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricSnapshot {
+    counters: HashMap<String, f64>,
+    gauges: HashMap<String, f64>,
+}
+
+impl MetricSnapshot {
+    /// Cumulative counter value at snapshot time.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge value at snapshot time.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Counter increase since an earlier snapshot (Prometheus
+    /// `increase()`). Returns 0 for counters that went backwards (which
+    /// cannot happen through the registry API but guards stale diffs).
+    pub fn counter_delta(&self, earlier: &MetricSnapshot, name: &str) -> Option<f64> {
+        let now = self.counter(name)?;
+        let before = earlier.counter(name).unwrap_or(0.0);
+        Some((now - before).max(0.0))
+    }
+
+    /// Iterates over counter names.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registration_is_idempotent() {
+        let r = MetricRegistry::new();
+        let a = r.counter("cpu_usage_seconds_total{service=\"carts\"}");
+        let b = r.counter("cpu_usage_seconds_total{service=\"carts\"}");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let r = MetricRegistry::new();
+        let c = r.counter("x");
+        r.counter_add(c, 1.5);
+        r.counter_add(c, 2.5);
+        assert_eq!(r.counter_value(c), 4.0);
+    }
+
+    #[test]
+    fn counter_rejects_negative_and_nan() {
+        let r = MetricRegistry::new();
+        let c = r.counter("x");
+        r.counter_add(c, -1.0);
+        r.counter_add(c, f64::NAN);
+        assert_eq!(r.counter_value(c), 0.0);
+    }
+
+    #[test]
+    fn gauge_sets() {
+        let r = MetricRegistry::new();
+        let g = r.gauge("memory_usage_bytes{service=\"user\"}");
+        r.gauge_set(g, 1024.0);
+        assert_eq!(r.gauge_value(g), 1024.0);
+        r.gauge_set(g, 512.0);
+        assert_eq!(r.gauge_value(g), 512.0);
+    }
+
+    #[test]
+    fn snapshot_delta_mimics_increase() {
+        let r = MetricRegistry::new();
+        let c = r.counter("cpu");
+        r.counter_add(c, 10.0);
+        let s1 = r.snapshot();
+        r.counter_add(c, 5.0);
+        let s2 = r.snapshot();
+        assert_eq!(s2.counter_delta(&s1, "cpu"), Some(5.0));
+        assert_eq!(s2.counter("cpu"), Some(15.0));
+    }
+
+    #[test]
+    fn snapshot_missing_name() {
+        let r = MetricRegistry::new();
+        let s = r.snapshot();
+        assert_eq!(s.counter("nope"), None);
+        assert_eq!(s.gauge("nope"), None);
+    }
+
+    #[test]
+    fn shared_clone_sees_writes() {
+        let r = MetricRegistry::new();
+        let c = r.counter("shared");
+        let r2 = r.clone();
+        r.counter_add(c, 3.0);
+        assert_eq!(r2.counter_value(c), 3.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Rolling windows and moving averages.
+//!
+//! PEMA smooths the response-time feedback with a K-step moving average
+//! (Eqns. 10/11 in the paper) while still reacting to the *instantaneous*
+//! response time for SLO-violation rollback (Algorithm 1, line 4). The
+//! types here implement both views over one stream of observations.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity rolling window over `f64` observations.
+///
+/// Stores the most recent `capacity` values; supports mean, min, max and
+/// percentile queries over the retained values.
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    buf: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+}
+
+impl RollingWindow {
+    /// Creates a window retaining the `capacity` most recent samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes a sample, evicting the oldest if full. Returns the evicted
+    /// sample, if any.
+    pub fn push(&mut self, v: f64) -> Option<f64> {
+        let evicted = if self.buf.len() == self.capacity {
+            let old = self.buf.pop_front();
+            if let Some(o) = old {
+                self.sum -= o;
+            }
+            old
+        } else {
+            None
+        };
+        self.buf.push_back(v);
+        self.sum += v;
+        evicted
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True when the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Mean of retained samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            // Recompute from scratch only if the incremental sum drifted
+            // badly; the incremental sum is fine for our magnitudes.
+            Some(self.sum / self.buf.len() as f64)
+        }
+    }
+
+    /// Minimum retained sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.buf.iter().copied().fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.min(v),
+            })
+        })
+    }
+
+    /// Maximum retained sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.buf.iter().copied().fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// The most recent sample, or `None` when empty.
+    pub fn last(&self) -> Option<f64> {
+        self.buf.back().copied()
+    }
+
+    /// Nearest-rank percentile over retained samples (`q` in 0..=1).
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.buf.iter().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(crate::stats::percentile_sorted(&v, q))
+    }
+
+    /// Iterator over retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Clears all retained samples.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// K-step moving average as used by Eqns. (10) and (11) of the paper.
+///
+/// Until K samples have arrived the average is taken over however many
+/// samples exist — matching a controller that starts acting from its
+/// first observation.
+#[derive(Debug, Clone)]
+pub struct MovingAvg {
+    window: RollingWindow,
+}
+
+impl MovingAvg {
+    /// Creates a moving average over the last `k` observations.
+    pub fn new(k: usize) -> Self {
+        Self {
+            window: RollingWindow::new(k),
+        }
+    }
+
+    /// Adds an observation and returns the updated average.
+    pub fn push(&mut self, v: f64) -> f64 {
+        self.window.push(v);
+        self.window.mean().unwrap()
+    }
+
+    /// Current average, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.window.mean()
+    }
+
+    /// Most recent raw observation (the *instantaneous* value the paper
+    /// uses for violation detection).
+    pub fn last(&self) -> Option<f64> {
+        self.window.last()
+    }
+
+    /// Number of observations currently contributing to the average.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True before any observation.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Discards history (used on workload-range switch).
+    pub fn clear(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        RollingWindow::new(0);
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = RollingWindow::new(3);
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), None);
+        assert_eq!(w.push(3.0), None);
+        assert_eq!(w.push(4.0), Some(1.0));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn window_min_max_last() {
+        let mut w = RollingWindow::new(4);
+        for v in [5.0, 1.0, 3.0] {
+            w.push(v);
+        }
+        assert_eq!(w.min(), Some(1.0));
+        assert_eq!(w.max(), Some(5.0));
+        assert_eq!(w.last(), Some(3.0));
+    }
+
+    #[test]
+    fn window_percentile() {
+        let mut w = RollingWindow::new(100);
+        for i in 1..=100 {
+            w.push(i as f64);
+        }
+        assert_eq!(w.percentile(0.5), Some(50.0));
+        assert_eq!(w.percentile(0.95), Some(95.0));
+        assert_eq!(w.percentile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn empty_window_queries() {
+        let w = RollingWindow::new(5);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.percentile(0.5), None);
+    }
+
+    #[test]
+    fn moving_avg_partial_fill() {
+        let mut m = MovingAvg::new(5);
+        assert_eq!(m.push(10.0), 10.0);
+        assert_eq!(m.push(20.0), 15.0);
+        assert_eq!(m.value(), Some(15.0));
+        assert_eq!(m.last(), Some(20.0));
+    }
+
+    #[test]
+    fn moving_avg_rolls() {
+        let mut m = MovingAvg::new(2);
+        m.push(1.0);
+        m.push(3.0);
+        assert_eq!(m.value(), Some(2.0));
+        m.push(5.0);
+        assert_eq!(m.value(), Some(4.0)); // (3+5)/2
+    }
+
+    #[test]
+    fn moving_avg_clear() {
+        let mut m = MovingAvg::new(3);
+        m.push(1.0);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.value(), None);
+    }
+
+    #[test]
+    fn window_clear_resets_sum() {
+        let mut w = RollingWindow::new(2);
+        w.push(10.0);
+        w.clear();
+        w.push(4.0);
+        assert_eq!(w.mean(), Some(4.0));
+    }
+}

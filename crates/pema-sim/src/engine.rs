@@ -1,0 +1,1138 @@
+//! The discrete-event cluster simulator.
+//!
+//! [`ClusterSim`] executes an [`AppSpec`] under open-loop Poisson load:
+//! requests arrive at the entry service of a sampled request class and
+//! walk the class's call tree; each visit queues for a worker thread,
+//! executes log-normal CPU work under the service's CFS quota, fans out
+//! to child calls, and replies. The simulator reproduces the three
+//! observables the paper's controller uses — p95 end-to-end latency,
+//! per-service CPU utilization, and CFS throttling time — plus the
+//! per-second usage samples rule-based autoscalers consume.
+//!
+//! The design notes in `runtime.rs` explain the piecewise-linear
+//! integration; this module owns event scheduling and the visit state
+//! machine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::rng::{bernoulli, exponential, lognormal_mean_cv, weighted_index};
+use crate::runtime::{
+    DeadlineKind, ServiceRt, Stage, Visit, VisitSlot, CFS_PERIOD_S, NO_PARENT, QUOTA_EPS,
+    WORK_EPS,
+};
+use crate::stats::{ServiceWindowStats, WindowStats};
+use crate::time::SimTime;
+use crate::trace::{RequestTrace, TraceSpan};
+use crate::topology::{Allocation, AppSpec};
+use pema_metrics::LatencyHistogram;
+
+/// Events handled by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Next external request arrival (chain generation guard).
+    Arrival(u64),
+    /// A visit arrives at its service (index, slot generation).
+    VisitStart(u32, u32),
+    /// A child call replied to its parent visit (index, generation).
+    ChildDone(u32, u32),
+    /// Per-service timer (service index, timer generation).
+    Timer(u32, u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapItem {
+    t: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A running simulation of one application on its cluster.
+///
+/// The simulator is *persistent*: allocation changes and successive
+/// measurement windows act on live queues, exactly like reconfiguring a
+/// real deployment. For independent evaluations (fresh queues per
+/// configuration) see [`crate::evaluator::SimEvaluator`].
+pub struct ClusterSim {
+    app: AppSpec,
+    services: Vec<ServiceRt>,
+    node_services: Vec<Vec<usize>>,
+    node_rate: Vec<f64>,
+    node_cores: Vec<f64>,
+    visits: Vec<VisitSlot>,
+    free: Vec<usize>,
+    heap: BinaryHeap<Reverse<HeapItem>>,
+    seq: u64,
+    now: SimTime,
+    rng: SmallRng,
+    /// CPU speed factor (1.0 = reference). Scales sampled demands.
+    speed: f64,
+    /// Client-side request timeout, seconds. Requests older than this
+    /// are abandoned at their next scheduling point.
+    timeout_s: Option<f64>,
+    arrival_rate: f64,
+    arrival_gen: u64,
+    class_weights: Vec<f64>,
+    // measurement
+    hist: LatencyHistogram,
+    recording: bool,
+    measure_start: SimTime,
+    completed_in_window: u64,
+    arrivals_in_window: u64,
+    // tracing (Jaeger-like request sampling)
+    trace_rate: f64,
+    trace_builders: Vec<Option<TraceBuilder>>,
+    trace_free: Vec<usize>,
+    completed_traces: Vec<RequestTrace>,
+    trace_cap: usize,
+}
+
+/// In-flight trace under construction.
+struct TraceBuilder {
+    class: u32,
+    spans: Vec<TraceSpan>,
+    start: SimTime,
+}
+
+impl ClusterSim {
+    /// Builds a simulator for a validated application spec.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation — topology bugs are
+    /// programming errors, not runtime conditions.
+    pub fn new(app: &AppSpec, seed: u64) -> Self {
+        app.validate().expect("invalid AppSpec");
+        let mut node_services = vec![Vec::new(); app.nodes.len()];
+        let mut services = Vec::with_capacity(app.services.len());
+        for (i, s) in app.services.iter().enumerate() {
+            node_services[s.node].push(i);
+            services.push(ServiceRt::new(s.node, s.threads, app.generous_alloc[i]));
+        }
+        let class_weights: Vec<f64> = app.classes.iter().map(|c| c.weight).collect();
+        let node_cores = app.nodes.iter().map(|n| n.cores).collect();
+        let node_rate = vec![1.0; app.nodes.len()];
+        ClusterSim {
+            app: app.clone(),
+            services,
+            node_services,
+            node_rate,
+            node_cores,
+            visits: Vec::with_capacity(4096),
+            free: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng: SmallRng::seed_from_u64(seed),
+            speed: 1.0,
+            timeout_s: None,
+            arrival_rate: 0.0,
+            arrival_gen: 0,
+            class_weights,
+            hist: LatencyHistogram::new(),
+            recording: false,
+            measure_start: SimTime::ZERO,
+            completed_in_window: 0,
+            arrivals_in_window: 0,
+            trace_rate: 0.0,
+            trace_builders: Vec::new(),
+            trace_free: Vec::new(),
+            completed_traces: Vec::new(),
+            trace_cap: 20_000,
+        }
+    }
+
+    /// Enables Jaeger-like request tracing: each arriving request is
+    /// sampled with probability `rate`; completed traces are retained
+    /// (up to an internal cap) until drained with
+    /// [`Self::take_traces`].
+    pub fn set_trace_sampling(&mut self, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "sampling rate in [0,1]");
+        self.trace_rate = rate;
+    }
+
+    /// Drains and returns all completed request traces.
+    pub fn take_traces(&mut self) -> Vec<RequestTrace> {
+        std::mem::take(&mut self.completed_traces)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The application spec this simulator runs.
+    pub fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    /// Current allocation vector.
+    pub fn allocation(&self) -> Allocation {
+        Allocation::new(self.services.iter().map(|s| s.alloc).collect())
+    }
+
+    /// Applies a new allocation to all services, effective immediately
+    /// (vertical scaling without container restarts, as with the
+    /// in-place resize the paper relies on).
+    ///
+    /// # Panics
+    /// Panics if the vector length does not match the service count.
+    pub fn set_allocation(&mut self, alloc: &Allocation) {
+        assert_eq!(alloc.len(), self.services.len(), "allocation length");
+        for i in 0..self.services.len() {
+            self.services[i].advance(&mut self.visits, self.now);
+            self.services[i].set_alloc(alloc.get(i));
+        }
+        for node in 0..self.node_services.len() {
+            self.refresh_node(node);
+        }
+        for i in 0..self.services.len() {
+            self.reschedule_timer(i);
+        }
+    }
+
+    /// Sets the CPU speed factor (1.0 = reference hardware). Models the
+    /// paper's CPU-frequency experiments: demands scale by 1/speed for
+    /// *future* work samples.
+    pub fn set_speed(&mut self, speed: f64) {
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
+        self.speed = speed;
+    }
+
+    /// Current CPU speed factor.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Sets the client-side request timeout: requests older than
+    /// `timeout_s` are abandoned at their next scheduling point (thread
+    /// acquisition or fan-out), their latency recorded as the timeout —
+    /// what the client experienced. Without timeouts, a saturated
+    /// interval leaves a backlog that poisons every later measurement
+    /// (a death spiral no real deployment exhibits, because load
+    /// generators and users give up).
+    pub fn set_request_timeout(&mut self, timeout_s: Option<f64>) {
+        if let Some(t) = timeout_s {
+            assert!(t > 0.0 && t.is_finite(), "timeout must be positive");
+        }
+        self.timeout_s = timeout_s;
+    }
+
+    /// True when the visit's root request has outlived the timeout.
+    fn timed_out(&self, vi: usize) -> bool {
+        match self.timeout_s {
+            Some(to) => self.now.secs_since(self.visits[vi].v.root_start) > to,
+            None => false,
+        }
+    }
+
+    /// Sets the offered load (requests/second). Restarts the arrival
+    /// chain so the new rate takes effect immediately.
+    pub fn set_arrival_rate(&mut self, rps: f64) {
+        assert!(rps >= 0.0 && rps.is_finite(), "rps must be non-negative");
+        self.arrival_rate = rps;
+        self.arrival_gen += 1;
+        if rps > 0.0 {
+            let dt = exponential(&mut self.rng, rps);
+            let t = self.now.plus_secs(dt);
+            self.push(t, Ev::Arrival(self.arrival_gen));
+        }
+    }
+
+    /// Runs `warmup_s` of settling time followed by a measured window of
+    /// `window_s` at the given offered load, returning the window's
+    /// statistics. Queues persist across calls.
+    pub fn run_window(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> WindowStats {
+        self.set_arrival_rate(rps);
+        self.run_until(self.now.plus_secs(warmup_s));
+        self.begin_window(window_s);
+        self.run_until(self.now.plus_secs(window_s));
+        self.end_window(window_s)
+    }
+
+    /// Like [`Self::run_window`], but checks the accumulated p95 every
+    /// `check_every_s` and aborts the window as soon as it exceeds
+    /// `abort_p95_ms` — the paper's §6 "higher-resolution performance
+    /// monitoring" improvement, which caps how long the application is
+    /// exposed to a bad configuration. Returns the (possibly partial)
+    /// window statistics and whether the window was aborted.
+    pub fn run_window_abortable(
+        &mut self,
+        rps: f64,
+        warmup_s: f64,
+        window_s: f64,
+        check_every_s: f64,
+        abort_p95_ms: f64,
+    ) -> (WindowStats, bool) {
+        assert!(check_every_s > 0.0, "check interval must be positive");
+        self.set_arrival_rate(rps);
+        self.run_until(self.now.plus_secs(warmup_s));
+        self.begin_window(window_s);
+        let start = self.now;
+        let end = self.now.plus_secs(window_s);
+        let mut aborted = false;
+        while self.now < end {
+            let next = self.now.plus_secs(check_every_s).min(end);
+            self.run_until(next);
+            // Require a minimal sample before trusting the estimate.
+            if self.hist.count() >= 50 {
+                if let Some(p95) = self.hist.quantile(0.95) {
+                    if p95 * 1e3 > abort_p95_ms {
+                        aborted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let measured = self.now.secs_since(start);
+        (self.end_window(measured.max(1e-9)), aborted)
+    }
+
+    /// Advances the simulation, processing all events up to `t_end`.
+    pub fn run_until(&mut self, t_end: SimTime) {
+        while let Some(&Reverse(item)) = self.heap.peek() {
+            if item.t > t_end {
+                break;
+            }
+            self.heap.pop();
+            self.now = item.t;
+            self.dispatch(item.ev);
+        }
+        self.now = t_end;
+    }
+
+    /// Starts a measurement window now.
+    fn begin_window(&mut self, window_s: f64) {
+        for i in 0..self.services.len() {
+            self.services[i].advance(&mut self.visits, self.now);
+            self.services[i].begin_window(self.now, window_s);
+        }
+        self.hist.reset();
+        self.recording = true;
+        self.measure_start = self.now;
+        self.completed_in_window = 0;
+        self.arrivals_in_window = 0;
+    }
+
+    /// Ends the measurement window and collects statistics.
+    fn end_window(&mut self, window_s: f64) -> WindowStats {
+        self.recording = false;
+        let dur = self.now.secs_since(self.measure_start).max(1e-9);
+        let mut per_service = Vec::with_capacity(self.services.len());
+        for i in 0..self.services.len() {
+            self.services[i].advance(&mut self.visits, self.now);
+            let s = &self.services[i];
+            let spec = &self.app.services[i];
+            let mut buckets: Vec<f32> = s
+                .usage_buckets
+                .iter()
+                .take(dur.floor().max(1.0) as usize)
+                .copied()
+                .collect();
+            buckets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let p90 = if buckets.is_empty() {
+                0.0
+            } else {
+                let rank = ((0.90 * buckets.len() as f64).ceil() as usize).clamp(1, buckets.len());
+                buckets[rank - 1] as f64
+            };
+            let peak = buckets.last().copied().unwrap_or(0.0) as f64;
+            let avg_open = s.occupancy_integral / dur;
+            per_service.push(ServiceWindowStats {
+                alloc_cores: s.alloc,
+                util_pct: s.cpu_used_s / (s.alloc * dur) * 100.0,
+                cpu_used_s: s.cpu_used_s,
+                throttled_s: s.throttled_s,
+                usage_p90_cores: p90,
+                usage_peak_cores: peak,
+                mem_bytes: spec.mem_base_bytes + avg_open * spec.mem_per_job_bytes,
+                visits: s.visits_done,
+                mean_self_ms: if s.visits_done > 0 {
+                    s.self_time_s / s.visits_done as f64 * 1e3
+                } else {
+                    0.0
+                },
+                mean_visit_ms: if s.visits_done > 0 {
+                    s.visit_time_s / s.visits_done as f64 * 1e3
+                } else {
+                    0.0
+                },
+            });
+        }
+        let completed = self.hist.count();
+        let (mean, p50, p95, p99, max) = if completed > 0 {
+            (
+                self.hist.mean().unwrap() * 1e3,
+                self.hist.quantile(0.50).unwrap() * 1e3,
+                self.hist.quantile(0.95).unwrap() * 1e3,
+                self.hist.quantile(0.99).unwrap() * 1e3,
+                self.hist.max().unwrap() * 1e3,
+            )
+        } else if self.arrivals_in_window > 0 {
+            // Saturation: traffic arrived but nothing finished.
+            let inf = f64::INFINITY;
+            (inf, inf, inf, inf, inf)
+        } else {
+            (0.0, 0.0, 0.0, 0.0, 0.0)
+        };
+        WindowStats {
+            start_s: self.measure_start.as_secs(),
+            duration_s: window_s,
+            offered_rps: self.arrival_rate,
+            achieved_rps: completed as f64 / dur,
+            completed,
+            arrivals: self.arrivals_in_window,
+            mean_ms: mean,
+            p50_ms: p50,
+            p95_ms: p95,
+            p99_ms: p99,
+            max_ms: max,
+            per_service,
+        }
+    }
+
+    // ---- event plumbing ----
+
+    fn push(&mut self, t: SimTime, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(HeapItem {
+            t,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival(gen) => self.on_arrival(gen),
+            Ev::VisitStart(vi, vgen) => self.on_visit_start(vi as usize, vgen),
+            Ev::ChildDone(vi, vgen) => self.on_child_done(vi as usize, vgen),
+            Ev::Timer(si, tgen) => self.on_timer(si as usize, tgen),
+        }
+    }
+
+    fn on_arrival(&mut self, gen: u64) {
+        if gen != self.arrival_gen || self.arrival_rate <= 0.0 {
+            return;
+        }
+        // Schedule the next arrival of the chain.
+        let dt = exponential(&mut self.rng, self.arrival_rate);
+        let t = self.now.plus_secs(dt);
+        self.push(t, Ev::Arrival(self.arrival_gen));
+
+        if self.recording {
+            self.arrivals_in_window += 1;
+        }
+        let class = weighted_index(&mut self.rng, &self.class_weights);
+        let root_ep = self.app.classes[class].root;
+        let vi = self.new_visit(root_ep, NO_PARENT, 0, self.now);
+        if self.trace_rate > 0.0 && bernoulli(&mut self.rng, self.trace_rate) {
+            let tb = TraceBuilder {
+                class: class as u32,
+                spans: Vec::with_capacity(8),
+                start: self.now,
+            };
+            let slot = match self.trace_free.pop() {
+                Some(i) => {
+                    self.trace_builders[i] = Some(tb);
+                    i
+                }
+                None => {
+                    self.trace_builders.push(Some(tb));
+                    self.trace_builders.len() - 1
+                }
+            };
+            let span = self.new_span(slot, root_ep, u32::MAX);
+            self.visits[vi].v.trace = slot as u32;
+            self.visits[vi].v.span = span;
+        }
+        let vgen = self.visits[vi].gen;
+        self.push(self.now, Ev::VisitStart(vi as u32, vgen));
+    }
+
+    /// Creates a span inside a trace builder and returns its index.
+    fn new_span(&mut self, builder: usize, ep: usize, parent_span: u32) -> u32 {
+        let e = &self.app.endpoints[ep];
+        let b = self.trace_builders[builder]
+            .as_mut()
+            .expect("live trace builder");
+        b.spans.push(TraceSpan {
+            service: e.service.0 as u32,
+            endpoint: ep as u32,
+            parent: parent_span,
+            start_s: f64::NAN,
+            end_s: f64::NAN,
+            self_cpu_s: 0.0,
+        });
+        (b.spans.len() - 1) as u32
+    }
+
+    /// Allocates a visit slot for endpoint `ep` with the given parent.
+    fn new_visit(&mut self, ep: usize, parent: u32, parent_gen: u32, root_start: SimTime) -> usize {
+        let e = &self.app.endpoints[ep];
+        let sid = e.service.0;
+        let spec = &self.app.services[sid];
+        let mean = spec.demand_s * e.work_scale;
+        let work = lognormal_mean_cv(&mut self.rng, mean, spec.demand_cv) / self.speed;
+        let pre = work * spec.pre_fraction;
+        let post = work - pre;
+        let v = Visit {
+            service: sid as u32,
+            endpoint: ep as u32,
+            parent,
+            parent_gen,
+            stage: Stage::ExecPre,
+            remaining: pre,
+            post_work: post,
+            pending: 0,
+            is_root: parent == NO_PARENT,
+            start: SimTime::ZERO, // set on VisitStart
+            root_start,
+            exec_self: 0.0,
+            trace: u32::MAX,
+            span: 0,
+        };
+        if let Some(slot) = self.free.pop() {
+            self.visits[slot].gen = self.visits[slot].gen.wrapping_add(1);
+            self.visits[slot].live = true;
+            self.visits[slot].v = v;
+            slot
+        } else {
+            self.visits.push(VisitSlot {
+                gen: 0,
+                live: true,
+                v,
+            });
+            self.visits.len() - 1
+        }
+    }
+
+    fn on_visit_start(&mut self, vi: usize, vgen: u32) {
+        if self.visits[vi].gen != vgen || !self.visits[vi].live {
+            return;
+        }
+        let sid = self.visits[vi].v.service as usize;
+        self.services[sid].advance(&mut self.visits, self.now);
+        self.ensure_period_current(sid);
+        self.visits[vi].v.start = self.now;
+        if self.visits[vi].v.trace != u32::MAX {
+            let (tb, span) = (self.visits[vi].v.trace as usize, self.visits[vi].v.span as usize);
+            if let Some(b) = self.trace_builders[tb].as_mut() {
+                b.spans[span].start_s = self.now.as_secs();
+            }
+        }
+        self.services[sid].open_visits += 1;
+        if self.services[sid].thread_available() {
+            self.services[sid].threads_busy += 1;
+            self.start_exec(sid, vi);
+        } else {
+            self.services[sid].thread_queue.push_back(vi);
+        }
+        self.after_change(sid);
+    }
+
+    /// Rolls the CFS period forward (lazily) when the service was idle
+    /// across one or more period boundaries.
+    fn ensure_period_current(&mut self, sid: usize) {
+        let s = &mut self.services[sid];
+        if self.now >= s.period_end && !s.stalled {
+            let period_ns = (CFS_PERIOD_S * 1e9) as u64;
+            let k = (self.now.0 - s.period_end.0) / period_ns + 1;
+            s.period_end = SimTime(s.period_end.0 + k * period_ns);
+            s.quota_left = s.quota;
+        }
+    }
+
+    /// Puts a visit into the running set (it has a thread). Zero-work
+    /// stages are completed inline; timed-out requests are abandoned
+    /// without consuming CPU.
+    fn start_exec(&mut self, sid: usize, vi: usize) {
+        if self.timed_out(vi) {
+            // Skip all remaining work and reply immediately: the
+            // client is gone, drain the backlog fast.
+            self.visits[vi].v.stage = Stage::ExecPost;
+            self.visits[vi].v.remaining = 0.0;
+            self.finish_visit(sid, vi);
+            return;
+        }
+        if self.visits[vi].v.remaining <= WORK_EPS {
+            self.visits[vi].v.remaining = 0.0;
+            self.handle_exec_complete(sid, vi);
+        } else {
+            self.services[sid].running.push(vi);
+        }
+    }
+
+    /// A visit finished the CPU work of its current stage.
+    fn handle_exec_complete(&mut self, sid: usize, vi: usize) {
+        let stage = self.visits[vi].v.stage;
+        match stage {
+            Stage::ExecPre => self.try_issue_group(sid, vi, 0),
+            Stage::Children(_) => unreachable!("children stage has no CPU work"),
+            Stage::ExecPost => self.finish_visit(sid, vi),
+        }
+    }
+
+    /// Issues child-call group `g` of visit `vi`; groups whose sampled
+    /// call set is empty are skipped; after the last group the visit
+    /// proceeds to post-work.
+    fn try_issue_group(&mut self, sid: usize, vi: usize, mut g: usize) {
+        if self.timed_out(vi) {
+            self.visits[vi].v.stage = Stage::ExecPost;
+            self.visits[vi].v.remaining = 0.0;
+            self.finish_visit(sid, vi);
+            return;
+        }
+        loop {
+            let ep = self.visits[vi].v.endpoint as usize;
+            let n_groups = self.app.endpoints[ep].groups.len();
+            if g >= n_groups {
+                // Move to post-work.
+                let post = self.visits[vi].v.post_work;
+                self.visits[vi].v.stage = Stage::ExecPost;
+                self.visits[vi].v.remaining = post;
+                if post <= WORK_EPS {
+                    self.visits[vi].v.remaining = 0.0;
+                    self.finish_visit(sid, vi);
+                } else {
+                    self.services[sid].running.push(vi);
+                }
+                return;
+            }
+            // Sample the calls of group g.
+            let calls: Vec<usize> = {
+                let group = &self.app.endpoints[ep].groups[g];
+                let mut made = Vec::with_capacity(group.calls.len());
+                for &(child_ep, p) in &group.calls {
+                    if bernoulli(&mut self.rng, p) {
+                        made.push(child_ep);
+                    }
+                }
+                made
+            };
+            if calls.is_empty() {
+                g += 1;
+                continue;
+            }
+            self.visits[vi].v.stage = Stage::Children(g as u16);
+            self.visits[vi].v.pending = calls.len() as u16;
+            let parent_gen = self.visits[vi].gen;
+            let root_start = self.visits[vi].v.root_start;
+            let parent_trace = self.visits[vi].v.trace;
+            let parent_span = self.visits[vi].v.span;
+            for child_ep in calls {
+                let ci = self.new_visit(child_ep, vi as u32, parent_gen, root_start);
+                if parent_trace != u32::MAX {
+                    let span = self.new_span(parent_trace as usize, child_ep, parent_span);
+                    self.visits[ci].v.trace = parent_trace;
+                    self.visits[ci].v.span = span;
+                }
+                let cgen = self.visits[ci].gen;
+                let t = self.now.plus_secs(self.hop_delay());
+                self.push(t, Ev::VisitStart(ci as u32, cgen));
+            }
+            return;
+        }
+    }
+
+    /// One-way network delay for an RPC hop (uniform ±50% jitter).
+    fn hop_delay(&mut self) -> f64 {
+        let base = self.app.net_delay_s;
+        if base <= 0.0 {
+            return 0.0;
+        }
+        use rand::Rng;
+        base * (0.5 + self.rng.gen::<f64>())
+    }
+
+    /// A child call replied: decrement the parent's pending count and
+    /// advance it to the next group or post-work.
+    fn on_child_done(&mut self, vi: usize, vgen: u32) {
+        if self.visits[vi].gen != vgen || !self.visits[vi].live {
+            return;
+        }
+        let sid = self.visits[vi].v.service as usize;
+        self.services[sid].advance(&mut self.visits, self.now);
+        self.ensure_period_current(sid);
+        debug_assert!(matches!(self.visits[vi].v.stage, Stage::Children(_)));
+        self.visits[vi].v.pending = self.visits[vi].v.pending.saturating_sub(1);
+        if self.visits[vi].v.pending == 0 {
+            let g = match self.visits[vi].v.stage {
+                Stage::Children(g) => g as usize,
+                _ => 0,
+            };
+            self.try_issue_group(sid, vi, g + 1);
+        }
+        self.after_change(sid);
+    }
+
+    /// Completes a visit: releases its thread, records metrics, replies
+    /// to the parent (or records end-to-end latency for roots), and
+    /// starts the next queued visit if any.
+    fn finish_visit(&mut self, sid: usize, vi: usize) {
+        // Remove from running if present (post-work may have been inline).
+        if let Some(pos) = self.services[sid].running.iter().position(|&x| x == vi) {
+            self.services[sid].running.swap_remove(pos);
+        }
+        let s = &mut self.services[sid];
+        s.threads_busy = s.threads_busy.saturating_sub(1);
+        s.open_visits = s.open_visits.saturating_sub(1);
+        s.visits_done += 1;
+        let v = &self.visits[vi].v;
+        s.self_time_s += v.exec_self;
+        s.visit_time_s += self.now.secs_since(v.start);
+
+        let parent = v.parent;
+        let parent_gen = v.parent_gen;
+        let is_root = v.is_root;
+        let root_start = v.root_start;
+        let trace = v.trace;
+        let span = v.span;
+        let exec_self = v.exec_self;
+        let v_start = v.start;
+
+        // Free the slot.
+        self.visits[vi].live = false;
+        self.free.push(vi);
+
+        if trace != u32::MAX {
+            let tb = trace as usize;
+            if let Some(b) = self.trace_builders[tb].as_mut() {
+                let sp = &mut b.spans[span as usize];
+                sp.end_s = self.now.as_secs();
+                sp.self_cpu_s = exec_self;
+                if sp.start_s.is_nan() {
+                    sp.start_s = v_start.as_secs();
+                }
+            }
+            if is_root {
+                if let Some(b) = self.trace_builders[tb].take() {
+                    if self.completed_traces.len() < self.trace_cap {
+                        self.completed_traces.push(RequestTrace {
+                            class: b.class,
+                            spans: b.spans,
+                            latency_s: self.now.secs_since(b.start),
+                            start_s: b.start.as_secs(),
+                        });
+                    }
+                    self.trace_free.push(tb);
+                }
+            }
+        }
+
+        if is_root {
+            if self.recording && root_start >= self.measure_start {
+                // A timed-out request's client saw exactly the timeout.
+                let latency = match self.timeout_s {
+                    Some(to) => self.now.secs_since(root_start).min(to * 1.001),
+                    None => self.now.secs_since(root_start),
+                };
+                self.hist.record(latency);
+                self.completed_in_window += 1;
+            }
+        } else {
+            let t = self.now.plus_secs(self.hop_delay());
+            self.push(t, Ev::ChildDone(parent, parent_gen));
+        }
+
+        // Hand the freed thread to the next queued visit.
+        if let Some(next) = self.services[sid].thread_queue.pop_front() {
+            self.services[sid].threads_busy += 1;
+            self.start_exec(sid, next);
+        }
+    }
+
+    fn on_timer(&mut self, sid: usize, tgen: u64) {
+        if self.services[sid].timer_gen != tgen {
+            return;
+        }
+        self.services[sid].advance(&mut self.visits, self.now);
+        let period_ns = (CFS_PERIOD_S * 1e9) as u64;
+
+        if self.now >= self.services[sid].period_end {
+            // Period boundary: replenish and unstall.
+            let s = &mut self.services[sid];
+            let k = (self.now.0 - s.period_end.0) / period_ns + 1;
+            s.period_end = SimTime(s.period_end.0 + k * period_ns);
+            s.quota_left = s.quota;
+            s.stalled = false;
+        } else if !self.services[sid].stalled && self.services[sid].quota_left <= QUOTA_EPS {
+            // Quota exhausted: stall until period end.
+            let s = &mut self.services[sid];
+            if !s.running.is_empty() {
+                s.stalled = true;
+            } else {
+                // Nothing running; just top up at the boundary later.
+                s.quota_left = 0.0;
+            }
+        } else {
+            // Work completion(s).
+            let done: Vec<usize> = self.services[sid]
+                .running
+                .iter()
+                .copied()
+                .filter(|&x| self.visits[x].v.remaining <= WORK_EPS)
+                .collect();
+            for vi in done {
+                if let Some(pos) = self.services[sid].running.iter().position(|&x| x == vi) {
+                    self.services[sid].running.swap_remove(pos);
+                }
+                self.visits[vi].v.remaining = 0.0;
+                self.handle_exec_complete(sid, vi);
+            }
+        }
+        self.after_change(sid);
+    }
+
+    /// Recomputes the node's processor-sharing rate after any state
+    /// change on service `sid`, re-timing affected services.
+    fn after_change(&mut self, sid: usize) {
+        let node = self.services[sid].node;
+        self.refresh_node(node);
+        self.reschedule_timer(sid);
+    }
+
+    /// Recomputes a node's PS rate; when it changes, advances and
+    /// re-times every service on the node.
+    fn refresh_node(&mut self, node: usize) {
+        let active: usize = self.node_services[node]
+            .iter()
+            .map(|&i| self.services[i].node_active_jobs())
+            .sum();
+        let cores = self.node_cores[node];
+        let new_rate = if active as f64 <= cores {
+            1.0
+        } else {
+            cores / active as f64
+        };
+        if (new_rate - self.node_rate[node]).abs() > 1e-12 {
+            let members = self.node_services[node].clone();
+            for &i in &members {
+                self.services[i].advance(&mut self.visits, self.now);
+                self.services[i].rate = new_rate;
+                self.reschedule_timer(i);
+            }
+            self.node_rate[node] = new_rate;
+        }
+    }
+
+    /// Invalidates the service's pending timer and schedules a fresh one
+    /// at its next deadline.
+    fn reschedule_timer(&mut self, sid: usize) {
+        self.services[sid].timer_gen += 1;
+        let gen = self.services[sid].timer_gen;
+        if let Some((t, _kind)) = self.services[sid].next_deadline(&self.visits, self.now) {
+            self.push(t, Ev::Timer(sid as u32, gen));
+        }
+    }
+
+    /// Fraction of heap capacity in use — exposed for tests guarding
+    /// against event leaks.
+    #[doc(hidden)]
+    pub fn pending_events(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of live (in-flight) visits — exposed for tests.
+    #[doc(hidden)]
+    pub fn live_visits(&self) -> usize {
+        self.visits.iter().filter(|s| s.live).count()
+    }
+
+    /// Kind of the next deadline for a service — exposed for tests.
+    #[doc(hidden)]
+    pub fn deadline_kind(&self, sid: usize) -> Option<DeadlineKind> {
+        self.services[sid]
+            .next_deadline(&self.visits, self.now)
+            .map(|(_, k)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{CallGroup, EndpointNode, NodeSpec, RequestClass, ServiceId, ServiceSpec};
+
+    /// frontend -> backend chain with small demands.
+    fn chain_app() -> AppSpec {
+        AppSpec {
+            name: "chain".into(),
+            services: vec![
+                ServiceSpec::new("frontend", 0.002).cv(0.5),
+                ServiceSpec::new("backend", 0.004).cv(0.5),
+            ],
+            endpoints: vec![
+                EndpointNode {
+                    service: ServiceId(0),
+                    work_scale: 1.0,
+                    groups: vec![CallGroup {
+                        calls: vec![(1, 1.0)],
+                    }],
+                },
+                EndpointNode {
+                    service: ServiceId(1),
+                    work_scale: 1.0,
+                    groups: vec![],
+                },
+            ],
+            classes: vec![RequestClass {
+                name: "get".into(),
+                weight: 1.0,
+                root: 0,
+            }],
+            nodes: vec![NodeSpec { cores: 32.0 }],
+            net_delay_s: 0.0002,
+            slo_ms: 100.0,
+            generous_alloc: vec![2.0, 2.0],
+        }
+    }
+
+    #[test]
+    fn light_load_latency_near_service_time() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 1);
+        let stats = sim.run_window(20.0, 2.0, 20.0);
+        assert!(stats.completed > 300, "completed={}", stats.completed);
+        // Raw work ≈ 6ms + 2 hops ≈ 0.4ms; generous alloc, light load:
+        // p95 should be well under 50 ms and above the raw work floor.
+        assert!(
+            stats.p95_ms > 4.0 && stats.p95_ms < 50.0,
+            "p95={}",
+            stats.p95_ms
+        );
+        assert!(stats.mean_ms >= 5.0, "mean={}", stats.mean_ms);
+    }
+
+    #[test]
+    fn throughput_matches_offered_load() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 2);
+        let stats = sim.run_window(100.0, 2.0, 30.0);
+        assert!(
+            (stats.achieved_rps - 100.0).abs() < 10.0,
+            "achieved={}",
+            stats.achieved_rps
+        );
+    }
+
+    #[test]
+    fn utilization_tracks_demand() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 3);
+        let stats = sim.run_window(100.0, 2.0, 30.0);
+        // backend: 100 rps × 4 ms = 0.4 cores over 2 allocated = 20%.
+        let u = stats.per_service[1].util_pct;
+        assert!((u - 20.0).abs() < 5.0, "util={u}");
+    }
+
+    #[test]
+    fn starved_service_throttles_and_latency_blows_up() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 4);
+        // backend needs 0.4 cores on average; give it 0.3.
+        sim.set_allocation(&Allocation::new(vec![2.0, 0.3]));
+        let stats = sim.run_window(100.0, 5.0, 30.0);
+        assert!(
+            stats.per_service[1].throttled_s > 1.0,
+            "throttled={}",
+            stats.per_service[1].throttled_s
+        );
+        assert!(stats.p95_ms > 100.0, "p95={}", stats.p95_ms);
+    }
+
+    #[test]
+    fn reducing_allocation_increases_latency_monotonically_ish() {
+        let app = chain_app();
+        let mut means = Vec::new();
+        for alloc in [2.0, 0.6, 0.45] {
+            let mut sim = ClusterSim::new(&app, 5);
+            sim.set_allocation(&Allocation::new(vec![2.0, alloc]));
+            let stats = sim.run_window(100.0, 3.0, 20.0);
+            means.push(stats.mean_ms);
+        }
+        assert!(
+            means[0] < means[1] && means[1] < means[2],
+            "mean sequence {means:?} not increasing as allocation shrinks"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stats() {
+        let app = chain_app();
+        let mut a = ClusterSim::new(&app, 42);
+        let mut b = ClusterSim::new(&app, 42);
+        let sa = a.run_window(80.0, 1.0, 10.0);
+        let sb = b.run_window(80.0, 1.0, 10.0);
+        assert_eq!(sa.completed, sb.completed);
+        assert_eq!(sa.p95_ms, sb.p95_ms);
+        assert_eq!(sa.per_service[0].cpu_used_s, sb.per_service[0].cpu_used_s);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let app = chain_app();
+        let mut a = ClusterSim::new(&app, 1);
+        let mut b = ClusterSim::new(&app, 2);
+        let sa = a.run_window(80.0, 1.0, 10.0);
+        let sb = b.run_window(80.0, 1.0, 10.0);
+        // Means are computed exactly (not bucketed), so two different
+        // random streams virtually never coincide.
+        assert_ne!(sa.mean_ms, sb.mean_ms);
+    }
+
+    #[test]
+    fn zero_rate_window_is_empty() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 1);
+        let stats = sim.run_window(0.0, 0.5, 2.0);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.arrivals, 0);
+        assert_eq!(stats.p95_ms, 0.0);
+    }
+
+    #[test]
+    fn no_visit_leaks_after_drain() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 9);
+        sim.run_window(50.0, 1.0, 10.0);
+        sim.set_arrival_rate(0.0);
+        sim.run_until(sim.now().plus_secs(10.0));
+        assert_eq!(sim.live_visits(), 0, "visits leaked");
+    }
+
+    #[test]
+    fn persistent_windows_keep_queues() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 11);
+        let w1 = sim.run_window(100.0, 2.0, 10.0);
+        let w2 = sim.run_window(100.0, 0.0, 10.0);
+        assert!(w1.completed > 0 && w2.completed > 0);
+        assert!(w2.start_s > w1.start_s);
+    }
+
+    #[test]
+    fn allocation_roundtrip() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 1);
+        let a = Allocation::new(vec![1.5, 0.7]);
+        sim.set_allocation(&a);
+        assert_eq!(sim.allocation(), a);
+    }
+
+    #[test]
+    fn speed_scales_latency() {
+        let app = chain_app();
+        let mut fast = ClusterSim::new(&app, 7);
+        fast.set_speed(2.0);
+        let sf = fast.run_window(50.0, 1.0, 10.0);
+        let mut slow = ClusterSim::new(&app, 7);
+        slow.set_speed(0.5);
+        let ss = slow.run_window(50.0, 1.0, 10.0);
+        assert!(
+            ss.mean_ms > sf.mean_ms * 2.0,
+            "slow={} fast={}",
+            ss.mean_ms,
+            sf.mean_ms
+        );
+    }
+
+    #[test]
+    fn tracing_produces_well_formed_span_trees() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 31);
+        sim.set_trace_sampling(0.5);
+        sim.run_window(100.0, 1.0, 10.0);
+        let traces = sim.take_traces();
+        assert!(traces.len() > 200, "only {} traces", traces.len());
+        for t in &traces {
+            // Root is span 0 at the frontend; a backend child exists.
+            assert_eq!(t.spans[0].parent, u32::MAX);
+            assert_eq!(t.spans[0].service, 0);
+            assert_eq!(t.spans.len(), 2, "chain app has exactly two visits");
+            assert_eq!(t.spans[1].parent, 0);
+            assert_eq!(t.spans[1].service, 1);
+            // Temporal containment: child within parent, both finite.
+            for s in &t.spans {
+                assert!(s.start_s.is_finite() && s.end_s.is_finite());
+                assert!(s.end_s >= s.start_s);
+                assert!(s.self_cpu_s >= 0.0);
+            }
+            assert!(t.spans[1].start_s >= t.spans[0].start_s);
+            assert!(t.spans[1].end_s <= t.spans[0].end_s + 1e-9);
+            // Trace latency matches the root span.
+            let root_dur = t.spans[0].end_s - t.start_s;
+            assert!((root_dur - t.latency_s).abs() < 1e-6);
+        }
+        // Drain semantics.
+        assert!(sim.take_traces().is_empty());
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 32);
+        sim.run_window(100.0, 1.0, 5.0);
+        assert!(sim.take_traces().is_empty());
+    }
+
+    #[test]
+    fn trace_sampling_rate_respected() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 33);
+        sim.set_trace_sampling(0.1);
+        let stats = sim.run_window(100.0, 1.0, 20.0);
+        let traces = sim.take_traces();
+        let frac = traces.len() as f64 / stats.arrivals as f64;
+        assert!(
+            (frac - 0.1).abs() < 0.04,
+            "sampling fraction {frac} far from 0.1"
+        );
+    }
+
+    #[test]
+    fn abortable_window_triggers_under_starvation() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 21);
+        sim.set_allocation(&Allocation::new(vec![2.0, 0.2]));
+        let (stats, aborted) = sim.run_window_abortable(150.0, 2.0, 60.0, 5.0, 100.0);
+        assert!(aborted, "starved backend should trip the early check");
+        assert!(
+            stats.duration_s < 59.0,
+            "window should have ended early: {}",
+            stats.duration_s
+        );
+        assert!(stats.p95_ms > 100.0);
+    }
+
+    #[test]
+    fn abortable_window_completes_when_healthy() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 22);
+        let (stats, aborted) = sim.run_window_abortable(100.0, 1.0, 10.0, 2.0, 200.0);
+        assert!(!aborted);
+        assert!((stats.duration_s - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn saturated_window_reports_infinite_p95() {
+        let app = chain_app();
+        let mut sim = ClusterSim::new(&app, 13);
+        sim.set_allocation(&Allocation::new(vec![0.05, 0.05]));
+        let stats = sim.run_window(500.0, 1.0, 5.0);
+        // 500 rps × 6 ms = 3 cores of demand on 0.1 cores: hopeless.
+        assert!(stats.p95_ms > 1000.0 || stats.p95_ms.is_infinite());
+    }
+}

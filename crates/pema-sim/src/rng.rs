@@ -1,0 +1,198 @@
+//! Deterministic random samplers for the simulator.
+//!
+//! Only `rand` is on the approved dependency list (no `rand_distr`), so
+//! the distributions the simulator needs — exponential inter-arrivals,
+//! log-normal service demands, Bernoulli branches — are implemented here
+//! on top of the uniform source. All samplers consume a caller-provided
+//! RNG so every component can own an independent, seeded stream.
+
+use rand::Rng;
+
+/// Samples an exponential variate with the given rate (events/second).
+///
+/// Returns `f64::INFINITY` for non-positive rates, which conveniently
+/// disables an arrival process.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    if rate <= 0.0 || !rate.is_finite() {
+        return f64::INFINITY;
+    }
+    // Inversion: -ln(1-U)/λ with U in [0,1). 1-U avoids ln(0).
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples a standard normal via Box–Muller (single value; the twin is
+/// discarded to keep the sampler stateless).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        return r * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Samples a log-normal with the given *mean* and coefficient of
+/// variation (std/mean). A CV of zero returns the mean deterministically.
+///
+/// Parameterizing by mean/CV (rather than µ/σ of the underlying normal)
+/// keeps service-demand configs intuitive: `demand_s` is the average CPU
+/// cost of a request and `demand_cv` its burstiness.
+pub fn lognormal_mean_cv<R: Rng + ?Sized>(rng: &mut R, mean: f64, cv: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    if cv <= 0.0 {
+        return mean;
+    }
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    let z = standard_normal(rng);
+    (mu + sigma2.sqrt() * z).exp()
+}
+
+/// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    if p >= 1.0 {
+        return true;
+    }
+    if p <= 0.0 {
+        return false;
+    }
+    rng.gen::<f64>() < p
+}
+
+/// Samples an index from a discrete distribution given by `weights`.
+/// Weights need not be normalized; non-positive weights are treated as
+/// zero. Returns 0 when all weights vanish.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 || weights.is_empty() {
+        return 0;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, 4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_disabled_for_zero_rate() {
+        let mut r = rng();
+        assert_eq!(exponential(&mut r, 0.0), f64::INFINITY);
+        assert_eq!(exponential(&mut r, -1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn lognormal_mean_and_cv() {
+        let mut r = rng();
+        let n = 200_000;
+        let (target_mean, target_cv) = (0.004, 1.5);
+        let samples: Vec<f64> = (0..n)
+            .map(|_| lognormal_mean_cv(&mut r, target_mean, target_cv))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!(
+            (mean - target_mean).abs() < target_mean * 0.05,
+            "mean={mean}"
+        );
+        assert!((cv - target_cv).abs() < target_cv * 0.1, "cv={cv}");
+    }
+
+    #[test]
+    fn lognormal_degenerate_cases() {
+        let mut r = rng();
+        assert_eq!(lognormal_mean_cv(&mut r, 0.0, 1.0), 0.0);
+        assert_eq!(lognormal_mean_cv(&mut r, 2.0, 0.0), 2.0);
+        assert_eq!(lognormal_mean_cv(&mut r, -1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng();
+        assert!(bernoulli(&mut r, 1.0));
+        assert!(!bernoulli(&mut r, 0.0));
+        assert!(bernoulli(&mut r, 2.0));
+        assert!(!bernoulli(&mut r, -0.5));
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = rng();
+        let hits = (0..100_000).filter(|_| bernoulli(&mut r, 0.3)).count();
+        let f = hits as f64 / 100_000.0;
+        assert!((f - 0.3).abs() < 0.01, "freq={f}");
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut r = rng();
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            counts[weighted_index(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let f0 = counts[0] as f64 / 100_000.0;
+        assert!((f0 - 0.25).abs() < 0.01, "f0={f0}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&mut r, &[]), 0);
+        assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), 0);
+        assert_eq!(weighted_index(&mut r, &[-1.0, -2.0]), 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(exponential(&mut a, 2.0), exponential(&mut b, 2.0));
+        }
+    }
+}

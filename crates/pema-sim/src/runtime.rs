@@ -1,0 +1,464 @@
+//! Runtime state of services and in-flight requests.
+//!
+//! The dynamics between any two events are piecewise linear: every
+//! non-stalled running job on a node progresses at the node's processor-
+//! sharing rate, and each service's CFS quota drains at (rate × running
+//! jobs). [`ServiceRt::advance`] integrates this exactly from the last
+//! update to "now"; [`ServiceRt::next_deadline`] computes the earliest
+//! future state change (job completion, quota exhaustion, or CFS period
+//! boundary). The engine owns scheduling.
+
+use crate::time::SimTime;
+
+/// Linux CFS bandwidth-control period (100 ms), the granularity at which
+/// container CPU quotas are enforced and replenished.
+pub const CFS_PERIOD_S: f64 = 0.1;
+
+/// Work-remaining epsilon (CPU-seconds) below which an execution phase
+/// is considered complete. Covers nanosecond event rounding.
+pub const WORK_EPS: f64 = 5e-9;
+
+/// Quota epsilon (CPU-seconds).
+pub const QUOTA_EPS: f64 = 5e-9;
+
+/// Execution stage of a visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Executing CPU work that precedes downstream calls.
+    ExecPre,
+    /// Waiting for the replies of child-call group `g`.
+    Children(u16),
+    /// Executing CPU work after all downstream calls returned.
+    ExecPost,
+}
+
+/// Sentinel parent index for root visits.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// One service visit (an RPC executing at one service on behalf of a
+/// request). Visits form a tree rooted at the application entry.
+#[derive(Debug, Clone)]
+pub struct Visit {
+    /// Owning service index.
+    pub service: u32,
+    /// Endpoint (call-tree node) index.
+    pub endpoint: u32,
+    /// Parent visit arena index, or [`NO_PARENT`].
+    pub parent: u32,
+    /// Parent slot generation (stale-reference guard).
+    pub parent_gen: u32,
+    /// Current stage.
+    pub stage: Stage,
+    /// CPU-seconds remaining in the current execution stage.
+    pub remaining: f64,
+    /// CPU-seconds reserved for the post-children stage.
+    pub post_work: f64,
+    /// Outstanding child calls in the current group.
+    pub pending: u16,
+    /// True for the root visit of a user request.
+    pub is_root: bool,
+    /// Arrival time of this visit at its service.
+    pub start: SimTime,
+    /// Arrival time of the root request (latency reference).
+    pub root_start: SimTime,
+    /// Accumulated CPU self-time, seconds (Jaeger `self_time`).
+    pub exec_self: f64,
+    /// Trace builder index when this request is sampled for tracing,
+    /// or `u32::MAX`.
+    pub trace: u32,
+    /// Span index within the trace builder.
+    pub span: u32,
+}
+
+/// Arena slot with generation counter for safe reuse.
+#[derive(Debug, Clone)]
+pub struct VisitSlot {
+    /// Bumped on each reuse; events referencing an old generation are
+    /// stale and ignored.
+    pub gen: u32,
+    /// True while the slot holds a live visit.
+    pub live: bool,
+    /// The visit payload.
+    pub v: Visit,
+}
+
+/// What a service timer deadline means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineKind {
+    /// The CFS period boundary (quota replenish / unstall).
+    Period,
+    /// Quota will be exhausted (stall).
+    Quota,
+    /// The earliest running job finishes its execution stage.
+    Work,
+}
+
+/// Mutable runtime state of one service.
+#[derive(Debug, Clone)]
+pub struct ServiceRt {
+    /// Node hosting this service.
+    pub node: usize,
+    /// Thread-pool size (`None` = unbounded).
+    pub threads: Option<u32>,
+    /// Allocated cores.
+    pub alloc: f64,
+    /// CFS quota per period = alloc × period, CPU-seconds.
+    pub quota: f64,
+    /// Quota remaining in the current period.
+    pub quota_left: f64,
+    /// End of the current CFS period.
+    pub period_end: SimTime,
+    /// True while throttled (quota exhausted, waiting for period end).
+    pub stalled: bool,
+    /// Visits currently executing CPU work (arena indices).
+    pub running: Vec<usize>,
+    /// Visits waiting for a worker thread.
+    pub thread_queue: std::collections::VecDeque<usize>,
+    /// Worker threads currently held by visits.
+    pub threads_busy: u32,
+    /// Last time `advance` integrated to.
+    pub last_update: SimTime,
+    /// Cached node processor-sharing rate (cores per running job).
+    pub rate: f64,
+    /// Timer generation; stale timer events are discarded.
+    pub timer_gen: u64,
+
+    // ---- window-relative metrics ----
+    /// CPU-seconds consumed since window start.
+    pub cpu_used_s: f64,
+    /// CFS stall seconds since window start.
+    pub throttled_s: f64,
+    /// Completed visits since window start.
+    pub visits_done: u64,
+    /// Σ CPU self-time of completed visits.
+    pub self_time_s: f64,
+    /// Σ wall duration of completed visits.
+    pub visit_time_s: f64,
+    /// Open visits (arrived, not yet finished) — includes queued and
+    /// children-waiting visits.
+    pub open_visits: u32,
+    /// ∫ open_visits dt for the memory gauge.
+    pub occupancy_integral: f64,
+    /// Per-second CPU usage buckets within the window (cores × seconds
+    /// consumed in each wall second).
+    pub usage_buckets: Vec<f32>,
+    /// Window start (bucket origin).
+    pub window_start: SimTime,
+}
+
+impl ServiceRt {
+    /// Fresh runtime state for a service with the given placement,
+    /// thread limit and initial allocation.
+    pub fn new(node: usize, threads: Option<u32>, alloc: f64) -> Self {
+        ServiceRt {
+            node,
+            threads,
+            alloc,
+            quota: alloc * CFS_PERIOD_S,
+            quota_left: alloc * CFS_PERIOD_S,
+            period_end: SimTime::from_secs(CFS_PERIOD_S),
+            stalled: false,
+            running: Vec::new(),
+            thread_queue: std::collections::VecDeque::new(),
+            threads_busy: 0,
+            last_update: SimTime::ZERO,
+            rate: 1.0,
+            timer_gen: 0,
+            cpu_used_s: 0.0,
+            throttled_s: 0.0,
+            visits_done: 0,
+            self_time_s: 0.0,
+            visit_time_s: 0.0,
+            open_visits: 0,
+            occupancy_integral: 0.0,
+            usage_buckets: Vec::new(),
+            window_start: SimTime::ZERO,
+        }
+    }
+
+    /// True when a new visit can immediately take a worker thread.
+    pub fn thread_available(&self) -> bool {
+        match self.threads {
+            None => true,
+            Some(t) => self.threads_busy < t,
+        }
+    }
+
+    /// Contribution of this service to its node's active-job count
+    /// (stalled services consume no CPU).
+    pub fn node_active_jobs(&self) -> usize {
+        if self.stalled {
+            0
+        } else {
+            self.running.len()
+        }
+    }
+
+    /// Integrates the piecewise-linear dynamics from `last_update` to
+    /// `now`, updating job progress, quota, and metrics.
+    pub fn advance(&mut self, visits: &mut [VisitSlot], now: SimTime) {
+        let dt = now.secs_since(self.last_update);
+        if dt <= 0.0 {
+            self.last_update = now;
+            return;
+        }
+        self.occupancy_integral += self.open_visits as f64 * dt;
+        if self.stalled {
+            self.throttled_s += dt;
+        } else if !self.running.is_empty() {
+            let per_job = dt * self.rate;
+            for &vi in &self.running {
+                let v = &mut visits[vi].v;
+                v.remaining -= per_job;
+                v.exec_self += per_job;
+            }
+            let drain = per_job * self.running.len() as f64;
+            self.quota_left -= drain;
+            if self.quota_left < 0.0 {
+                self.quota_left = 0.0;
+            }
+            self.cpu_used_s += drain;
+            self.add_usage(self.last_update, now, drain);
+        }
+        self.last_update = now;
+    }
+
+    /// Distributes `cpu` seconds of usage across the 1-second usage
+    /// buckets spanned by `[t0, t1)`.
+    fn add_usage(&mut self, t0: SimTime, t1: SimTime, cpu: f64) {
+        if self.usage_buckets.is_empty() {
+            return;
+        }
+        let rel0 = t0.secs_since(self.window_start);
+        let rel1 = t1.secs_since(self.window_start);
+        if rel1 <= rel0 {
+            return;
+        }
+        let span = rel1 - rel0;
+        let first = rel0.floor() as usize;
+        let last = (rel1 - 1e-12).floor() as usize;
+        let n = self.usage_buckets.len();
+        if first == last {
+            if first < n {
+                self.usage_buckets[first] += cpu as f32;
+            }
+            return;
+        }
+        for b in first..=last {
+            if b >= n {
+                break;
+            }
+            let lo = (b as f64).max(rel0);
+            let hi = ((b + 1) as f64).min(rel1);
+            self.usage_buckets[b] += (cpu * (hi - lo) / span) as f32;
+        }
+    }
+
+    /// Resets window-relative metrics, sizing usage buckets for a
+    /// window of `window_s` seconds starting at `now`.
+    pub fn begin_window(&mut self, now: SimTime, window_s: f64) {
+        self.cpu_used_s = 0.0;
+        self.throttled_s = 0.0;
+        self.visits_done = 0;
+        self.self_time_s = 0.0;
+        self.visit_time_s = 0.0;
+        self.occupancy_integral = 0.0;
+        self.usage_buckets = vec![0.0; window_s.ceil() as usize + 2];
+        self.window_start = now;
+    }
+
+    /// Applies a new CPU allocation. Extra quota from an increase is
+    /// granted immediately; a decrease caps the remaining quota.
+    pub fn set_alloc(&mut self, alloc: f64) {
+        let new_quota = alloc * CFS_PERIOD_S;
+        let delta = new_quota - self.quota;
+        self.alloc = alloc;
+        self.quota = new_quota;
+        self.quota_left = (self.quota_left + delta.max(0.0)).min(new_quota).max(0.0);
+    }
+
+    /// Earliest future state change, given current rates, or `None`
+    /// when idle. Returned times are strictly after `now`.
+    pub fn next_deadline(
+        &self,
+        visits: &[VisitSlot],
+        now: SimTime,
+    ) -> Option<(SimTime, DeadlineKind)> {
+        if self.stalled {
+            return Some((self.period_end.max(SimTime(now.0 + 1)), DeadlineKind::Period));
+        }
+        if self.running.is_empty() {
+            return None;
+        }
+        let n = self.running.len() as f64;
+        let rate = self.rate.max(1e-12);
+        let mut best_t = self.period_end;
+        let mut kind = DeadlineKind::Period;
+
+        let dt_quota = (self.quota_left / (rate * n)).max(0.0);
+        let t_quota = ceil_at(now, dt_quota);
+        if t_quota < best_t {
+            best_t = t_quota;
+            kind = DeadlineKind::Quota;
+        }
+
+        let mut min_rem = f64::INFINITY;
+        for &vi in &self.running {
+            let r = visits[vi].v.remaining;
+            if r < min_rem {
+                min_rem = r;
+            }
+        }
+        let dt_work = (min_rem / rate).max(0.0);
+        let t_work = ceil_at(now, dt_work);
+        if t_work < best_t {
+            best_t = t_work;
+            kind = DeadlineKind::Work;
+        }
+        Some((best_t.max(SimTime(now.0 + 1)).min(SimTime(now.0).plus_secs(3600.0)), kind))
+    }
+}
+
+/// `now + dt` rounded *up* to the next nanosecond so that when the timer
+/// fires, at least the intended amount of progress has occurred.
+fn ceil_at(now: SimTime, dt: f64) -> SimTime {
+    if !dt.is_finite() {
+        return SimTime(u64::MAX);
+    }
+    let ns = (dt * 1e9).ceil().max(1.0);
+    if ns >= (u64::MAX - now.0) as f64 {
+        return SimTime(u64::MAX);
+    }
+    SimTime(now.0 + ns as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(remaining: f64) -> VisitSlot {
+        VisitSlot {
+            gen: 0,
+            live: true,
+            v: Visit {
+                service: 0,
+                endpoint: 0,
+                parent: NO_PARENT,
+                parent_gen: 0,
+                stage: Stage::ExecPre,
+                remaining,
+                post_work: 0.0,
+                pending: 0,
+                is_root: true,
+                start: SimTime::ZERO,
+                root_start: SimTime::ZERO,
+                exec_self: 0.0,
+                trace: u32::MAX,
+                span: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn advance_progresses_work_and_quota() {
+        let mut s = ServiceRt::new(0, Some(4), 1.0);
+        let mut arena = vec![slot(0.010)];
+        s.running.push(0);
+        s.begin_window(SimTime::ZERO, 10.0);
+        s.advance(&mut arena, SimTime::from_secs(0.004));
+        assert!((arena[0].v.remaining - 0.006).abs() < 1e-12);
+        assert!((s.quota_left - (0.1 - 0.004)).abs() < 1e-12);
+        assert!((s.cpu_used_s - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_when_stalled_accrues_throttle_only() {
+        let mut s = ServiceRt::new(0, Some(4), 1.0);
+        let mut arena = vec![slot(0.010)];
+        s.running.push(0);
+        s.stalled = true;
+        s.advance(&mut arena, SimTime::from_secs(0.05));
+        assert_eq!(arena[0].v.remaining, 0.010);
+        assert!((s.throttled_s - 0.05).abs() < 1e-12);
+        assert_eq!(s.cpu_used_s, 0.0);
+    }
+
+    #[test]
+    fn deadline_work_before_quota_when_fast() {
+        let mut s = ServiceRt::new(0, Some(4), 1.0);
+        let arena = vec![slot(0.001)];
+        s.running.push(0);
+        let (t, k) = s.next_deadline(&arena, SimTime::ZERO).unwrap();
+        assert_eq!(k, DeadlineKind::Work);
+        assert!((t.as_secs() - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deadline_quota_when_many_jobs() {
+        // 4 jobs at rate 1 drain 0.1 CPU-s of quota in 0.025 s; each job
+        // has 0.05s of work left, so quota exhausts first.
+        let mut s = ServiceRt::new(0, Some(8), 1.0);
+        let arena: Vec<VisitSlot> = (0..4).map(|_| slot(0.05)).collect();
+        s.running.extend(0..4);
+        let (t, k) = s.next_deadline(&arena, SimTime::ZERO).unwrap();
+        assert_eq!(k, DeadlineKind::Quota);
+        assert!((t.as_secs() - 0.025).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deadline_period_when_stalled() {
+        let mut s = ServiceRt::new(0, Some(4), 1.0);
+        let arena = vec![slot(0.05)];
+        s.running.push(0);
+        s.stalled = true;
+        let (t, k) = s.next_deadline(&arena, SimTime::from_secs(0.02)).unwrap();
+        assert_eq!(k, DeadlineKind::Period);
+        assert_eq!(t, SimTime::from_secs(0.1));
+    }
+
+    #[test]
+    fn idle_service_has_no_deadline() {
+        let s = ServiceRt::new(0, Some(4), 1.0);
+        assert!(s.next_deadline(&[], SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn set_alloc_grants_increase_immediately() {
+        let mut s = ServiceRt::new(0, None, 1.0);
+        s.quota_left = 0.02;
+        s.set_alloc(2.0);
+        assert!((s.quota - 0.2).abs() < 1e-12);
+        assert!((s.quota_left - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_alloc_caps_on_decrease() {
+        let mut s = ServiceRt::new(0, None, 2.0);
+        s.quota_left = 0.2;
+        s.set_alloc(0.5);
+        assert!((s.quota_left - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_buckets_distribute_across_seconds() {
+        let mut s = ServiceRt::new(0, None, 4.0);
+        let mut arena = vec![slot(10.0)];
+        s.running.push(0);
+        s.begin_window(SimTime::ZERO, 5.0);
+        // 1 job at rate 1 for 2.5 s: 2.5 CPU-s spread over buckets 0..2.
+        s.advance(&mut arena, SimTime::from_secs(2.5));
+        assert!((s.usage_buckets[0] - 1.0).abs() < 1e-4);
+        assert!((s.usage_buckets[1] - 1.0).abs() < 1e-4);
+        assert!((s.usage_buckets[2] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn thread_availability() {
+        let mut s = ServiceRt::new(0, Some(2), 1.0);
+        assert!(s.thread_available());
+        s.threads_busy = 2;
+        assert!(!s.thread_available());
+        let unbounded = ServiceRt::new(0, None, 1.0);
+        assert!(unbounded.thread_available());
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulation clock types.
+//!
+//! Virtual time is kept in integer nanoseconds so that event ordering is
+//! exact and platform-independent; all rate arithmetic happens in `f64`
+//! seconds and is converted at the boundary.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from seconds. Saturates at the u64 range and clamps
+    /// negative inputs to zero.
+    pub fn from_secs(s: f64) -> SimTime {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime(0);
+        }
+        SimTime((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// This time as fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference in seconds (`self - earlier`).
+    pub fn secs_since(self, earlier: SimTime) -> f64 {
+        self.0.saturating_sub(earlier.0) as f64 / 1e9
+    }
+
+    /// Adds a duration expressed in seconds.
+    pub fn plus_secs(self, s: f64) -> SimTime {
+        if !s.is_finite() || s <= 0.0 {
+            return self;
+        }
+        SimTime(self.0.saturating_add((s * 1e9).round() as u64))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A span of virtual time (nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Builds a duration from seconds, clamping negatives to zero.
+    pub fn from_secs(s: f64) -> SimDuration {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// This duration as fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_roundtrip() {
+        let t = SimTime::from_secs(1.25);
+        assert_eq!(t.0, 1_250_000_000);
+        assert!((t.as_secs() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs(-5.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs(-1.0).0, 0);
+    }
+
+    #[test]
+    fn secs_since_saturates() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(b.secs_since(a), 1.0);
+        assert_eq!(a.secs_since(b), 0.0);
+    }
+
+    #[test]
+    fn plus_secs_ignores_nonpositive() {
+        let t = SimTime::from_secs(1.0);
+        assert_eq!(t.plus_secs(0.0), t);
+        assert_eq!(t.plus_secs(-1.0), t);
+        assert_eq!(t.plus_secs(0.5), SimTime::from_secs(1.5));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [
+            SimTime::from_secs(3.0),
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(2.0),
+        ];
+        v.sort();
+        assert_eq!(v[0], SimTime::from_secs(1.0));
+        assert_eq!(v[2], SimTime::from_secs(3.0));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimTime::from_secs(5.0);
+        let b = SimTime::from_secs(2.0);
+        let d = a - b;
+        assert_eq!(d.as_secs(), 3.0);
+        assert_eq!(b + d, a);
+    }
+}

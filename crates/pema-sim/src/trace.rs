@@ -1,0 +1,258 @@
+//! Request tracing — the simulator's Jaeger.
+//!
+//! The paper's monitoring stack includes Jaeger, "which provides
+//! detailed tracing of each request showing its service path through
+//! different microservices" (§2.2); its `self_time` and `duration`
+//! metrics are two of the candidate features in the Table 1 study.
+//! PEMA itself deliberately does *not* use traces — but the analysis
+//! around it does, so the simulator can record them: enable sampling
+//! with [`crate::ClusterSim::set_trace_sampling`] and drain completed
+//! traces with [`crate::ClusterSim::take_traces`].
+//!
+//! A [`RequestTrace`] is a tree of [`TraceSpan`]s (one per service
+//! visit). This module also provides the analyses a practitioner runs
+//! on such traces: critical-path extraction and per-service self-time
+//! attribution on the tail.
+
+/// One service visit inside a request trace.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// Service index of the visit.
+    pub service: u32,
+    /// Endpoint (call-tree node) index.
+    pub endpoint: u32,
+    /// Parent span index within the trace, or `u32::MAX` for the root.
+    pub parent: u32,
+    /// Visit start (arrival at the service), seconds of virtual time.
+    pub start_s: f64,
+    /// Visit end (reply sent), seconds of virtual time.
+    pub end_s: f64,
+    /// CPU self-time consumed by the visit, seconds.
+    pub self_cpu_s: f64,
+}
+
+impl TraceSpan {
+    /// Wall-clock duration of the span (Jaeger `duration`).
+    pub fn duration_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+}
+
+/// A completed end-to-end request trace.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// Request class index.
+    pub class: u32,
+    /// Spans in creation order; index 0 is the root.
+    pub spans: Vec<TraceSpan>,
+    /// End-to-end latency, seconds.
+    pub latency_s: f64,
+    /// Root arrival time, virtual seconds.
+    pub start_s: f64,
+}
+
+impl RequestTrace {
+    /// Child span indices of span `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent == i as u32)
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// The critical path: starting from the root, repeatedly descend
+    /// into the child whose span ends last (the one the parent actually
+    /// waited for). Returns span indices from root to leaf.
+    ///
+    /// This is the standard "which call chain determined the latency"
+    /// analysis for synchronous fan-out RPC trees.
+    pub fn critical_path(&self) -> Vec<usize> {
+        let mut path = vec![0usize];
+        let mut cur = 0usize;
+        loop {
+            let kids = self.children(cur);
+            let Some(&next) = kids
+                .iter()
+                .max_by(|&&a, &&b| {
+                    self.spans[a]
+                        .end_s
+                        .partial_cmp(&self.spans[b].end_s)
+                        .unwrap()
+                })
+            else {
+                break;
+            };
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
+    /// Per-service CPU self-time along the critical path, as
+    /// `(service, self_cpu_s)` pairs in path order.
+    pub fn critical_path_breakdown(&self) -> Vec<(u32, f64)> {
+        self.critical_path()
+            .into_iter()
+            .map(|i| (self.spans[i].service, self.spans[i].self_cpu_s))
+            .collect()
+    }
+}
+
+/// Aggregated per-service attribution over a set of traces.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceAttribution {
+    /// Times the service appeared on a critical path.
+    pub on_critical_path: u64,
+    /// Total visits across all traces.
+    pub visits: u64,
+    /// Σ self CPU time, seconds.
+    pub self_cpu_s: f64,
+    /// Σ span durations, seconds.
+    pub duration_s: f64,
+    /// Σ *exclusive* durations, seconds: span duration minus the time
+    /// covered by its child spans — queueing, throttling stalls, and
+    /// own execution, but not downstream work. The standard
+    /// trace-analysis culprit metric.
+    pub exclusive_s: f64,
+}
+
+/// Attributes tail latency to services: for every trace, counts which
+/// services sat on the critical path and accumulates self-times and
+/// durations. `n_services` sizes the output.
+pub fn attribute(traces: &[RequestTrace], n_services: usize) -> Vec<ServiceAttribution> {
+    let mut out = vec![ServiceAttribution::default(); n_services];
+    for t in traces {
+        for (i, s) in t.spans.iter().enumerate() {
+            let a = &mut out[s.service as usize];
+            a.visits += 1;
+            a.self_cpu_s += s.self_cpu_s;
+            a.duration_s += s.duration_s();
+            let child_time: f64 = t
+                .children(i)
+                .into_iter()
+                .map(|c| t.spans[c].duration_s())
+                .sum();
+            a.exclusive_s += (s.duration_s() - child_time).max(0.0);
+        }
+        for i in t.critical_path() {
+            out[t.spans[i].service as usize].on_critical_path += 1;
+        }
+    }
+    out
+}
+
+/// Picks the traces whose latency is at or above the `q`-quantile —
+/// "show me the slow requests".
+pub fn tail_traces(traces: &[RequestTrace], q: f64) -> Vec<&RequestTrace> {
+    if traces.is_empty() {
+        return Vec::new();
+    }
+    let mut lat: Vec<f64> = traces.iter().map(|t| t.latency_s).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let thresh = pema_metrics::percentile_sorted(&lat, q.clamp(0.0, 1.0));
+    traces.iter().filter(|t| t.latency_s >= thresh).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root(svc 0) -> [a(svc 1), b(svc 2)]; b ends later; b -> c(svc 3).
+    fn sample_trace() -> RequestTrace {
+        RequestTrace {
+            class: 0,
+            spans: vec![
+                TraceSpan {
+                    service: 0,
+                    endpoint: 0,
+                    parent: u32::MAX,
+                    start_s: 0.0,
+                    end_s: 0.100,
+                    self_cpu_s: 0.004,
+                },
+                TraceSpan {
+                    service: 1,
+                    endpoint: 1,
+                    parent: 0,
+                    start_s: 0.010,
+                    end_s: 0.030,
+                    self_cpu_s: 0.002,
+                },
+                TraceSpan {
+                    service: 2,
+                    endpoint: 2,
+                    parent: 0,
+                    start_s: 0.010,
+                    end_s: 0.090,
+                    self_cpu_s: 0.001,
+                },
+                TraceSpan {
+                    service: 3,
+                    endpoint: 3,
+                    parent: 2,
+                    start_s: 0.020,
+                    end_s: 0.080,
+                    self_cpu_s: 0.050,
+                },
+            ],
+            latency_s: 0.100,
+            start_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn children_found() {
+        let t = sample_trace();
+        assert_eq!(t.children(0), vec![1, 2]);
+        assert_eq!(t.children(2), vec![3]);
+        assert!(t.children(1).is_empty());
+    }
+
+    #[test]
+    fn critical_path_follows_latest_child() {
+        let t = sample_trace();
+        assert_eq!(t.critical_path(), vec![0, 2, 3]);
+        let breakdown = t.critical_path_breakdown();
+        assert_eq!(breakdown.len(), 3);
+        assert_eq!(breakdown[2], (3, 0.050));
+    }
+
+    #[test]
+    fn attribution_counts() {
+        let t = sample_trace();
+        let attr = attribute(&[t.clone(), t], 4);
+        assert_eq!(attr[0].visits, 2);
+        assert_eq!(attr[0].on_critical_path, 2);
+        assert_eq!(attr[1].on_critical_path, 0);
+        assert_eq!(attr[3].on_critical_path, 2);
+        assert!((attr[3].self_cpu_s - 0.100).abs() < 1e-12);
+        // Exclusive time of the root: 100 ms total, children cover
+        // 20 ms (span 1) + 80 ms (span 2) = 100 ms → 0 exclusive; span
+        // 2's exclusive = 80 − 60 = 20 ms per trace.
+        assert!(attr[0].exclusive_s.abs() < 1e-12);
+        assert!((attr[2].exclusive_s - 0.040).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_duration() {
+        let t = sample_trace();
+        assert!((t.spans[3].duration_s() - 0.060).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_selection() {
+        let mk = |lat: f64| RequestTrace {
+            class: 0,
+            spans: vec![],
+            latency_s: lat,
+            start_s: 0.0,
+        };
+        let traces: Vec<RequestTrace> = (1..=100).map(|i| mk(i as f64 * 1e-3)).collect();
+        let tail = tail_traces(&traces, 0.95);
+        assert!(tail.len() >= 5 && tail.len() <= 7, "picked {}", tail.len());
+        assert!(tail.iter().all(|t| t.latency_s >= 0.095));
+        assert!(tail_traces(&[], 0.95).is_empty());
+    }
+}

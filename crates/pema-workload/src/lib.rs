@@ -1,0 +1,22 @@
+//! # pema-workload — request-rate patterns for autoscaling experiments
+//!
+//! The paper drives its three applications with several load shapes:
+//! fixed request rates for the core efficiency results, a 36-hour
+//! Wikipedia-derived diurnal trace for the extended run (Fig. 14), and
+//! square bursts for the adaptability study (Fig. 18). This crate
+//! provides deterministic generators for all of them plus the
+//! workload-range arithmetic PEMA's dynamic ranging uses.
+//!
+//! A workload is a function from time (seconds) to offered load
+//! (requests per second); the simulator samples it at each control
+//! interval.
+
+pub mod mmpp;
+pub mod pattern;
+pub mod ranges;
+pub mod wiki;
+
+pub use mmpp::{MmppState, MmppWorkload};
+pub use pattern::{BurstPattern, Constant, DiurnalPattern, StepPattern, TracePattern, Workload};
+pub use ranges::WorkloadRange;
+pub use wiki::wikipedia_like_trace;

@@ -1,0 +1,53 @@
+//! Quickstart — run PEMA against SockShop for twenty control intervals
+//! and watch it carve the allocation down while keeping p95 under the
+//! SLO.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pema::prelude::*;
+
+fn main() {
+    // 1. Pick an application model (SockShop: 13 services, 250 ms SLO).
+    let app = pema_apps::sockshop();
+    println!(
+        "app: {} ({} services, SLO {} ms)",
+        app.name,
+        app.n_services(),
+        app.slo_ms
+    );
+
+    // 2. Controller parameters — the paper's defaults.
+    let params = PemaParams::defaults(app.slo_ms);
+
+    // 3. A harness wires the controller to the simulated cluster.
+    let cfg = HarnessConfig {
+        interval_s: 40.0, // monitoring window per control interval
+        warmup_s: 4.0,
+        seed: 42,
+    };
+    let mut runner = PemaRunner::new(&app, params, cfg);
+
+    println!(
+        "starting from the generous allocation: {:.1} cores total\n",
+        app.generous_alloc.iter().sum::<f64>()
+    );
+    println!("{:>4}  {:>9}  {:>9}  {:>10}", "iter", "totalCPU", "p95(ms)", "action");
+    for _ in 0..20 {
+        let log = runner.step_once(700.0);
+        println!(
+            "{:>4}  {:>9.2}  {:>9.1}  {:>10}",
+            log.iter, log.total_cpu, log.p95_ms, log.action
+        );
+    }
+
+    let result = runner.into_result();
+    println!(
+        "\nafter 20 intervals: {:.2} cores ({}% of the starting allocation), \
+         {} SLO violations",
+        result.settled_total(5),
+        (result.settled_total(5) / app.generous_alloc.iter().sum::<f64>() * 100.0).round(),
+        result.violations()
+    );
+}

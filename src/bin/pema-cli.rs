@@ -1,0 +1,269 @@
+//! `pema-cli` — command-line front end to the PEMA reproduction.
+//!
+//! ```text
+//! pema-cli apps                              list bundled application models
+//! pema-cli run      --app sockshop --rps 700 [--iters 40] [--seed 7]
+//!                   [--interval 40] [--early-check 10] [--alpha a] [--beta b]
+//! pema-cli rule     --app sockshop --rps 700 [--iters 12]
+//! pema-cli optimum  --app sockshop --rps 700
+//! pema-cli classify --app sockshop --service carts --rps 550
+//! pema-cli trace    --app sockshop --rps 550 --starve carts=0.45
+//! ```
+//!
+//! Everything is deterministic given `--seed`.
+
+use pema::prelude::*;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "apps" => cmd_apps(),
+        "run" => cmd_run(&flags),
+        "rule" => cmd_rule(&flags),
+        "optimum" => cmd_optimum(&flags),
+        "classify" => cmd_classify(&flags),
+        "trace" => cmd_trace(&flags),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "pema-cli — PEMA microservice autoscaling (HPDC '22 reproduction)\n\
+         \n\
+         commands:\n\
+         \x20 apps                               list application models\n\
+         \x20 run      --app A --rps R [--iters N --interval S --seed K\n\
+         \x20          --alpha a --beta b --early-check S]   run PEMA\n\
+         \x20 rule     --app A --rps R [--iters N]           run the k8s-style baseline\n\
+         \x20 optimum  --app A --rps R                       OPTM search\n\
+         \x20 classify --app A --service S --rps R           bottleneck classifier study\n\
+         \x20 trace    --app A --rps R --starve S=frac       tail-latency trace analysis"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut m = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                m.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                m.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            eprintln!("unexpected argument '{a}'");
+            exit(2);
+        }
+    }
+    m
+}
+
+fn get_app(flags: &HashMap<String, String>) -> AppSpec {
+    let name = flags.get("app").unwrap_or_else(|| {
+        eprintln!("--app is required (try `pema-cli apps`)");
+        exit(2);
+    });
+    pema::pema_apps::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown app '{name}' (try `pema-cli apps`)");
+        exit(2);
+    })
+}
+
+fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> f64 {
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} must be a number, got '{v}'");
+                exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+fn require_f64(flags: &HashMap<String, String>, key: &str) -> f64 {
+    if !flags.contains_key(key) {
+        eprintln!("--{key} is required");
+        exit(2);
+    }
+    get_f64(flags, key, 0.0)
+}
+
+fn cmd_apps() {
+    println!("{:<18} {:>9} {:>9}  workload band", "app", "services", "SLO(ms)");
+    for app in pema::pema_apps::all_apps() {
+        println!(
+            "{:<18} {:>9} {:>9}  see DESIGN.md",
+            app.name,
+            app.n_services(),
+            app.slo_ms
+        );
+    }
+    println!("{:<18} {:>9} {:>9}  toy model for experiments", "toy-chain", 3, 100);
+}
+
+fn cmd_run(flags: &HashMap<String, String>) {
+    let app = get_app(flags);
+    let rps = require_f64(flags, "rps");
+    let iters = get_f64(flags, "iters", 40.0) as usize;
+    let mut params = PemaParams::defaults(app.slo_ms);
+    params.alpha = get_f64(flags, "alpha", params.alpha);
+    params.beta = get_f64(flags, "beta", params.beta);
+    params.seed = get_f64(flags, "seed", 7.0) as u64;
+    let cfg = HarnessConfig {
+        interval_s: get_f64(flags, "interval", 40.0),
+        warmup_s: 4.0,
+        seed: params.seed ^ 0x5EED,
+    };
+    let mut runner = PemaRunner::new(&app, params, cfg);
+    if let Some(s) = flags.get("early-check") {
+        runner = runner.with_early_check(s.parse().unwrap_or(10.0));
+    }
+    println!(
+        "PEMA on {} @ {rps} rps, {iters} intervals (start {:.1} cores)",
+        app.name,
+        app.generous_alloc.iter().sum::<f64>()
+    );
+    println!("{:>4} {:>9} {:>9} {:>12}", "iter", "totalCPU", "p95(ms)", "action");
+    for _ in 0..iters {
+        let l = runner.step_once(rps).clone();
+        println!(
+            "{:>4} {:>9.2} {:>9.1} {:>12}",
+            l.iter, l.total_cpu, l.p95_ms, l.action
+        );
+    }
+    let r = runner.into_result();
+    println!(
+        "\nsettled: {:.2} cores | violations: {} ({:.1}%) | time in violation: {:.0}s",
+        r.settled_total(8),
+        r.violations(),
+        r.violation_rate() * 100.0,
+        r.violating_time_s()
+    );
+}
+
+fn cmd_rule(flags: &HashMap<String, String>) {
+    let app = get_app(flags);
+    let rps = require_f64(flags, "rps");
+    let iters = get_f64(flags, "iters", 12.0) as usize;
+    let cfg = HarnessConfig {
+        interval_s: get_f64(flags, "interval", 40.0),
+        warmup_s: 4.0,
+        seed: get_f64(flags, "seed", 7.0) as u64,
+    };
+    let r = RuleRunner::new(&app, cfg).run_const(rps, iters);
+    for l in &r.log {
+        println!(
+            "{:>4} {:>9.2} {:>9.1}",
+            l.iter, l.total_cpu, l.p95_ms
+        );
+    }
+    println!(
+        "\nRULE settled: {:.2} cores | violations {:.1}%",
+        r.settled_total(4),
+        r.violation_rate() * 100.0
+    );
+}
+
+fn cmd_optimum(flags: &HashMap<String, String>) {
+    let app = get_app(flags);
+    let rps = require_f64(flags, "rps");
+    let seed = get_f64(flags, "seed", 7.0) as u64;
+    println!("searching OPTM for {} @ {rps} rps…", app.name);
+    match optimum_for(&app, rps, seed) {
+        Ok(opt) => {
+            println!(
+                "optimum total = {:.2} cores (p95 {:.1} ms, {} evaluations)",
+                opt.total, opt.p95_ms, opt.evaluations
+            );
+            for (name, cores) in app.service_names().iter().zip(opt.alloc.0.iter()) {
+                println!("  {name:>18}  {cores:.2}");
+            }
+        }
+        Err(e) => {
+            eprintln!("search failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_classify(flags: &HashMap<String, String>) {
+    let app = get_app(flags);
+    let rps = require_f64(flags, "rps");
+    let service = flags.get("service").unwrap_or_else(|| {
+        eprintln!("--service is required");
+        exit(2);
+    });
+    let cfg = pema::pema_classifier::DatasetConfig {
+        rps,
+        ..Default::default()
+    };
+    let ds = pema::pema_classifier::generate_dataset(&app, &[service], &cfg);
+    println!(
+        "dataset: {} samples ({} positives)",
+        ds.len(),
+        ds.positives()
+    );
+    for (fset, acc) in pema::pema_classifier::feature_study(&ds, 5, 1) {
+        println!("  {fset:<16} {:.1}%", acc * 100.0);
+    }
+}
+
+fn cmd_trace(flags: &HashMap<String, String>) {
+    let app = get_app(flags);
+    let rps = require_f64(flags, "rps");
+    let mut sim = ClusterSim::new(&app, get_f64(flags, "seed", 7.0) as u64);
+    let mut alloc = Allocation::new(app.generous_alloc.clone());
+    if let Some(spec) = flags.get("starve") {
+        let (name, frac) = spec.split_once('=').unwrap_or_else(|| {
+            eprintln!("--starve expects service=fraction, e.g. carts=0.45");
+            exit(2);
+        });
+        let sid = app.service_by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown service '{name}'");
+            exit(2);
+        });
+        let f: f64 = frac.parse().unwrap_or(0.5);
+        alloc.scale_service(sid.0, f);
+        println!("starving {name} to {f}× its generous allocation");
+    }
+    sim.set_allocation(&alloc);
+    sim.set_trace_sampling(0.25);
+    let stats = sim.run_window(rps, 4.0, 30.0);
+    let traces = sim.take_traces();
+    println!("p95 = {:.1} ms (SLO {} ms), {} traces", stats.p95_ms, app.slo_ms, traces.len());
+    let tail: Vec<_> = pema::pema_sim::tail_traces(&traces, 0.95)
+        .into_iter()
+        .cloned()
+        .collect();
+    let attr = pema::pema_sim::attribute(&tail, app.n_services());
+    let names = app.service_names();
+    let mut rows: Vec<(usize, f64)> = attr
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.visits > 0)
+        .map(|(i, a)| (i, a.exclusive_s / a.visits as f64 * 1e3))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("mean exclusive time in the slowest 5% of requests:");
+    for (i, ms) in rows.iter().take(8) {
+        println!("  {:>18}  {ms:.2} ms", names[*i]);
+    }
+}

@@ -1,0 +1,64 @@
+//! # PEMA — Practical Efficient Microservice Autoscaling (HPDC '22)
+//!
+//! A full-system reproduction of Hossen, Islam & Ahmed, *"Practical
+//! Efficient Microservice Autoscaling with QoS Assurance"* (HPDC '22),
+//! in Rust. The paper's Kubernetes testbed is replaced by a
+//! discrete-event cluster simulator that reproduces the observables the
+//! autoscaler consumes; everything above that line — the PEMA
+//! controller, the workload-aware range manager, the OPTM and RULE
+//! baselines, the three benchmark applications, and the full
+//! experiment suite — is implemented as published.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`pema_core`] | the PEMA controller (Algorithm 1, Eqns. 3–11) |
+//! | [`pema_sim`] | DES cluster: CFS throttling, thread pools, tail latency |
+//! | [`pema_apps`] | SockShop (13), TrainTicket (41), HotelReservation (18) |
+//! | [`pema_workload`] | constant / step / burst / diurnal load patterns |
+//! | [`pema_baselines`] | OPTM optimum search, RULE k8s-style scaler |
+//! | [`pema_classifier`] | bottleneck-detection study (paper Table 1) |
+//! | [`pema_metrics`] | histograms, quantiles, counters, windows |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pema::prelude::*;
+//!
+//! let app = pema_apps::sockshop();
+//! let params = PemaParams::defaults(app.slo_ms);
+//! let cfg = HarnessConfig { interval_s: 10.0, warmup_s: 2.0, seed: 7 };
+//! let result = PemaRunner::new(&app, params, cfg).run_const(700.0, 5);
+//! assert_eq!(result.log.len(), 5);
+//! ```
+
+pub mod runner;
+
+pub use pema_apps;
+pub use pema_baselines;
+pub use pema_classifier;
+pub use pema_core;
+pub use pema_metrics;
+pub use pema_sim;
+pub use pema_workload;
+
+/// Common imports for examples and experiments.
+pub mod prelude {
+    pub use crate::runner::{
+        optimum_for, stats_to_obs, HarnessConfig, IterationLog, ManagedRunner, PemaRunner,
+        RuleRunner, RunResult,
+    };
+    pub use pema_baselines::{find_optimum, OptmConfig, RuleScaler};
+    pub use pema_core::{
+        Action, Observation, PemaController, PemaParams, RangeConfig, ServiceObs,
+        WorkloadAwarePema,
+    };
+    pub use pema_sim::{
+        Allocation, AppSpec, ClusterSim, Evaluator, FluidEvaluator, SimEvaluator, WindowStats,
+    };
+    pub use pema_workload::{
+        wikipedia_like_trace, BurstPattern, Constant, DiurnalPattern, StepPattern, TracePattern,
+        Workload, WorkloadRange,
+    };
+}

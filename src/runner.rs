@@ -1,0 +1,483 @@
+//! Experiment harness: closes the loop between the simulated cluster
+//! and the autoscaling policies.
+//!
+//! Each control interval the harness measures one monitoring window on
+//! the (persistent) simulator, converts it into the controller's
+//! [`Observation`], lets the policy act, and applies the returned
+//! allocation — exactly the Prometheus → PEMA → Kubernetes loop of the
+//! paper's Fig. 9. Runners exist for the plain controller
+//! ([`PemaRunner`]), the workload-aware manager ([`ManagedRunner`]),
+//! and the rule-based baseline ([`RuleRunner`]).
+
+use pema_baselines::RuleScaler;
+use pema_core::{Action, Observation, PemaController, PemaParams, WorkloadAwarePema};
+use pema_sim::{Allocation, AppSpec, ClusterSim, WindowStats};
+use pema_workload::Workload;
+
+/// Converts a simulator window into the controller's observation.
+pub fn stats_to_obs(stats: &WindowStats) -> Observation {
+    Observation {
+        p95_ms: stats.p95_ms,
+        rps: stats.offered_rps,
+        services: stats
+            .per_service
+            .iter()
+            .map(|s| pema_core::ServiceObs {
+                util_pct: s.util_pct,
+                throttle_s: s.throttled_s,
+            })
+            .collect(),
+    }
+}
+
+/// Harness timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Measured monitoring window per control interval, virtual
+    /// seconds. The paper uses two minutes; the simulator's statistics
+    /// stabilize faster, so the default is 40 s (configurable back to
+    /// 120 for fidelity runs).
+    pub interval_s: f64,
+    /// Settling time after an allocation change before measurement.
+    pub warmup_s: f64,
+    /// Simulator seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            interval_s: 40.0,
+            warmup_s: 4.0,
+            seed: 0xFEED,
+        }
+    }
+}
+
+/// One logged control interval.
+#[derive(Debug, Clone)]
+pub struct IterationLog {
+    /// Interval index (0-based).
+    pub iter: usize,
+    /// Virtual time at the start of the interval, seconds.
+    pub time_s: f64,
+    /// Offered load during the interval.
+    pub rps: f64,
+    /// Total cores allocated *during* the interval.
+    pub total_cpu: f64,
+    /// p95 response over the interval, ms.
+    pub p95_ms: f64,
+    /// Mean response over the interval, ms.
+    pub mean_ms: f64,
+    /// Whether the interval violated the SLO.
+    pub violated: bool,
+    /// Policy decision taken at the end of the interval.
+    pub action: String,
+    /// Allocation applied for the *next* interval.
+    pub alloc: Vec<f64>,
+    /// Range / process id for workload-aware runs (0 otherwise).
+    pub pema_id: usize,
+    /// Actual measured length of this interval, seconds (shorter than
+    /// the configured interval when an early check aborted it).
+    pub interval_s: f64,
+}
+
+/// A completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-interval log.
+    pub log: Vec<IterationLog>,
+    /// Allocation in force at the end.
+    pub final_alloc: Allocation,
+    /// The SLO used, ms.
+    pub slo_ms: f64,
+}
+
+impl RunResult {
+    /// Number of SLO-violating intervals.
+    pub fn violations(&self) -> usize {
+        self.log.iter().filter(|l| l.violated).count()
+    }
+
+    /// Fraction of intervals that violated the SLO.
+    pub fn violation_rate(&self) -> f64 {
+        if self.log.is_empty() {
+            0.0
+        } else {
+            self.violations() as f64 / self.log.len() as f64
+        }
+    }
+
+    /// Mean total allocation over the last `k` intervals — the
+    /// "settled" efficiency of the policy.
+    pub fn settled_total(&self, k: usize) -> f64 {
+        let n = self.log.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let k = k.min(n).max(1);
+        self.log[n - k..].iter().map(|l| l.total_cpu).sum::<f64>() / k as f64
+    }
+
+    /// Total wall time spent in SLO-violating intervals, seconds — the
+    /// quantity the §6 early-reaction extension shrinks.
+    pub fn violating_time_s(&self) -> f64 {
+        self.log
+            .iter()
+            .filter(|l| l.violated)
+            .map(|l| l.interval_s)
+            .sum::<f64>()
+            .max(0.0)
+    }
+
+    /// Smallest total allocation among non-violating intervals.
+    pub fn best_feasible_total(&self) -> Option<f64> {
+        self.log
+            .iter()
+            .filter(|l| !l.violated)
+            .map(|l| l.total_cpu)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+}
+
+/// Harness for a single [`PemaController`] at (typically) fixed load.
+pub struct PemaRunner {
+    /// The simulated cluster (public for scenario scripting: speed
+    /// changes, SLO changes, etc.).
+    pub sim: ClusterSim,
+    /// The controller under test.
+    pub ctrl: PemaController,
+    cfg: HarnessConfig,
+    /// When set, the monitoring window is checked every this many
+    /// seconds and aborted on an SLO breach (§6's high-resolution
+    /// monitoring extension) so rollback happens within seconds instead
+    /// of a full interval.
+    early_check_s: Option<f64>,
+    iter: usize,
+    log: Vec<IterationLog>,
+}
+
+impl PemaRunner {
+    /// Builds a runner starting from the app's generous allocation.
+    /// Clients time out after 8× the SLO (as a load generator would),
+    /// so saturated intervals shed their backlog instead of poisoning
+    /// later measurements.
+    pub fn new(app: &AppSpec, params: PemaParams, cfg: HarnessConfig) -> Self {
+        let mut sim = ClusterSim::new(app, cfg.seed);
+        sim.set_request_timeout(Some(app.slo_ms / 1e3 * 8.0));
+        let ctrl = PemaController::new(params, app.generous_alloc.clone());
+        Self {
+            sim,
+            ctrl,
+            cfg,
+            early_check_s: None,
+            iter: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Enables early violation detection: the window aborts (and the
+    /// controller rolls back) as soon as the running p95 exceeds the
+    /// SLO, checked every `check_s` seconds.
+    pub fn with_early_check(mut self, check_s: f64) -> Self {
+        assert!(check_s > 0.0, "check interval must be positive");
+        self.early_check_s = Some(check_s);
+        self
+    }
+
+    /// Runs one control interval at offered load `rps` and logs it.
+    pub fn step_once(&mut self, rps: f64) -> &IterationLog {
+        let time_s = self.sim.now().as_secs();
+        let alloc_in_force = self.sim.allocation();
+        let slo = self.ctrl.params().slo_ms;
+        let (stats, aborted) = match self.early_check_s {
+            Some(check_s) => self.sim.run_window_abortable(
+                rps,
+                self.cfg.warmup_s,
+                self.cfg.interval_s,
+                check_s,
+                slo,
+            ),
+            None => (
+                self.sim
+                    .run_window(rps, self.cfg.warmup_s, self.cfg.interval_s),
+                false,
+            ),
+        };
+        let obs = stats_to_obs(&stats);
+        let out = self.ctrl.step(&obs);
+        self.sim.set_allocation(&Allocation::new(out.alloc.clone()));
+        self.log.push(IterationLog {
+            iter: self.iter,
+            time_s,
+            rps,
+            total_cpu: alloc_in_force.total(),
+            p95_ms: stats.p95_ms,
+            mean_ms: stats.mean_ms,
+            violated: stats.violates(slo),
+            action: if aborted {
+                format!("early-{}", action_name(&out.action))
+            } else {
+                action_name(&out.action)
+            },
+            alloc: out.alloc,
+            pema_id: 0,
+            interval_s: stats.duration_s,
+        });
+        self.iter += 1;
+        self.log.last().unwrap()
+    }
+
+    /// Runs `iters` intervals at constant load.
+    pub fn run_const(mut self, rps: f64, iters: usize) -> RunResult {
+        for _ in 0..iters {
+            self.step_once(rps);
+        }
+        self.into_result()
+    }
+
+    /// Runs `iters` intervals sampling the workload at each interval
+    /// start.
+    pub fn run_workload(mut self, w: &dyn Workload, iters: usize) -> RunResult {
+        for _ in 0..iters {
+            let rps = w.rps_at(self.sim.now().as_secs());
+            self.step_once(rps);
+        }
+        self.into_result()
+    }
+
+    /// Finalizes into a [`RunResult`].
+    pub fn into_result(self) -> RunResult {
+        RunResult {
+            final_alloc: self.sim.allocation(),
+            slo_ms: self.ctrl.params().slo_ms,
+            log: self.log,
+        }
+    }
+}
+
+/// Harness for the workload-aware manager ([`WorkloadAwarePema`]).
+pub struct ManagedRunner {
+    /// The simulated cluster.
+    pub sim: ClusterSim,
+    /// The workload-aware manager under test.
+    pub mgr: WorkloadAwarePema,
+    cfg: HarnessConfig,
+    iter: usize,
+    slo_ms: f64,
+    log: Vec<IterationLog>,
+}
+
+impl ManagedRunner {
+    /// Builds a managed runner from the app's generous allocation.
+    pub fn new(
+        app: &AppSpec,
+        params: PemaParams,
+        range_cfg: pema_core::RangeConfig,
+        cfg: HarnessConfig,
+    ) -> Self {
+        let mut sim = ClusterSim::new(app, cfg.seed);
+        sim.set_request_timeout(Some(app.slo_ms / 1e3 * 8.0));
+        let slo_ms = params.slo_ms;
+        let mgr = WorkloadAwarePema::new(params, app.generous_alloc.clone(), range_cfg);
+        Self {
+            sim,
+            mgr,
+            cfg,
+            iter: 0,
+            slo_ms,
+            log: Vec::new(),
+        }
+    }
+
+    /// Runs one interval: pre-switches the allocation to the range
+    /// owning the current workload (burst handling, Fig. 18), measures,
+    /// steps the manager, applies its decision.
+    pub fn step_once(&mut self, rps: f64) -> &IterationLog {
+        let time_s = self.sim.now().as_secs();
+        // Pre-emptive range switch at the interval boundary.
+        let pre = Allocation::new(self.mgr.allocation_for(rps).to_vec());
+        self.sim.set_allocation(&pre);
+        let stats = self
+            .sim
+            .run_window(rps, self.cfg.warmup_s, self.cfg.interval_s);
+        let obs = stats_to_obs(&stats);
+        let out = self.mgr.step(&obs);
+        self.sim.set_allocation(&Allocation::new(out.alloc.clone()));
+        self.log.push(IterationLog {
+            iter: self.iter,
+            time_s,
+            rps,
+            total_cpu: pre.total(),
+            p95_ms: stats.p95_ms,
+            mean_ms: stats.mean_ms,
+            violated: stats.violates(self.slo_ms),
+            action: out
+                .action
+                .as_ref()
+                .map(action_name)
+                .unwrap_or_else(|| "learn-m".to_string()),
+            alloc: out.alloc,
+            pema_id: out.pema_id,
+            interval_s: stats.duration_s,
+        });
+        self.iter += 1;
+        self.log.last().unwrap()
+    }
+
+    /// Runs `iters` intervals against a workload pattern.
+    pub fn run_workload(mut self, w: &dyn Workload, iters: usize) -> RunResult {
+        for _ in 0..iters {
+            let rps = w.rps_at(self.sim.now().as_secs());
+            self.step_once(rps);
+        }
+        self.into_result()
+    }
+
+    /// Finalizes into a [`RunResult`].
+    pub fn into_result(self) -> RunResult {
+        RunResult {
+            final_alloc: self.sim.allocation(),
+            slo_ms: self.slo_ms,
+            log: self.log,
+        }
+    }
+}
+
+/// Harness for the rule-based baseline.
+pub struct RuleRunner {
+    /// The simulated cluster.
+    pub sim: ClusterSim,
+    /// The rule-based scaler under test.
+    pub rule: RuleScaler,
+    cfg: HarnessConfig,
+    slo_ms: f64,
+    iter: usize,
+    log: Vec<IterationLog>,
+}
+
+impl RuleRunner {
+    /// Builds a rule-based runner from the app's generous allocation.
+    pub fn new(app: &AppSpec, cfg: HarnessConfig) -> Self {
+        let mut sim = ClusterSim::new(app, cfg.seed);
+        sim.set_request_timeout(Some(app.slo_ms / 1e3 * 8.0));
+        Self {
+            sim,
+            rule: RuleScaler::new(app),
+            cfg,
+            slo_ms: app.slo_ms,
+            iter: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Runs one interval.
+    pub fn step_once(&mut self, rps: f64) -> &IterationLog {
+        let time_s = self.sim.now().as_secs();
+        let alloc_in_force = self.sim.allocation();
+        let stats = self
+            .sim
+            .run_window(rps, self.cfg.warmup_s, self.cfg.interval_s);
+        let next = self.rule.step(&stats);
+        self.sim.set_allocation(&next);
+        self.log.push(IterationLog {
+            iter: self.iter,
+            time_s,
+            rps,
+            total_cpu: alloc_in_force.total(),
+            p95_ms: stats.p95_ms,
+            mean_ms: stats.mean_ms,
+            violated: stats.violates(self.slo_ms),
+            action: "rule".to_string(),
+            alloc: next.0.clone(),
+            pema_id: 0,
+            interval_s: stats.duration_s,
+        });
+        self.iter += 1;
+        self.log.last().unwrap()
+    }
+
+    /// Runs `iters` intervals at constant load.
+    pub fn run_const(mut self, rps: f64, iters: usize) -> RunResult {
+        for _ in 0..iters {
+            self.step_once(rps);
+        }
+        RunResult {
+            final_alloc: self.sim.allocation(),
+            slo_ms: self.slo_ms,
+            log: self.log,
+        }
+    }
+}
+
+/// Convenience: OPTM search for an app at one workload, starting from
+/// the generous allocation.
+pub fn optimum_for(
+    app: &AppSpec,
+    rps: f64,
+    seed: u64,
+) -> Result<pema_baselines::OptmResult, pema_baselines::OptmError> {
+    let mut eval = pema_sim::SimEvaluator::new(app, seed)
+        .with_window(4.0, 20.0)
+        .with_robustness(2);
+    let start = Allocation::new(app.generous_alloc.clone());
+    pema_baselines::find_optimum(&mut eval, &start, rps, &pema_baselines::OptmConfig::default())
+}
+
+fn action_name(a: &Action) -> String {
+    match a {
+        Action::RolledBack { .. } => "rollback".to_string(),
+        Action::Explored { .. } => "explore".to_string(),
+        Action::Reduced { services, .. } => format!("reduce({})", services.len()),
+        Action::Held => "hold".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pema_runner_reduces_toy_chain() {
+        let app = pema_apps::toy_chain();
+        let mut params = PemaParams::defaults(app.slo_ms);
+        params.seed = 3;
+        let cfg = HarnessConfig {
+            interval_s: 15.0,
+            warmup_s: 2.0,
+            seed: 5,
+        };
+        let result = PemaRunner::new(&app, params, cfg).run_const(150.0, 20);
+        let start_total: f64 = app.generous_alloc.iter().sum();
+        assert!(
+            result.settled_total(5) < start_total * 0.8,
+            "PEMA should have reduced from {start_total}: {}",
+            result.settled_total(5)
+        );
+        assert!(result.violation_rate() < 0.3, "too many violations");
+    }
+
+    #[test]
+    fn rule_runner_tracks_usage() {
+        let app = pema_apps::toy_chain();
+        let cfg = HarnessConfig {
+            interval_s: 15.0,
+            warmup_s: 2.0,
+            seed: 5,
+        };
+        let result = RuleRunner::new(&app, cfg).run_const(150.0, 8);
+        let start_total: f64 = app.generous_alloc.iter().sum();
+        assert!(result.settled_total(3) < start_total);
+    }
+
+    #[test]
+    fn stats_conversion_preserves_fields() {
+        let app = pema_apps::toy_chain();
+        let mut sim = ClusterSim::new(&app, 1);
+        let stats = sim.run_window(100.0, 1.0, 5.0);
+        let obs = stats_to_obs(&stats);
+        assert_eq!(obs.n_services(), 3);
+        assert_eq!(obs.p95_ms, stats.p95_ms);
+        assert_eq!(obs.rps, stats.offered_rps);
+    }
+}
