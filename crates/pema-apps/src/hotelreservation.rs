@@ -29,7 +29,10 @@ pub fn hotelreservation() -> AppSpec {
     let mut b = AppBuilder::new("hotelreservation", SLO_MS, 0.00025).nodes(4, 20.0);
 
     let go = |name: &str, demand: f64, cv: f64, base_mb: f64| {
-        let mut s = ServiceSpec::new(name, demand).cv(cv).threads(None).pre(0.55);
+        let mut s = ServiceSpec::new(name, demand)
+            .cv(cv)
+            .threads(None)
+            .pre(0.55);
         s.mem_base_bytes = base_mb * MB;
         s.mem_per_job_bytes = 32.0 * 1024.0;
         s
@@ -86,17 +89,17 @@ pub fn hotelreservation() -> AppSpec {
     let ep_profile = b.ep(
         profile,
         1.0,
-        vec![vec![(ep_memc_profile, 1.0)], vec![(ep_mongo_profile, MISS_P)]],
+        vec![
+            vec![(ep_memc_profile, 1.0)],
+            vec![(ep_mongo_profile, MISS_P)],
+        ],
     );
     let ep_recommend = b.ep(recommend, 1.0, vec![vec![(ep_mongo_recommend, 1.0)]]);
     let ep_user = b.ep(user, 1.0, vec![vec![(ep_mongo_user, 1.0)]]);
     let ep_reservation = b.ep(
         reservation,
         1.0,
-        vec![
-            vec![(ep_memc_reserve, 1.0)],
-            vec![(ep_mongo_reserve, 0.8)],
-        ],
+        vec![vec![(ep_memc_reserve, 1.0)], vec![(ep_mongo_reserve, 0.8)]],
     );
     let ep_search = b.ep(
         search,
@@ -119,7 +122,10 @@ pub fn hotelreservation() -> AppSpec {
     let ep_fe_recommend = b.ep(
         frontend,
         0.9,
-        vec![vec![(ep_recommend, 1.0), (ep_consul, 0.1)], vec![(ep_profile, 1.0)]],
+        vec![
+            vec![(ep_recommend, 1.0), (ep_consul, 0.1)],
+            vec![(ep_profile, 1.0)],
+        ],
     );
     let ep_fe_user = b.ep(frontend, 0.6, vec![vec![(ep_user, 1.0)]]);
     let ep_fe_reserve = b.ep(

@@ -37,9 +37,20 @@ use pema_sim::ServiceSpec;
 /// SLO 100 ms; sensible at 50–400 rps.
 pub fn toy_chain() -> AppSpec {
     let mut b = AppBuilder::new("toy-chain", 100.0, 0.0003).nodes(1, 16.0);
-    let gw = b.service(ServiceSpec::new("gateway", 0.0012).cv(1.0).threads(Some(16)), 1.5);
-    let logic = b.service(ServiceSpec::new("logic", 0.0025).cv(1.4).threads(Some(16)), 2.0);
-    let db = b.service(ServiceSpec::new("db", 0.0012).cv(0.8).threads(Some(12)), 1.5);
+    let gw = b.service(
+        ServiceSpec::new("gateway", 0.0012)
+            .cv(1.0)
+            .threads(Some(16)),
+        1.5,
+    );
+    let logic = b.service(
+        ServiceSpec::new("logic", 0.0025).cv(1.4).threads(Some(16)),
+        2.0,
+    );
+    let db = b.service(
+        ServiceSpec::new("db", 0.0012).cv(0.8).threads(Some(12)),
+        1.5,
+    );
     let ep_db = b.leaf(db, 1.0);
     let ep_logic = b.ep(logic, 1.0, vec![vec![(ep_db, 1.0)]]);
     let ep_gw = b.ep(gw, 1.0, vec![vec![(ep_logic, 1.0)]]);

@@ -39,7 +39,10 @@ pub fn sockshop() -> AppSpec {
     // NodeJS front-end: moderate per-request cost, few worker threads.
     let front_end = b.service(
         mem(
-            ServiceSpec::new("front-end", 0.0024).cv(1.1).threads(Some(16)).pre(0.5),
+            ServiceSpec::new("front-end", 0.0024)
+                .cv(1.1)
+                .threads(Some(16))
+                .pre(0.5),
             160.0,
             96.0,
         ),
@@ -47,54 +50,116 @@ pub fn sockshop() -> AppSpec {
     );
     // Java services: bursty (JIT/GC), larger pools.
     let orders = b.service(
-        mem(ServiceSpec::new("orders", 0.0020).cv(1.8).threads(Some(24)), 420.0, 256.0),
+        mem(
+            ServiceSpec::new("orders", 0.0020).cv(1.8).threads(Some(24)),
+            420.0,
+            256.0,
+        ),
         2.0,
     );
     let carts = b.service(
-        mem(ServiceSpec::new("carts", 0.0016).cv(1.8).threads(Some(24)), 400.0, 256.0),
+        mem(
+            ServiceSpec::new("carts", 0.0016).cv(1.8).threads(Some(24)),
+            400.0,
+            256.0,
+        ),
         2.0,
     );
     let shipping = b.service(
-        mem(ServiceSpec::new("shipping", 0.0007).cv(1.4).threads(Some(16)), 350.0, 128.0),
+        mem(
+            ServiceSpec::new("shipping", 0.0007)
+                .cv(1.4)
+                .threads(Some(16)),
+            350.0,
+            128.0,
+        ),
         1.0,
     );
     let queue_master = b.service(
-        mem(ServiceSpec::new("queue-master", 0.0006).cv(1.2).threads(Some(16)), 330.0, 128.0),
+        mem(
+            ServiceSpec::new("queue-master", 0.0006)
+                .cv(1.2)
+                .threads(Some(16)),
+            330.0,
+            128.0,
+        ),
         1.0,
     );
     // Go services: cheap, steady, effectively unbounded concurrency.
     let user = b.service(
-        mem(ServiceSpec::new("user", 0.0008).cv(0.8).threads(None), 40.0, 48.0),
+        mem(
+            ServiceSpec::new("user", 0.0008).cv(0.8).threads(None),
+            40.0,
+            48.0,
+        ),
         1.5,
     );
     let catalogue = b.service(
-        mem(ServiceSpec::new("catalogue", 0.0010).cv(0.8).threads(None), 45.0, 48.0),
+        mem(
+            ServiceSpec::new("catalogue", 0.0010).cv(0.8).threads(None),
+            45.0,
+            48.0,
+        ),
         1.5,
     );
     let payment = b.service(
-        mem(ServiceSpec::new("payment", 0.0004).cv(0.6).threads(None), 35.0, 32.0),
+        mem(
+            ServiceSpec::new("payment", 0.0004).cv(0.6).threads(None),
+            35.0,
+            32.0,
+        ),
         1.0,
     );
     // Message broker.
     let rabbitmq = b.service(
-        mem(ServiceSpec::new("rabbitmq", 0.0003).cv(0.6).threads(Some(8)), 120.0, 64.0),
+        mem(
+            ServiceSpec::new("rabbitmq", 0.0003)
+                .cv(0.6)
+                .threads(Some(8)),
+            120.0,
+            64.0,
+        ),
         0.8,
     );
     // Databases.
     let catalogue_db = b.service(
-        mem(ServiceSpec::new("catalogue-db", 0.0008).cv(0.7).threads(Some(12)), 380.0, 96.0),
+        mem(
+            ServiceSpec::new("catalogue-db", 0.0008)
+                .cv(0.7)
+                .threads(Some(12)),
+            380.0,
+            96.0,
+        ),
         1.5,
     );
     let user_db = b.service(
-        mem(ServiceSpec::new("user-db", 0.0005).cv(0.7).threads(Some(12)), 300.0, 96.0),
+        mem(
+            ServiceSpec::new("user-db", 0.0005)
+                .cv(0.7)
+                .threads(Some(12)),
+            300.0,
+            96.0,
+        ),
         1.0,
     );
     let carts_db = b.service(
-        mem(ServiceSpec::new("carts-db", 0.0007).cv(0.7).threads(Some(12)), 320.0, 96.0),
+        mem(
+            ServiceSpec::new("carts-db", 0.0007)
+                .cv(0.7)
+                .threads(Some(12)),
+            320.0,
+            96.0,
+        ),
         1.2,
     );
     let orders_db = b.service(
-        mem(ServiceSpec::new("orders-db", 0.0006).cv(0.7).threads(Some(12)), 320.0, 96.0),
+        mem(
+            ServiceSpec::new("orders-db", 0.0006)
+                .cv(0.7)
+                .threads(Some(12)),
+            320.0,
+            96.0,
+        ),
         1.0,
     );
 
@@ -215,7 +280,10 @@ mod tests {
         let app = sockshop();
         let fe = app.service_by_name("front-end").unwrap();
         let visits = app.expected_visits();
-        assert!((visits[fe.0] - 1.0).abs() < 1e-9, "front-end visited once per request");
+        assert!(
+            (visits[fe.0] - 1.0).abs() < 1e-9,
+            "front-end visited once per request"
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub fn trainticket() -> AppSpec {
     };
     // Database (MongoDB/MySQL): steadier demand.
     let db = |name: &str, demand_ms: f64| {
-        let mut s = ServiceSpec::new(name, demand_ms * 1e-3).cv(0.8).threads(Some(12));
+        let mut s = ServiceSpec::new(name, demand_ms * 1e-3)
+            .cv(0.8)
+            .threads(Some(12));
         s.mem_base_bytes = 300.0 * MB;
         s.mem_per_job_bytes = 128.0 * 1024.0;
         s
@@ -196,12 +198,18 @@ pub fn trainticket() -> AppSpec {
     let ep_rebook = b.ep(
         rebook,
         1.0,
-        vec![vec![(ep_order_q, 1.0)], vec![(ep_travel, 0.5), (ep_seat, 1.0)]],
+        vec![
+            vec![(ep_order_q, 1.0)],
+            vec![(ep_travel, 0.5), (ep_seat, 1.0)],
+        ],
     );
     let ep_auth = b.ep(
         auth,
         1.0,
-        vec![vec![(ep_verif, 1.0)], vec![(ep_user, 1.0), (ep_mongo_auth, 1.0)]],
+        vec![
+            vec![(ep_verif, 1.0)],
+            vec![(ep_user, 1.0), (ep_mongo_auth, 1.0)],
+        ],
     );
     let ep_consign = b.ep(
         consign,
@@ -215,7 +223,11 @@ pub fn trainticket() -> AppSpec {
     let ep_gw_book = b.ep(gateway, 1.1, vec![vec![(ep_preserve, 1.0)]]);
     let ep_gw_book_other = b.ep(gateway, 1.1, vec![vec![(ep_preserve_other, 1.0)]]);
     let ep_gw_pay = b.ep(gateway, 0.9, vec![vec![(ep_inside_pay, 1.0)]]);
-    let ep_gw_orders = b.ep(gateway, 0.8, vec![vec![(ep_order_q, 1.0), (ep_order_other, 0.3)]]);
+    let ep_gw_orders = b.ep(
+        gateway,
+        0.8,
+        vec![vec![(ep_order_q, 1.0), (ep_order_other, 0.3)]],
+    );
     let ep_gw_cancel = b.ep(gateway, 0.9, vec![vec![(ep_cancel, 1.0)]]);
     let ep_gw_rebook = b.ep(gateway, 0.9, vec![vec![(ep_rebook, 1.0)]]);
     let ep_gw_login = b.ep(gateway, 0.8, vec![vec![(ep_auth, 1.0)]]);

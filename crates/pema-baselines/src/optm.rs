@@ -260,9 +260,7 @@ mod tests {
 
     #[test]
     fn infeasible_start_is_an_error() {
-        let mut toy = Toy {
-            coef: vec![1000.0],
-        };
+        let mut toy = Toy { coef: vec![1000.0] };
         let start = Allocation::new(vec![1.0]);
         let r = find_optimum(&mut toy, &start, 100.0, &OptmConfig::default());
         assert!(matches!(r, Err(OptmError::StartInfeasible { .. })));

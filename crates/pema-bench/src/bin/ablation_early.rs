@@ -1,68 +1,6 @@
-//! Extension experiment — §6's high-resolution monitoring.
-//!
-//! The paper's stated limitation: "when PEMA causes an unintentional
-//! SLO violation, it rolls back the resource configuration in the next
-//! time step. Hence, the application suffers from bad performance
-//! during the entire resource update interval … PEMA can be improved by
-//! implementing higher resolution performance monitoring (e.g., within
-//! 10 seconds), catching the SLO violations early."
-//!
-//! This experiment implements that improvement and quantifies it:
-//! identical controllers run with and without a 10-second early
-//! violation check; we compare total *time* spent in violation (the
-//! user-visible exposure) and the resulting efficiency.
-
-use pema::prelude::*;
-use pema_bench::{harness_cfg, optimum_cached, print_table, write_csv};
+//! One-line shim: runs the `ablation_early` scenario from the registry at full
+//! fidelity (see `pema_bench::registry` and the `bench` driver).
 
 fn main() {
-    let app = pema_apps::sockshop();
-    let rps = 700.0;
-    let iters = 50;
-    let opt = optimum_cached(&app, rps);
-    let mut rows = Vec::new();
-    let mut tbl = Vec::new();
-    for (label, early) in [("interval (paper)", None), ("10 s early check", Some(10.0))] {
-        let mut viol_time = 0.0;
-        let mut viols = 0;
-        let mut totals = Vec::new();
-        for rep in 0..3u64 {
-            let mut params = PemaParams::defaults(app.slo_ms);
-            // Slightly aggressive so violations actually occur.
-            params.alpha = 0.3;
-            params.seed = 0xEA7 + rep * 17;
-            let mut runner = PemaRunner::new(&app, params, harness_cfg(0xEC + rep));
-            if let Some(s) = early {
-                runner = runner.with_early_check(s);
-            }
-            for _ in 0..iters {
-                runner.step_once(rps);
-            }
-            let result = runner.into_result();
-            viol_time += result.violating_time_s();
-            viols += result.violations();
-            totals.push(result.settled_total(10));
-        }
-        let avg_total = totals.iter().sum::<f64>() / totals.len() as f64;
-        rows.push(format!(
-            "{label},{viols},{viol_time:.1},{:.3}",
-            avg_total / opt.total
-        ));
-        tbl.push(vec![
-            label.to_string(),
-            format!("{viols}"),
-            format!("{viol_time:.0} s"),
-            format!("{:.2}", avg_total / opt.total),
-        ]);
-    }
-    print_table(
-        "Extension: early violation mitigation (SockShop @700, 3 seeds)",
-        &["monitoring", "violations", "time in violation", "resource/OPTM"],
-        &tbl,
-    );
-    write_csv(
-        "ablation_early",
-        "setting,violations,violating_time_s,resource_norm_optm",
-        &rows,
-    );
+    pema_bench::scenario_main("ablation_early")
 }

@@ -1,59 +1,6 @@
-//! Ablation — exploration (Eqn. 8) on/off.
-//!
-//! Without exploration (A = B = 0), unlucky early reductions can
-//! strand PEMA at an inefficient allocation (§3.3, "escaping
-//! sub-optimum configurations"); random walk-backs via the RHDb
-//! recover the missed opportunities at the cost of transiently higher
-//! allocation.
-
-use pema::prelude::*;
-use pema_bench::{harness_cfg, optimum_cached, print_table, write_csv};
+//! One-line shim: runs the `ablation_explore` scenario from the registry at full
+//! fidelity (see `pema_bench::registry` and the `bench` driver).
 
 fn main() {
-    let app = pema_apps::sockshop();
-    let rps = 700.0;
-    let iters = 60;
-    let opt = optimum_cached(&app, rps);
-    let mut rows = Vec::new();
-    let mut tbl = Vec::new();
-    for (label, a, b) in [
-        ("off", 0.0, 0.0),
-        ("low", 0.05, 0.005),
-        ("high", 0.10, 0.01),
-    ] {
-        let mut totals = Vec::new();
-        let mut worst: f64 = 0.0;
-        for rep in 0..4u64 {
-            let mut params = PemaParams::defaults(app.slo_ms);
-            params.explore_a = a;
-            params.explore_b = b;
-            params.seed = 0xAB2 + rep * 31;
-            let result =
-                PemaRunner::new(&app, params, harness_cfg(0xE0 + rep)).run_const(rps, iters);
-            let t = result.settled_total(10);
-            totals.push(t);
-            worst = worst.max(t);
-        }
-        let avg = totals.iter().sum::<f64>() / totals.len() as f64;
-        rows.push(format!(
-            "{label},{a},{b},{:.3},{:.3}",
-            avg / opt.total,
-            worst / opt.total
-        ));
-        tbl.push(vec![
-            label.to_string(),
-            format!("{:.2}", avg / opt.total),
-            format!("{:.2}", worst / opt.total),
-        ]);
-    }
-    print_table(
-        "Ablation: exploration (SockShop @700, 4 seeds)",
-        &["exploration", "avg resource/OPTM", "worst resource/OPTM"],
-        &tbl,
-    );
-    write_csv(
-        "ablation_explore",
-        "setting,a,b,avg_norm_optm,worst_norm_optm",
-        &rows,
-    );
+    pema_bench::scenario_main("ablation_explore")
 }

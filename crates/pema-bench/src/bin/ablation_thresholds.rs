@@ -1,57 +1,6 @@
-//! Ablation — opportunistic bottleneck-threshold learning (Eqns. 6/7)
-//! vs frozen initial thresholds.
-//!
-//! With frozen thresholds (utilization stuck at the conservative 15%,
-//! throttling at 0 s), Eqn. 5's normalization treats *every* service
-//! above 15% utilization as at-threshold (inclusion probability 0) and
-//! any throttling excludes a service outright — so reduction stalls at
-//! inflated allocations. Learning the per-service thresholds is what
-//! lets PEMA keep carving.
-
-use pema::prelude::*;
-use pema_bench::{harness_cfg, optimum_cached, print_table, write_csv};
+//! One-line shim: runs the `ablation_thresholds` scenario from the registry at full
+//! fidelity (see `pema_bench::registry` and the `bench` driver).
 
 fn main() {
-    let app = pema_apps::sockshop();
-    let rps = 700.0;
-    let iters = 50;
-    let opt = optimum_cached(&app, rps);
-    let mut rows = Vec::new();
-    let mut tbl = Vec::new();
-    for (label, freeze) in [("adaptive", false), ("frozen", true)] {
-        let mut totals = Vec::new();
-        let mut viols = 0;
-        let mut n = 0;
-        for rep in 0..3u64 {
-            let mut params = PemaParams::defaults(app.slo_ms);
-            params.freeze_thresholds = freeze;
-            params.seed = 0xAB3 + rep * 13;
-            let result =
-                PemaRunner::new(&app, params, harness_cfg(0x7E + rep)).run_const(rps, iters);
-            totals.push(result.settled_total(10));
-            viols += result.violations();
-            n += result.log.len();
-        }
-        let avg = totals.iter().sum::<f64>() / totals.len() as f64;
-        rows.push(format!(
-            "{label},{:.3},{:.2}",
-            avg / opt.total,
-            viols as f64 / n as f64 * 100.0
-        ));
-        tbl.push(vec![
-            label.to_string(),
-            format!("{:.2}", avg / opt.total),
-            format!("{:.1}%", viols as f64 / n as f64 * 100.0),
-        ]);
-    }
-    print_table(
-        "Ablation: threshold learning (SockShop @700, 3 seeds)",
-        &["thresholds", "resource/OPTM", "violations"],
-        &tbl,
-    );
-    write_csv(
-        "ablation_thresholds",
-        "setting,resource_norm_optm,violations_pct",
-        &rows,
-    );
+    pema_bench::scenario_main("ablation_thresholds")
 }

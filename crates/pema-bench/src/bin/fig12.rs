@@ -1,42 +1,6 @@
-//! Fig. 12 — PEMA's iterative execution on TrainTicket (225 rps) and
-//! HotelReservation (500 rps): total CPU and p95 response per
-//! iteration, converging toward efficient allocations with only a few
-//! unintentional SLO violations.
-
-use pema::prelude::*;
-use pema_bench::{harness_cfg, optimum_cached, print_table, write_csv};
+//! One-line shim: runs the `fig12` scenario from the registry at full
+//! fidelity (see `pema_bench::registry` and the `bench` driver).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut summary = Vec::new();
-    for (app, rps, iters) in [
-        (pema_apps::trainticket(), 225.0, 55usize),
-        (pema_apps::hotelreservation(), 500.0, 32usize),
-    ] {
-        let opt = optimum_cached(&app, rps);
-        let mut params = PemaParams::defaults(app.slo_ms);
-        params.seed = 0xF112;
-        let result = PemaRunner::new(&app, params, harness_cfg(0x12)).run_const(rps, iters);
-        for l in &result.log {
-            rows.push(format!(
-                "{},{},{:.3},{:.2},{}",
-                app.name, l.iter, l.total_cpu, l.p95_ms, l.action
-            ));
-        }
-        summary.push(vec![
-            app.name.clone(),
-            format!("{rps:.0}"),
-            format!("{:.2}", app.generous_alloc.iter().sum::<f64>()),
-            format!("{:.2}", result.settled_total(8)),
-            format!("{:.2}", opt.total),
-            format!("{:.2}", result.settled_total(8) / opt.total),
-            format!("{}", result.violations()),
-        ]);
-    }
-    print_table(
-        "Fig. 12: PEMA execution (TrainTicket, HotelReservation)",
-        &["app", "rps", "startCPU", "settledCPU", "OPTM", "vsOPTM", "violations"],
-        &summary,
-    );
-    write_csv("fig12", "app,iter,total_cpu,p95_ms,action", &rows);
+    pema_bench::scenario_main("fig12")
 }

@@ -1,87 +1,6 @@
-//! Fig. 14 — 36-hour extended execution on SockShop under a
-//! Wikipedia-like diurnal workload (200–1100 rps).
-//!
-//! One control interval corresponds to the paper's two minutes of wall
-//! time; the trace clock advances two minutes per interval (the
-//! simulator's measurement window is shorter — statistics converge
-//! faster in simulation). Reports workload, total CPU, and response
-//! (instantaneous + 5-interval moving average) per interval, plus
-//! violation statistics.
-
-use pema::prelude::*;
-use pema_bench::{harness_cfg, write_csv};
-use pema_metrics::MovingAvg;
+//! One-line shim: runs the `fig14` scenario from the registry at full
+//! fidelity (see `pema_bench::registry` and the `bench` driver).
 
 fn main() {
-    let app = pema_apps::sockshop();
-    let trace = wikipedia_like_trace(200.0, 1100.0, 120.0, 0.03);
-    let mut params = PemaParams::defaults(app.slo_ms);
-    params.seed = 0xF114;
-    // The simulated latency knee is sharper than the testbed's, so the
-    // long-running experiment keeps a deeper response buffer (§3.3's
-    // "scale down R" knob): targets sit at 80% of the SLO, trading a
-    // few percent of allocation for far fewer noise-driven violations.
-    params.response_buffer = 0.80;
-    let range_cfg = pema_core::RangeConfig {
-        initial: WorkloadRange::new(200.0, 1100.0),
-        target_width: 112.5,
-        split_after: 12,
-        m_learn_steps: 6,
-    };
-    // Full-fidelity control interval: the paper's two minutes. Shorter
-    // windows flag brief burst episodes as violations that a 2-minute
-    // p95 dilutes.
-    let mut cfg = harness_cfg(0x14);
-    cfg.interval_s = 120.0;
-    cfg.warmup_s = 4.0;
-
-    let intervals = 1080usize; // 36 h at 2-minute intervals
-    let mut runner = ManagedRunner::new(&app, params, range_cfg, cfg);
-    let mut ma = MovingAvg::new(5);
-    let mut rows = Vec::new();
-    let t0 = std::time::Instant::now();
-    for i in 0..intervals {
-        let trace_time = i as f64 * 120.0;
-        let rps = trace.rps_at(trace_time);
-        let log = runner.step_once(rps).clone();
-        let smooth = ma.push(if log.p95_ms.is_finite() {
-            log.p95_ms
-        } else {
-            app.slo_ms * 2.0
-        });
-        rows.push(format!(
-            "{:.3},{:.0},{:.3},{:.4},{:.4},{}",
-            trace_time / 3600.0,
-            rps,
-            log.total_cpu,
-            log.p95_ms / app.slo_ms,
-            smooth / app.slo_ms,
-            log.pema_id
-        ));
-        if i % 120 == 0 {
-            println!(
-                "hour {:5.1}: rps={:6.0} totalCPU={:6.2} p95/SLO={:5.2} ({} ranges) [{:?}]",
-                trace_time / 3600.0,
-                rps,
-                log.total_cpu,
-                log.p95_ms / app.slo_ms,
-                runner.mgr.ranges().len(),
-                t0.elapsed()
-            );
-        }
-    }
-    let ranges = runner.mgr.ranges().len();
-    let result = runner.into_result();
-    println!(
-        "36 h done: {} intervals, {} final ranges, violations {:.2}%, mean total CPU {:.2}",
-        result.log.len(),
-        ranges,
-        result.violation_rate() * 100.0,
-        result.log.iter().map(|l| l.total_cpu).sum::<f64>() / result.log.len() as f64
-    );
-    write_csv(
-        "fig14",
-        "hour,rps,total_cpu,response_norm_slo,response_ma_norm_slo,pema_id",
-        &rows,
-    );
+    pema_bench::scenario_main("fig14")
 }

@@ -1,69 +1,6 @@
-//! Fig. 15 — resource-allocation efficiency: PEMA vs OPTM vs RULE on
-//! all three applications at three workload levels each.
-//!
-//! CPU totals are normalized to OPTM. The paper's headline: PEMA stays
-//! close to optimum (drifting slightly at high load) and beats RULE by
-//! up to 33%. PEMA results average several independent runs, as in the
-//! paper ("since PEMA is provably efficient, we run PEMA several
-//! times … and show the average").
-
-use pema::prelude::*;
-use pema_bench::{harness_cfg, optimum_cached, paper_apps, print_table, write_csv};
+//! One-line shim: runs the `fig15` scenario from the registry at full
+//! fidelity (see `pema_bench::registry` and the `bench` driver).
 
 fn main() {
-    let repeats = 3;
-    let iters = 70;
-    let mut rows = Vec::new();
-    let mut tbl = Vec::new();
-    for (app, _, fig15_loads) in paper_apps() {
-        for rps in fig15_loads {
-            let opt = optimum_cached(&app, rps);
-
-            // PEMA: average settled allocation over independent runs.
-            let mut pema_totals = Vec::new();
-            let mut pema_viol = 0usize;
-            let mut pema_n = 0usize;
-            for rep in 0..repeats {
-                let mut params = PemaParams::defaults(app.slo_ms);
-                params.seed = 0xF115 + rep as u64 * 101;
-                let result =
-                    PemaRunner::new(&app, params, harness_cfg(0x15 + rep as u64)).run_const(rps, iters);
-                pema_totals.push(result.settled_total(10));
-                pema_viol += result.violations();
-                pema_n += result.log.len();
-            }
-            let pema_avg = pema_totals.iter().sum::<f64>() / pema_totals.len() as f64;
-
-            // RULE: converges in a few windows; settled over the tail.
-            let rule = RuleRunner::new(&app, harness_cfg(0x5115)).run_const(rps, 12);
-            let rule_total = rule.settled_total(5);
-
-            let pema_n_norm = pema_avg / opt.total;
-            let rule_norm = rule_total / opt.total;
-            let savings = (1.0 - pema_avg / rule_total) * 100.0;
-            rows.push(format!(
-                "{},{rps},{:.3},{:.3},{:.3},{:.1}",
-                app.name, opt.total, pema_avg, rule_total, savings
-            ));
-            tbl.push(vec![
-                app.name.clone(),
-                format!("{rps:.0}"),
-                "1.00".to_string(),
-                format!("{pema_n_norm:.2}"),
-                format!("{rule_norm:.2}"),
-                format!("{savings:.0}%"),
-                format!("{:.1}%", pema_viol as f64 / pema_n as f64 * 100.0),
-            ]);
-        }
-    }
-    print_table(
-        "Fig. 15: normalized CPU (OPTM = 1.00)",
-        &["app", "rps", "OPTM", "PEMA", "RULE", "PEMA saves vs RULE", "PEMA viol%"],
-        &tbl,
-    );
-    write_csv(
-        "fig15",
-        "app,rps,optm_total,pema_total,rule_total,pema_savings_vs_rule_pct",
-        &rows,
-    );
+    pema_bench::scenario_main("fig15")
 }

@@ -1,51 +1,6 @@
-//! Fig. 17 — sensitivity to β (maximum per-step reduction), at α = 0.5.
-//!
-//! Large β ⇒ big per-step cuts ⇒ overshoot, violations, and rollbacks
-//! to inefficient allocations; small β ⇒ slow but safe descent.
-
-use pema::prelude::*;
-use pema_bench::{harness_cfg, optimum_cached, print_table, write_csv};
+//! One-line shim: runs the `fig17` scenario from the registry at full
+//! fidelity (see `pema_bench::registry` and the `bench` driver).
 
 fn main() {
-    let betas = [0.1, 0.3, 0.5, 0.7, 0.9];
-    let iters = 55;
-    let mut rows = Vec::new();
-    let mut tbl = Vec::new();
-    for (app, rps) in [
-        (pema_apps::trainticket(), 225.0),
-        (pema_apps::sockshop(), 700.0),
-    ] {
-        let opt = optimum_cached(&app, rps);
-        for &beta in &betas {
-            let mut norms = Vec::new();
-            let mut viols = 0usize;
-            let mut n = 0usize;
-            for rep in 0..2u64 {
-                let mut params = PemaParams::defaults(app.slo_ms);
-                params.alpha = 0.5;
-                params.beta = beta;
-                params.seed = 0xF117 + rep * 977;
-                let result =
-                    PemaRunner::new(&app, params, harness_cfg(0x17 + rep)).run_const(rps, iters);
-                norms.push(result.settled_total(8) / opt.total);
-                viols += result.violations();
-                n += result.log.len();
-            }
-            let norm = norms.iter().sum::<f64>() / norms.len() as f64;
-            let viol = viols as f64 / n as f64 * 100.0;
-            rows.push(format!("{},{beta},{norm:.3},{viol:.1}", app.name));
-            tbl.push(vec![
-                app.name.clone(),
-                format!("{beta}"),
-                format!("{norm:.2}"),
-                format!("{viol:.0}%"),
-            ]);
-        }
-    }
-    print_table(
-        "Fig. 17: β sensitivity (α = 0.5)",
-        &["app", "beta", "resource/OPTM", "SLO violations"],
-        &tbl,
-    );
-    write_csv("fig17", "app,beta,resource_norm_optm,violations_pct", &rows);
+    pema_bench::scenario_main("fig17")
 }

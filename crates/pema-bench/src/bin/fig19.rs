@@ -1,63 +1,6 @@
-//! Fig. 19 — adaptability to CPU-speed changes (SockShop @ 700 rps).
-//!
-//! The paper changes the servers' clock from 1.8 GHz to 1.6 GHz and
-//! then 2.0 GHz mid-run; PEMA re-navigates to the new efficient
-//! allocation each time (rollback absorbs the slowdown, reduction
-//! exploits the speedup). Speed factors here: 1.0 → 0.89 → 1.11
-//! (= 1.6/1.8 and 2.0/1.8).
-
-use pema::prelude::*;
-use pema_bench::{harness_cfg, write_csv};
+//! One-line shim: runs the `fig19` scenario from the registry at full
+//! fidelity (see `pema_bench::registry` and the `bench` driver).
 
 fn main() {
-    let app = pema_apps::sockshop();
-    let rps = 700.0;
-    let mut params = PemaParams::defaults(app.slo_ms);
-    params.seed = 0xF119;
-    let mut runner = PemaRunner::new(&app, params, harness_cfg(0x19));
-
-    let mut rows = Vec::new();
-    for i in 0..76usize {
-        match i {
-            32 => {
-                runner.sim.set_speed(1.6 / 1.8);
-                println!("-- iter 32: clock 1.8 GHz → 1.6 GHz (speed ×{:.2})", 1.6 / 1.8);
-            }
-            54 => {
-                runner.sim.set_speed(2.0 / 1.8);
-                println!("-- iter 54: clock 1.6 GHz → 2.0 GHz (speed ×{:.2})", 2.0 / 1.8);
-            }
-            _ => {}
-        }
-        let log = runner.step_once(rps).clone();
-        let ghz = if i < 32 {
-            1.8
-        } else if i < 54 {
-            1.6
-        } else {
-            2.0
-        };
-        rows.push(format!(
-            "{},{ghz},{:.3},{:.2},{}",
-            log.iter, log.total_cpu, log.p95_ms, log.action
-        ));
-        if i % 4 == 0 {
-            println!(
-                "it {:3}: {:3.1} GHz totalCPU={:6.2} p95={:6.1} ms {}",
-                log.iter, ghz, log.total_cpu, log.p95_ms, log.action
-            );
-        }
-    }
-    let result = runner.into_result();
-    let phase = |lo: usize, hi: usize| {
-        let slice = &result.log[lo..hi];
-        slice.iter().rev().take(5).map(|l| l.total_cpu).sum::<f64>() / 5.0
-    };
-    println!(
-        "settled CPU by phase: 1.8 GHz {:.2} | 1.6 GHz {:.2} | 2.0 GHz {:.2}",
-        phase(0, 32),
-        phase(32, 54),
-        phase(54, 76)
-    );
-    write_csv("fig19", "iter,clock_ghz,total_cpu,p95_ms,action", &rows);
+    pema_bench::scenario_main("fig19")
 }

@@ -1,60 +1,6 @@
-//! Fig. 20 — adaptability to dynamic SLO changes.
-//!
-//! The paper moves SockShop's SLO 250 → 200 → 300 ms. In the simulator
-//! SockShop's latency knee is nearly vertical (p95 jumps from ~50 ms to
-//! seconds within a ~5% allocation band), so a ±20% SLO change maps to
-//! an allocation difference below run noise. TrainTicket's knee is
-//! wide, so the same experiment runs there with proportionally larger
-//! swings: 250 ms → 120 ms → 400 ms. The claim under test is the
-//! paper's: PEMA re-navigates after an SLO change without retraining —
-//! tighter SLO ⇒ more resources, looser ⇒ fewer.
-
-use pema::prelude::*;
-use pema_bench::{harness_cfg, write_csv};
+//! One-line shim: runs the `fig20` scenario from the registry at full
+//! fidelity (see `pema_bench::registry` and the `bench` driver).
 
 fn main() {
-    let app = pema_apps::sockshop();
-    let rps = 700.0;
-    let mut params = PemaParams::defaults(250.0);
-    params.seed = 0xF121;
-    let mut runner = PemaRunner::new(&app, params, harness_cfg(0x20));
-
-    let mut rows = Vec::new();
-    for i in 0..105usize {
-        match i {
-            55 => {
-                runner.ctrl.set_slo_ms(120.0);
-                println!("-- iter 55: SLO 250 ms → 120 ms");
-            }
-            80 => {
-                runner.ctrl.set_slo_ms(400.0);
-                println!("-- iter 80: SLO 120 ms → 400 ms");
-            }
-            _ => {}
-        }
-        let slo = runner.ctrl.params().slo_ms;
-        let log = runner.step_once(rps).clone();
-        rows.push(format!(
-            "{},{slo},{:.3},{:.2},{}",
-            log.iter, log.total_cpu, log.p95_ms, log.action
-        ));
-        if i % 4 == 0 {
-            println!(
-                "it {:3}: SLO={slo:3.0} totalCPU={:6.2} p95={:6.1} ms {}",
-                log.iter, log.total_cpu, log.p95_ms, log.action
-            );
-        }
-    }
-    let result = runner.into_result();
-    let phase = |lo: usize, hi: usize| {
-        let slice = &result.log[lo..hi];
-        slice.iter().rev().take(5).map(|l| l.total_cpu).sum::<f64>() / 5.0
-    };
-    println!(
-        "settled CPU by phase: SLO250 {:.2} | SLO120 {:.2} | SLO400 {:.2}",
-        phase(0, 55),
-        phase(55, 80),
-        phase(80, 105)
-    );
-    write_csv("fig20", "iter,slo_ms,total_cpu,p95_ms,action", &rows);
+    pema_bench::scenario_main("fig20")
 }

@@ -1,217 +1,34 @@
 //! # pema-bench — the experiment harness
 //!
-//! One binary per table/figure of the paper's evaluation (run
-//! `cargo run --release -p pema-bench --bin figNN`), plus ablation
-//! binaries for the design choices DESIGN.md calls out and criterion
-//! micro-benchmarks (`cargo bench`). Every binary prints the series the
-//! paper plots and writes `results/<id>.csv`.
+//! Every table and figure of the paper's evaluation (plus the
+//! ablations DESIGN.md calls out) is a registered [`Scenario`]: a
+//! ~30-line module with a `run(ctx)` function. The scenario registry
+//! replaces the old one-binary-per-figure layout; the binaries remain
+//! as one-line shims for muscle memory (`cargo run --release -p
+//! pema-bench --bin fig05`), and the `bench` driver runs any subset in
+//! parallel:
 //!
-//! This support library holds the shared plumbing: CSV output, the
-//! OPTM result cache (OPTM searches are the expensive part of the
-//! suite and are reused across fig05/fig07/fig11/fig15/...), and the
-//! standard experiment configurations.
+//! ```text
+//! bench list                          show every scenario
+//! bench all  [--jobs N] [--smoke] [--force]
+//! bench run  --only fig05,fig11 [--jobs N] [--smoke] [--force]
+//! ```
+//!
+//! Runs are **deterministic regardless of parallelism**: each scenario
+//! derives its RNG streams from its id, buffers its human output, and
+//! shares the OPTM result cache through per-key locks with canonical
+//! (round-tripped) values — so `--jobs 1` and `--jobs N` produce
+//! byte-identical CSVs under `$PEMA_RESULTS_DIR` (default `results/`).
+//!
+//! Criterion micro-benchmarks live under `benches/` (`cargo bench`).
 
-use pema::prelude::*;
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+pub mod ctx;
+pub mod exec;
+pub mod optm;
+pub mod registry;
+pub mod scenarios;
 
-/// Directory where experiment outputs land.
-pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("PEMA_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
-    let p = PathBuf::from(dir);
-    std::fs::create_dir_all(&p).expect("create results dir");
-    p
-}
-
-/// Writes (and echoes) a CSV file under the results directory.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) {
-    let path = results_dir().join(format!("{name}.csv"));
-    let mut out = String::with_capacity(rows.len() * 32 + header.len() + 1);
-    let _ = writeln!(out, "{header}");
-    for r in rows {
-        let _ = writeln!(out, "{r}");
-    }
-    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    println!("→ wrote {}", path.display());
-}
-
-/// Pretty-prints a fixed-width table to stdout.
-pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
-    for r in rows {
-        for (i, c) in r.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-    }
-    let line = |cells: &[String]| {
-        let mut s = String::new();
-        for (i, c) in cells.iter().enumerate() {
-            let _ = write!(s, "{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8));
-        }
-        println!("{s}");
-    };
-    line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    for r in rows {
-        line(r);
-    }
-}
-
-/// The standard harness configuration used across experiments.
-pub fn harness_cfg(seed: u64) -> HarnessConfig {
-    HarnessConfig {
-        interval_s: 40.0,
-        warmup_s: 4.0,
-        seed,
-    }
-}
-
-/// OPTM result, cached on disk because the search is the expensive part
-/// of the experiment suite.
-#[derive(Debug, Clone)]
-pub struct CachedOptimum {
-    /// The locally optimal allocation.
-    pub alloc: Allocation,
-    /// Total cores.
-    pub total: f64,
-    /// p95 at the optimum, ms.
-    pub p95_ms: f64,
-}
-
-fn cache_path() -> PathBuf {
-    results_dir().join("optm_cache.csv")
-}
-
-fn load_cache(app: &str, rps: f64) -> Option<CachedOptimum> {
-    let content = std::fs::read_to_string(cache_path()).ok()?;
-    for line in content.lines() {
-        let mut it = line.split(',');
-        let (a, r) = (it.next()?, it.next()?);
-        if a == app && (r.parse::<f64>().ok()? - rps).abs() < 1e-9 {
-            let total: f64 = it.next()?.parse().ok()?;
-            let p95: f64 = it.next()?.parse().ok()?;
-            let alloc: Vec<f64> = it.next()?.split(';').filter_map(|v| v.parse().ok()).collect();
-            return Some(CachedOptimum {
-                alloc: Allocation::new(alloc),
-                total,
-                p95_ms: p95,
-            });
-        }
-    }
-    None
-}
-
-fn store_cache(app: &str, rps: f64, c: &CachedOptimum) {
-    let mut content = std::fs::read_to_string(cache_path()).unwrap_or_default();
-    let alloc_s: Vec<String> = c.alloc.0.iter().map(|v| format!("{v:.4}")).collect();
-    let _ = writeln!(
-        content,
-        "{app},{rps},{:.4},{:.3},{}",
-        c.total,
-        c.p95_ms,
-        alloc_s.join(";")
-    );
-    let _ = std::fs::write(cache_path(), content);
-}
-
-/// Returns the OPTM allocation for `(app, rps)`, computing and caching
-/// it on first use. Larger apps use shorter evaluation windows to
-/// bound the search cost.
-pub fn optimum_cached(app: &AppSpec, rps: f64) -> CachedOptimum {
-    if let Some(c) = load_cache(&app.name, rps) {
-        return c;
-    }
-    println!("  [optm] computing optimum for {} @ {rps} rps…", app.name);
-    let t0 = std::time::Instant::now();
-    let window_s = if app.n_services() > 30 { 15.0 } else { 20.0 };
-    let mut eval = SimEvaluator::new(app, 0xA11C)
-        .with_window(4.0, window_s)
-        .with_robustness(2);
-    let start = Allocation::new(app.generous_alloc.clone());
-    let r = find_optimum(&mut eval, &start, rps, &OptmConfig::default())
-        .unwrap_or_else(|e| panic!("OPTM failed for {} @ {rps}: {e}", app.name));
-    println!(
-        "  [optm] {} @ {rps}: total={:.2} p95={:.0} ms ({} evals, {:.1?})",
-        app.name,
-        r.total,
-        r.p95_ms,
-        r.evaluations,
-        t0.elapsed()
-    );
-    let c = CachedOptimum {
-        alloc: r.alloc,
-        total: r.total,
-        p95_ms: r.p95_ms,
-    };
-    store_cache(&app.name, rps, &c);
-    c
-}
-
-/// Measures one fresh-cluster window of `alloc` at `rps` (fixed seed,
-/// common random numbers across calls).
-pub fn measure(app: &AppSpec, alloc: &Allocation, rps: f64, seed: u64) -> WindowStats {
-    let mut sim = ClusterSim::new(app, seed);
-    sim.set_allocation(alloc);
-    sim.run_window(rps, 4.0, 20.0)
-}
-
-/// `(app, Fig. 5 workloads, Fig. 15 workloads)` for the three paper
-/// applications.
-pub fn paper_apps() -> Vec<(AppSpec, [f64; 3], [f64; 3])> {
-    vec![
-        (
-            pema_apps::trainticket(),
-            pema_apps::trainticket::PAPER_WORKLOADS,
-            pema_apps::trainticket::FIG15_WORKLOADS,
-        ),
-        (
-            pema_apps::sockshop(),
-            pema_apps::sockshop::PAPER_WORKLOADS,
-            pema_apps::sockshop::FIG15_WORKLOADS,
-        ),
-        (
-            pema_apps::hotelreservation(),
-            pema_apps::hotelreservation::PAPER_WORKLOADS,
-            pema_apps::hotelreservation::FIG15_WORKLOADS,
-        ),
-    ]
-}
-
-/// Checks whether a result CSV already exists (used by the `all` runner
-/// to skip completed experiments).
-pub fn result_exists(name: &str) -> bool {
-    Path::new(&results_dir()).join(format!("{name}.csv")).exists()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn csv_roundtrip() {
-        std::env::set_var("PEMA_RESULTS_DIR", "/tmp/pema-bench-test");
-        write_csv("unit", "a,b", &["1,2".to_string()]);
-        let content = std::fs::read_to_string("/tmp/pema-bench-test/unit.csv").unwrap();
-        assert_eq!(content, "a,b\n1,2\n");
-        std::env::remove_var("PEMA_RESULTS_DIR");
-    }
-
-    #[test]
-    fn optm_cache_roundtrip() {
-        std::env::set_var("PEMA_RESULTS_DIR", "/tmp/pema-bench-test2");
-        let _ = std::fs::remove_file(cache_path());
-        let c = CachedOptimum {
-            alloc: Allocation::new(vec![1.0, 2.0]),
-            total: 3.0,
-            p95_ms: 42.0,
-        };
-        store_cache("toy", 100.0, &c);
-        let got = load_cache("toy", 100.0).unwrap();
-        assert_eq!(got.total, 3.0);
-        assert_eq!(got.alloc, c.alloc);
-        assert!(load_cache("toy", 200.0).is_none());
-        std::env::remove_var("PEMA_RESULTS_DIR");
-    }
-}
+pub use ctx::{default_results_dir, paper_apps, ExperimentCtx};
+pub use exec::{run_suite, scenario_main, Outcome, ScenarioReport, SuiteConfig};
+pub use optm::{CachedOptimum, OptmCache};
+pub use registry::{by_id, registry, Scenario};

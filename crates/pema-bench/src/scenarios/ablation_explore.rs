@@ -1,0 +1,67 @@
+//! Ablation — exploration (Eqn. 8) on/off.
+//!
+//! Without exploration (A = B = 0), unlucky early reductions can
+//! strand PEMA at an inefficient allocation (§3.3, "escaping
+//! sub-optimum configurations"); random walk-backs via the RHDb
+//! recover the missed opportunities at the cost of transiently higher
+//! allocation.
+
+use crate::ExperimentCtx;
+use pema::prelude::*;
+use std::io;
+
+crate::declare_scenario!(
+    AblationExplore,
+    id: "ablation_explore",
+    about: "ablation: exploration off/low/high (Eqn. 8)",
+);
+
+fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
+    let app = pema_apps::sockshop();
+    let rps = 700.0;
+    let iters = ctx.iters(60);
+    let reps = ctx.iters(4) as u64;
+    let opt = ctx.optimum_cached(&app, rps)?;
+    let mut rows = Vec::new();
+    let mut tbl = Vec::new();
+    for (label, a, b) in [
+        ("off", 0.0, 0.0),
+        ("low", 0.05, 0.005),
+        ("high", 0.10, 0.01),
+    ] {
+        let mut totals = Vec::new();
+        let mut worst: f64 = 0.0;
+        for rep in 0..reps {
+            let mut params = PemaParams::defaults(app.slo_ms);
+            params.explore_a = a;
+            params.explore_b = b;
+            params.seed = 0xAB2 + rep * 31;
+            let result =
+                PemaRunner::new(&app, params, ctx.harness_cfg(0xE0 + rep)).run_const(rps, iters);
+            let t = result.settled_total(10);
+            totals.push(t);
+            worst = worst.max(t);
+        }
+        let avg = totals.iter().sum::<f64>() / totals.len() as f64;
+        rows.push(format!(
+            "{label},{a},{b},{:.3},{:.3}",
+            avg / opt.total,
+            worst / opt.total
+        ));
+        tbl.push(vec![
+            label.to_string(),
+            format!("{:.2}", avg / opt.total),
+            format!("{:.2}", worst / opt.total),
+        ]);
+    }
+    ctx.print_table(
+        "Ablation: exploration (SockShop @700, 4 seeds)",
+        &["exploration", "avg resource/OPTM", "worst resource/OPTM"],
+        &tbl,
+    );
+    ctx.write_csv(
+        "ablation_explore",
+        "setting,a,b,avg_norm_optm,worst_norm_optm",
+        &rows,
+    )
+}

@@ -1,0 +1,55 @@
+//! Ablation — the moving-average window K (Eqns. 10/11 vs raw Eqns.
+//! 3/4).
+//!
+//! §3.5 of the paper motivates smoothing: transient dips in response
+//! time otherwise bait PEMA into reductions that violate the SLO one
+//! interval later. K = 1 disables smoothing; the paper uses K = 5.
+
+use crate::ExperimentCtx;
+use pema::prelude::*;
+use std::io;
+
+crate::declare_scenario!(
+    AblationMa,
+    id: "ablation_ma",
+    about: "ablation: moving-average window K for reduction sizing",
+);
+
+fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
+    let app = pema_apps::sockshop();
+    let rps = 700.0;
+    let iters = ctx.iters(50);
+    let reps = ctx.iters(3) as u64;
+    let opt = ctx.optimum_cached(&app, rps)?;
+    let mut rows = Vec::new();
+    let mut tbl = Vec::new();
+    for k in [1usize, 3, 5, 9] {
+        let mut viols = 0usize;
+        let mut n = 0usize;
+        let mut totals = Vec::new();
+        for rep in 0..reps {
+            let mut params = PemaParams::defaults(app.slo_ms);
+            params.ma_window = k;
+            params.seed = 0xAB1 + rep * 7;
+            let result =
+                PemaRunner::new(&app, params, ctx.harness_cfg(0xAB + rep)).run_const(rps, iters);
+            viols += result.violations();
+            n += result.log.len();
+            totals.push(result.settled_total(10));
+        }
+        let avg_total = totals.iter().sum::<f64>() / totals.len() as f64;
+        let viol_pct = viols as f64 / n as f64 * 100.0;
+        rows.push(format!("{k},{:.3},{viol_pct:.2}", avg_total / opt.total));
+        tbl.push(vec![
+            format!("{k}"),
+            format!("{:.2}", avg_total / opt.total),
+            format!("{viol_pct:.1}%"),
+        ]);
+    }
+    ctx.print_table(
+        "Ablation: moving-average window K (SockShop @700)",
+        &["K", "resource/OPTM", "violations"],
+        &tbl,
+    );
+    ctx.write_csv("ablation_ma", "k,resource_norm_optm,violations_pct", &rows)
+}

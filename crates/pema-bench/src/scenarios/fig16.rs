@@ -1,0 +1,65 @@
+//! Fig. 16 — sensitivity to α (reduction aggressiveness), at β = 0.3.
+//!
+//! Small α ⇒ aggressive reduction ⇒ many SLO violations and rollbacks
+//! ⇒ sub-optimal settling; large α ⇒ premature slow-down ⇒ also
+//! sub-optimal, but with few violations. The U-shape in resource and
+//! the downward slope in violations are the paper's findings.
+
+use crate::ExperimentCtx;
+use pema::prelude::*;
+use std::io;
+
+crate::declare_scenario!(
+    Fig16,
+    id: "fig16",
+    about: "alpha sensitivity sweep (reduction aggressiveness), beta = 0.3",
+);
+
+fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
+    let alphas = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let iters = ctx.iters(55);
+    let reps = ctx.iters(2) as u64;
+    let mut rows = Vec::new();
+    let mut tbl = Vec::new();
+    for (app, rps) in [
+        (pema_apps::trainticket(), 225.0),
+        (pema_apps::sockshop(), 700.0),
+    ] {
+        let opt = ctx.optimum_cached(&app, rps)?;
+        for &alpha in &alphas {
+            let mut norms = Vec::new();
+            let mut viols = 0usize;
+            let mut n = 0usize;
+            for rep in 0..reps {
+                let mut params = PemaParams::defaults(app.slo_ms);
+                params.alpha = alpha;
+                params.beta = 0.3;
+                params.seed = 0xF116 + rep * 977;
+                let result = PemaRunner::new(&app, params, ctx.harness_cfg(0x16 + rep))
+                    .run_const(rps, iters);
+                norms.push(result.settled_total(8) / opt.total);
+                viols += result.violations();
+                n += result.log.len();
+            }
+            let norm = norms.iter().sum::<f64>() / norms.len() as f64;
+            let viol = viols as f64 / n as f64 * 100.0;
+            rows.push(format!("{},{alpha},{norm:.3},{viol:.1}", app.name));
+            tbl.push(vec![
+                app.name.clone(),
+                format!("{alpha}"),
+                format!("{norm:.2}"),
+                format!("{viol:.0}%"),
+            ]);
+        }
+    }
+    ctx.print_table(
+        "Fig. 16: α sensitivity (β = 0.3)",
+        &["app", "alpha", "resource/OPTM", "SLO violations"],
+        &tbl,
+    );
+    ctx.write_csv(
+        "fig16",
+        "app,alpha,resource_norm_optm,violations_pct",
+        &rows,
+    )
+}

@@ -1,0 +1,28 @@
+//! The registered scenarios — one module per table/figure/ablation.
+//!
+//! Every module follows the same shape: a `run(ctx)` function with the
+//! experiment logic (no CSV/table/cache plumbing of its own — that all
+//! lives in [`ExperimentCtx`](crate::ExperimentCtx)) and a
+//! [`declare_scenario!`](crate::declare_scenario) invocation binding
+//! it into the registry.
+
+pub mod ablation_early;
+pub mod ablation_explore;
+pub mod ablation_fluid;
+pub mod ablation_ma;
+pub mod ablation_thresholds;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod table1;

@@ -1,0 +1,115 @@
+//! Integration tests on the scenario registry and the parallel
+//! executor: unique ids, a full `--smoke` pass of every registered
+//! scenario, and byte-identical CSVs across `--jobs` values.
+
+use pema_bench::{registry, run_suite, Outcome, SuiteConfig};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pema-bench-it-{name}"));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn smoke_cfg(dir: &Path, jobs: usize, only: Option<&[&str]>) -> SuiteConfig {
+    SuiteConfig {
+        jobs,
+        only: only.map(|ids| ids.iter().map(|s| s.to_string()).collect()),
+        smoke: true,
+        force: true,
+        results_dir: Some(dir.to_path_buf()),
+    }
+}
+
+/// Sorted `(file name, bytes)` of every CSV under `dir`.
+fn csv_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap())
+        .filter(|entry| entry.path().extension().is_some_and(|x| x == "csv"))
+        .map(|entry| {
+            (
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn registry_ids_and_outputs_are_unique() {
+    let mut ids = HashMap::new();
+    let mut outputs = HashMap::new();
+    for s in registry() {
+        assert!(
+            ids.insert(s.id(), ()).is_none(),
+            "duplicate scenario id {}",
+            s.id()
+        );
+        assert!(!s.about().is_empty(), "{} needs a description", s.id());
+        assert!(!s.outputs().is_empty(), "{} declares no outputs", s.id());
+        for o in s.outputs() {
+            assert!(
+                outputs.insert(*o, s.id()).is_none(),
+                "output {o} claimed by both {} and {}",
+                outputs[o],
+                s.id()
+            );
+        }
+    }
+    assert_eq!(registry().len(), 20, "expected the 20 paper scenarios");
+}
+
+#[test]
+fn every_scenario_completes_a_smoke_run() {
+    let dir = tmp_dir("smoke-all");
+    let reports = run_suite(&smoke_cfg(&dir, 4, None)).expect("suite config valid");
+    assert_eq!(reports.len(), registry().len());
+    for r in &reports {
+        match &r.outcome {
+            Outcome::Completed => {}
+            other => panic!("{} did not complete: {other:?}", r.id),
+        }
+    }
+    // Every declared output CSV must exist and be non-empty.
+    for s in registry() {
+        for o in s.outputs() {
+            let p = dir.join(format!("{o}.csv"));
+            let meta = std::fs::metadata(&p)
+                .unwrap_or_else(|e| panic!("{} missing output {}: {e}", s.id(), p.display()));
+            assert!(meta.len() > 0, "{} wrote an empty {}", s.id(), p.display());
+        }
+    }
+}
+
+#[test]
+fn jobs1_and_jobs4_produce_identical_csv_bytes() {
+    // A representative subset keeps the double run fast while covering
+    // the shared-OPTM-cache path (fig05), a plain controller run
+    // (fig11), the workload-aware manager (fig13), and the classifier
+    // (table1).
+    let subset = ["fig05", "fig11", "fig13", "table1"];
+    let serial_dir = tmp_dir("det-serial");
+    let parallel_dir = tmp_dir("det-parallel");
+    let serial = run_suite(&smoke_cfg(&serial_dir, 1, Some(&subset))).unwrap();
+    let parallel = run_suite(&smoke_cfg(&parallel_dir, 4, Some(&subset))).unwrap();
+    assert!(serial.iter().all(|r| r.ok()), "{serial:?}");
+    assert!(parallel.iter().all(|r| r.ok()), "{parallel:?}");
+
+    let a = csv_bytes(&serial_dir);
+    let b = csv_bytes(&parallel_dir);
+    assert_eq!(
+        a.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "file sets differ"
+    );
+    for ((name, bytes_a), (_, bytes_b)) in a.iter().zip(&b) {
+        assert_eq!(
+            bytes_a, bytes_b,
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+}

@@ -105,7 +105,11 @@ impl Default for DatasetConfig {
 ///
 /// # Panics
 /// Panics if a service name is unknown or `rps` is not positive.
-pub fn generate_dataset(app: &AppSpec, bottleneck_services: &[&str], cfg: &DatasetConfig) -> Dataset {
+pub fn generate_dataset(
+    app: &AppSpec,
+    bottleneck_services: &[&str],
+    cfg: &DatasetConfig,
+) -> Dataset {
     assert!(cfg.rps > 0.0, "DatasetConfig::rps must be set");
     let targets: Vec<usize> = bottleneck_services
         .iter()

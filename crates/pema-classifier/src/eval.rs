@@ -12,12 +12,7 @@ use rand::{Rng, SeedableRng};
 /// Folds are assigned by a seeded shuffle, so results are reproducible.
 /// Returns `None` when the dataset has fewer samples than folds or
 /// lacks both classes.
-pub fn cross_validate(
-    ds: &Dataset,
-    features: &[Feature],
-    k: usize,
-    seed: u64,
-) -> Option<f64> {
+pub fn cross_validate(ds: &Dataset, features: &[Feature], k: usize, seed: u64) -> Option<f64> {
     let n = ds.len();
     if n < k || k < 2 || ds.positives() == 0 || ds.positives() == n {
         return None;
@@ -97,7 +92,11 @@ mod tests {
         let mut samples = Vec::new();
         for i in 0..n {
             let label = i % 2 == 0;
-            let throttle = if label { 2.0 + (i % 7) as f64 * 0.1 } else { 0.1 };
+            let throttle = if label {
+                2.0 + (i % 7) as f64 * 0.1
+            } else {
+                0.1
+            };
             samples.push(Sample {
                 raw: [
                     30.0 + (i % 13) as f64, // util: uninformative here

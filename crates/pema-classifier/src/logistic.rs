@@ -141,20 +141,14 @@ mod tests {
         let m = Logistic::fit(&x, &y, &FitConfig::default());
         assert!(!m.predict(&[10.0]));
         assert!(m.predict(&[90.0]));
-        let acc = x
-            .iter()
-            .zip(&y)
-            .filter(|(r, &l)| m.predict(r) == l)
-            .count();
+        let acc = x.iter().zip(&y).filter(|(r, &l)| m.predict(r) == l).count();
         assert!(acc >= 95, "accuracy {acc}/100");
     }
 
     #[test]
     fn two_features_with_one_informative() {
         // Feature 0 informative, feature 1 constant noise-free junk.
-        let x: Vec<Vec<f64>> = (0..200)
-            .map(|i| vec![(i % 100) as f64, 42.0])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 100) as f64, 42.0]).collect();
         let y: Vec<bool> = (0..200).map(|i| (i % 100) >= 50).collect();
         let m = Logistic::fit(&x, &y, &FitConfig::default());
         assert!(m.weights[0].abs() > m.weights[1].abs() * 10.0);

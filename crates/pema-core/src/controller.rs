@@ -281,7 +281,9 @@ impl PemaController {
         // could never fire again.
         let band = |th: f64| (0.5 * th).max(0.05);
         let candidates: Vec<usize> = (0..self.alloc.len())
-            .filter(|&i| obs.services[i].throttle_s <= self.throttle_th[i] + band(self.throttle_th[i]))
+            .filter(|&i| {
+                obs.services[i].throttle_s <= self.throttle_th[i] + band(self.throttle_th[i])
+            })
             .collect();
 
         // Lines 5: opportunistically raise thresholds (Eqns. 6/7),
@@ -303,7 +305,10 @@ impl PemaController {
         // response approaches the target.
         let p_e = self.params.explore_a * self.headroom(r_ma) + self.params.explore_b;
         if self.rng.gen::<f64>() < p_e {
-            let jump = self.rhdb.random_feasible(&mut self.rng).map(|r| r.alloc.clone());
+            let jump = self
+                .rhdb
+                .random_feasible(&mut self.rng)
+                .map(|r| r.alloc.clone());
             if let Some(alloc) = jump {
                 self.alloc = alloc;
                 return StepOutcome {
@@ -423,7 +428,10 @@ mod tests {
         let before = c.total_alloc();
         let out = c.step(&obs(50.0, 8));
         match out.action {
-            Action::Reduced { ref services, delta } => {
+            Action::Reduced {
+                ref services,
+                delta,
+            } => {
                 assert!(!services.is_empty());
                 assert!(delta > 0.0 && delta <= 0.3 + 1e-12);
             }
@@ -641,7 +649,10 @@ mod tests {
             Action::Reduced { delta, .. } => delta,
             _ => 0.0,
         };
-        assert!(da > db, "tighter target must reduce less (da={da}, db={db})");
+        assert!(
+            da > db,
+            "tighter target must reduce less (da={da}, db={db})"
+        );
     }
 
     #[test]

@@ -121,6 +121,15 @@ impl WorkloadAwarePema {
         self.m
     }
 
+    /// The SLO currently in force, ms.
+    ///
+    /// Reads the active range's controller (not the construction-time
+    /// [`PemaParams`]) so the value stays correct after
+    /// [`set_slo_ms`](Self::set_slo_ms).
+    pub fn slo_ms(&self) -> f64 {
+        self.ranges[self.active].ctrl.params().slo_ms
+    }
+
     /// The parameters every per-range controller was created with.
     pub fn params(&self) -> &PemaParams {
         &self.params

@@ -126,11 +126,7 @@ impl Rhdb {
     /// Strict variant of [`Self::best_with_margin_at_load`]: returns
     /// `None` instead of falling back when no record with margin was
     /// observed at ≥ `min_rps`.
-    pub fn best_proven_at_load(
-        &self,
-        response_cap_ms: f64,
-        min_rps: f64,
-    ) -> Option<&RhdbRecord> {
+    pub fn best_proven_at_load(&self, response_cap_ms: f64, min_rps: f64) -> Option<&RhdbRecord> {
         self.records
             .iter()
             .filter(|r| !r.violated && r.response_ms <= response_cap_ms && r.rps >= min_rps)

@@ -11,9 +11,8 @@
 //! interval, exactly as a Prometheus `rate()` would. Handles are plain
 //! indices so the simulator's hot path never hashes strings.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Handle to a registered counter (monotonically increasing `f64`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,6 +42,14 @@ pub struct MetricRegistry {
 }
 
 impl MetricRegistry {
+    fn write(&self) -> RwLockWriteGuard<'_, Inner> {
+        self.inner.write().expect("metric registry lock poisoned")
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Inner> {
+        self.inner.read().expect("metric registry lock poisoned")
+    }
+
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
@@ -50,7 +57,7 @@ impl MetricRegistry {
 
     /// Registers (or re-resolves) a counter by name.
     pub fn counter(&self, name: &str) -> CounterHandle {
-        let mut g = self.inner.write();
+        let mut g = self.write();
         if let Some(&i) = g.counter_index.get(name) {
             return CounterHandle(i);
         }
@@ -63,7 +70,7 @@ impl MetricRegistry {
 
     /// Registers (or re-resolves) a gauge by name.
     pub fn gauge(&self, name: &str) -> GaugeHandle {
-        let mut g = self.inner.write();
+        let mut g = self.write();
         if let Some(&i) = g.gauge_index.get(name) {
             return GaugeHandle(i);
         }
@@ -80,27 +87,27 @@ impl MetricRegistry {
         if v <= 0.0 || !v.is_finite() {
             return;
         }
-        self.inner.write().counters[h.0] += v;
+        self.write().counters[h.0] += v;
     }
 
     /// Sets a gauge.
     pub fn gauge_set(&self, h: GaugeHandle, v: f64) {
-        self.inner.write().gauges[h.0] = v;
+        self.write().gauges[h.0] = v;
     }
 
     /// Reads a counter's current cumulative value.
     pub fn counter_value(&self, h: CounterHandle) -> f64 {
-        self.inner.read().counters[h.0]
+        self.read().counters[h.0]
     }
 
     /// Reads a gauge's current value.
     pub fn gauge_value(&self, h: GaugeHandle) -> f64 {
-        self.inner.read().gauges[h.0]
+        self.read().gauges[h.0]
     }
 
     /// Takes a point-in-time snapshot of every metric (a "scrape").
     pub fn snapshot(&self) -> MetricSnapshot {
-        let g = self.inner.read();
+        let g = self.read();
         MetricSnapshot {
             counters: g
                 .counter_names

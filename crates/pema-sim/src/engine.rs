@@ -21,13 +21,12 @@ use rand::SeedableRng;
 
 use crate::rng::{bernoulli, exponential, lognormal_mean_cv, weighted_index};
 use crate::runtime::{
-    DeadlineKind, ServiceRt, Stage, Visit, VisitSlot, CFS_PERIOD_S, NO_PARENT, QUOTA_EPS,
-    WORK_EPS,
+    DeadlineKind, ServiceRt, Stage, Visit, VisitSlot, CFS_PERIOD_S, NO_PARENT, QUOTA_EPS, WORK_EPS,
 };
 use crate::stats::{ServiceWindowStats, WindowStats};
 use crate::time::SimTime;
-use crate::trace::{RequestTrace, TraceSpan};
 use crate::topology::{Allocation, AppSpec};
+use crate::trace::{RequestTrace, TraceSpan};
 use pema_metrics::LatencyHistogram;
 
 /// Events handled by the engine.
@@ -529,7 +528,10 @@ impl ClusterSim {
         self.ensure_period_current(sid);
         self.visits[vi].v.start = self.now;
         if self.visits[vi].v.trace != u32::MAX {
-            let (tb, span) = (self.visits[vi].v.trace as usize, self.visits[vi].v.span as usize);
+            let (tb, span) = (
+                self.visits[vi].v.trace as usize,
+                self.visits[vi].v.span as usize,
+            );
             if let Some(b) = self.trace_builders[tb].as_mut() {
                 b.spans[span].start_s = self.now.as_secs();
             }
@@ -864,7 +866,9 @@ impl ClusterSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::{CallGroup, EndpointNode, NodeSpec, RequestClass, ServiceId, ServiceSpec};
+    use crate::topology::{
+        CallGroup, EndpointNode, NodeSpec, RequestClass, ServiceId, ServiceSpec,
+    };
 
     /// frontend -> backend chain with small demands.
     fn chain_app() -> AppSpec {

@@ -176,7 +176,8 @@ mod tests {
 
     #[test]
     fn trait_object_usable() {
-        let mut e: Box<dyn Evaluator> = Box::new(SimEvaluator::new(&app(), 1).with_window(0.5, 4.0));
+        let mut e: Box<dyn Evaluator> =
+            Box::new(SimEvaluator::new(&app(), 1).with_window(0.5, 4.0));
         assert_eq!(e.n_services(), 2);
         assert_eq!(e.slo_ms(), 100.0);
         let s = e.evaluate(&Allocation::new(vec![1.0, 1.0]), 20.0);

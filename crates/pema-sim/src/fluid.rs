@@ -145,9 +145,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -227,10 +226,7 @@ mod tests {
     fn app() -> AppSpec {
         AppSpec {
             name: "pair".into(),
-            services: vec![
-                ServiceSpec::new("a", 0.002),
-                ServiceSpec::new("b", 0.003),
-            ],
+            services: vec![ServiceSpec::new("a", 0.002), ServiceSpec::new("b", 0.003)],
             endpoints: vec![
                 EndpointNode {
                     service: ServiceId(0),

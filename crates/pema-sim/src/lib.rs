@@ -62,5 +62,5 @@ pub use evaluator::{Evaluator, SimEvaluator};
 pub use fluid::FluidEvaluator;
 pub use stats::{ServiceWindowStats, WindowStats};
 pub use time::{SimDuration, SimTime};
-pub use trace::{attribute, tail_traces, RequestTrace, ServiceAttribution, TraceSpan};
 pub use topology::{Allocation, AppSpec, ServiceId, ServiceSpec, TopologyError, MIN_ALLOC};
+pub use trace::{attribute, tail_traces, RequestTrace, ServiceAttribution, TraceSpan};

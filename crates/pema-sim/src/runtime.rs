@@ -285,7 +285,10 @@ impl ServiceRt {
         now: SimTime,
     ) -> Option<(SimTime, DeadlineKind)> {
         if self.stalled {
-            return Some((self.period_end.max(SimTime(now.0 + 1)), DeadlineKind::Period));
+            return Some((
+                self.period_end.max(SimTime(now.0 + 1)),
+                DeadlineKind::Period,
+            ));
         }
         if self.running.is_empty() {
             return None;
@@ -315,7 +318,12 @@ impl ServiceRt {
             best_t = t_work;
             kind = DeadlineKind::Work;
         }
-        Some((best_t.max(SimTime(now.0 + 1)).min(SimTime(now.0).plus_secs(3600.0)), kind))
+        Some((
+            best_t
+                .max(SimTime(now.0 + 1))
+                .min(SimTime(now.0).plus_secs(3600.0)),
+            kind,
+        ))
     }
 }
 

@@ -178,10 +178,16 @@ impl std::fmt::Display for TopologyError {
             TopologyError::NoServices => write!(f, "no services defined"),
             TopologyError::NoClasses => write!(f, "no request classes defined"),
             TopologyError::BadServiceRef { endpoint, service } => {
-                write!(f, "endpoint {endpoint} references unknown service {service}")
+                write!(
+                    f,
+                    "endpoint {endpoint} references unknown service {service}"
+                )
             }
             TopologyError::BadEndpointRef { endpoint, child } => {
-                write!(f, "endpoint {endpoint} references unknown child endpoint {child}")
+                write!(
+                    f,
+                    "endpoint {endpoint} references unknown child endpoint {child}"
+                )
             }
             TopologyError::BadClassRoot { class, root } => {
                 write!(f, "class {class} has out-of-range root endpoint {root}")
@@ -190,7 +196,10 @@ impl std::fmt::Display for TopologyError {
                 write!(f, "service {service} placed on unknown node {node}")
             }
             TopologyError::Cycle { endpoint } => {
-                write!(f, "endpoint call graph has a cycle through endpoint {endpoint}")
+                write!(
+                    f,
+                    "endpoint call graph has a cycle through endpoint {endpoint}"
+                )
             }
             TopologyError::BadNumber { what } => write!(f, "invalid numeric field: {what}"),
             TopologyError::AllocLenMismatch => {
@@ -314,11 +323,7 @@ impl AppSpec {
     fn check_acyclic(&self) -> Result<(), TopologyError> {
         // Colors: 0 = unvisited, 1 = in-stack, 2 = done.
         let mut color = vec![0u8; self.endpoints.len()];
-        fn dfs(
-            e: usize,
-            eps: &[EndpointNode],
-            color: &mut [u8],
-        ) -> Result<(), TopologyError> {
+        fn dfs(e: usize, eps: &[EndpointNode], color: &mut [u8]) -> Result<(), TopologyError> {
             if color[e] == 1 {
                 return Err(TopologyError::Cycle { endpoint: e });
             }
@@ -457,8 +462,7 @@ impl Allocation {
     /// True if every entry of `self` is ≤ the corresponding entry of
     /// `other` (the partial order under which reductions are monotonic).
     pub fn dominated_by(&self, other: &Allocation) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
     }
 }
 

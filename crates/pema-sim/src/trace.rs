@@ -73,15 +73,12 @@ impl RequestTrace {
         let mut cur = 0usize;
         loop {
             let kids = self.children(cur);
-            let Some(&next) = kids
-                .iter()
-                .max_by(|&&a, &&b| {
-                    self.spans[a]
-                        .end_s
-                        .partial_cmp(&self.spans[b].end_s)
-                        .unwrap()
-                })
-            else {
+            let Some(&next) = kids.iter().max_by(|&&a, &&b| {
+                self.spans[a]
+                    .end_s
+                    .partial_cmp(&self.spans[b].end_s)
+                    .unwrap()
+            }) else {
                 break;
             };
             path.push(next);

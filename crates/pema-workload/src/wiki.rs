@@ -15,8 +15,8 @@ use crate::pattern::TracePattern;
 /// from the published diurnal profile of Wikipedia traffic: trough near
 /// 05:00 at ~35% of peak, evening peak near 20:00.
 const HOURLY_SHAPE: [f64; 24] = [
-    0.52, 0.45, 0.40, 0.37, 0.35, 0.36, 0.41, 0.50, 0.61, 0.72, 0.80, 0.85, 0.87, 0.86, 0.83,
-    0.82, 0.84, 0.88, 0.93, 0.97, 1.00, 0.95, 0.81, 0.65,
+    0.52, 0.45, 0.40, 0.37, 0.35, 0.36, 0.41, 0.50, 0.61, 0.72, 0.80, 0.85, 0.87, 0.86, 0.83, 0.82,
+    0.84, 0.88, 0.93, 0.97, 1.00, 0.95, 0.81, 0.65,
 ];
 
 /// Builds a Wikipedia-like 24-hour trace scaled to `[min_rps, max_rps]`

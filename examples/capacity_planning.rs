@@ -46,7 +46,11 @@ fn main() {
             opt.total,
             opt.p95_ms,
             u.p95_ms,
-            if u.p95_ms > app.slo_ms { "  ← violates!" } else { "" }
+            if u.p95_ms > app.slo_ms {
+                "  ← violates!"
+            } else {
+                ""
+            }
         );
     }
 

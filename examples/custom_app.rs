@@ -15,12 +15,17 @@ use pema::prelude::*;
 use pema_sim::ServiceSpec;
 
 fn build_streaming_app() -> AppSpec {
-    let mut b = AppBuilder::new("streamix", /*slo_ms=*/120.0, /*net_delay_s=*/0.0003).nodes(2, 16.0);
+    let mut b = AppBuilder::new(
+        "streamix", /*slo_ms=*/ 120.0, /*net_delay_s=*/ 0.0003,
+    )
+    .nodes(2, 16.0);
 
     // Services: name, mean CPU per visit (seconds); tune burstiness and
     // thread pools per runtime.
     let gateway = b.service(
-        ServiceSpec::new("gateway", 0.0010).cv(1.0).threads(Some(32)),
+        ServiceSpec::new("gateway", 0.0010)
+            .cv(1.0)
+            .threads(Some(32)),
         2.0,
     );
     let catalog = b.service(
@@ -28,26 +33,38 @@ fn build_streaming_app() -> AppSpec {
         1.5,
     );
     let cache = b.service(
-        ServiceSpec::new("catalog-cache", 0.0002).cv(0.5).threads(Some(8)),
+        ServiceSpec::new("catalog-cache", 0.0002)
+            .cv(0.5)
+            .threads(Some(8)),
         0.6,
     );
     let recommender = b.service(
-        ServiceSpec::new("recommender", 0.0030).cv(1.6).threads(Some(16)),
+        ServiceSpec::new("recommender", 0.0030)
+            .cv(1.6)
+            .threads(Some(16)),
         2.0,
     );
     let sessions = b.service(
-        ServiceSpec::new("sessions", 0.0020).cv(1.4).threads(Some(24)),
+        ServiceSpec::new("sessions", 0.0020)
+            .cv(1.4)
+            .threads(Some(24)),
         1.5,
     );
     let db = b.service(
-        ServiceSpec::new("media-db", 0.0012).cv(0.8).threads(Some(12)),
+        ServiceSpec::new("media-db", 0.0012)
+            .cv(0.8)
+            .threads(Some(12)),
         1.2,
     );
 
     // Call trees (children declared before parents).
     let ep_db = b.leaf(db, 1.0);
     let ep_cache = b.leaf(cache, 1.0);
-    let ep_catalog = b.ep(catalog, 1.0, vec![vec![(ep_cache, 1.0)], vec![(ep_db, 0.25)]]);
+    let ep_catalog = b.ep(
+        catalog,
+        1.0,
+        vec![vec![(ep_cache, 1.0)], vec![(ep_db, 0.25)]],
+    );
     let ep_recommender = b.ep(recommender, 1.0, vec![vec![(ep_db, 1.0)]]);
     let ep_sessions = b.ep(sessions, 1.0, vec![vec![(ep_db, 1.0)]]);
     let ep_browse = b.ep(
@@ -55,7 +72,11 @@ fn build_streaming_app() -> AppSpec {
         1.0,
         vec![vec![(ep_catalog, 1.0), (ep_recommender, 0.8)]],
     );
-    let ep_play = b.ep(gateway, 0.8, vec![vec![(ep_sessions, 1.0), (ep_catalog, 0.3)]]);
+    let ep_play = b.ep(
+        gateway,
+        0.8,
+        vec![vec![(ep_sessions, 1.0), (ep_catalog, 0.3)]],
+    );
 
     b.class("browse", 0.7, ep_browse);
     b.class("play", 0.3, ep_play);
@@ -77,7 +98,8 @@ fn main() {
         warmup_s: 3.0,
         seed: 99,
     };
-    let result = PemaRunner::new(&app, params, cfg).run_const(/*rps=*/250.0, /*iters=*/25);
+    let result =
+        PemaRunner::new(&app, params, cfg).run_const(/*rps=*/ 250.0, /*iters=*/ 25);
 
     println!("\n{:>4}  {:>9}  {:>9}", "iter", "totalCPU", "p95(ms)");
     for l in result.log.iter().step_by(4) {

@@ -54,8 +54,11 @@ fn main() {
     }
 
     println!("\nfinal workload ranges:");
-    for (range, id, iters) in runner.mgr.ranges() {
-        println!("  {:>10} rps → PEMA #{id} ({iters} recent iterations)", range.to_string());
+    for (range, id, iters) in runner.policy.ranges() {
+        println!(
+            "  {:>10} rps → PEMA #{id} ({iters} recent iterations)",
+            range.to_string()
+        );
     }
     println!(
         "\n{} intervals, {} SLO violations ({:.1}%)",

@@ -33,7 +33,10 @@ fn main() {
         "starting from the generous allocation: {:.1} cores total\n",
         app.generous_alloc.iter().sum::<f64>()
     );
-    println!("{:>4}  {:>9}  {:>9}  {:>10}", "iter", "totalCPU", "p95(ms)", "action");
+    println!(
+        "{:>4}  {:>9}  {:>9}  {:>10}",
+        "iter", "totalCPU", "p95(ms)", "action"
+    );
     for _ in 0..20 {
         let log = runner.step_once(700.0);
         println!(

@@ -40,8 +40,11 @@ fn main() {
     println!("\nslowest 5% of requests ({} traces):", tail.len());
     let attr = attribute(&tail, app.n_services());
     let names = app.service_names();
-    let mut rows: Vec<(usize, &pema_sim::ServiceAttribution)> =
-        attr.iter().enumerate().filter(|(_, a)| a.visits > 0).collect();
+    let mut rows: Vec<(usize, &pema_sim::ServiceAttribution)> = attr
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.visits > 0)
+        .collect();
     rows.sort_by_key(|r| std::cmp::Reverse(r.1.on_critical_path));
     println!(
         "{:>14} {:>10} {:>9} {:>12} {:>14}",

@@ -8,9 +8,21 @@
 //! pema-cli optimum  --app sockshop --rps 700
 //! pema-cli classify --app sockshop --service carts --rps 550
 //! pema-cli trace    --app sockshop --rps 550 --starve carts=0.45
+//!
+//! pema-cli list                              list experiment scenarios
+//! pema-cli all  [--jobs N] [--smoke] [--force]    run the whole suite
+//! pema-cli run  fig05 fig11 … [--jobs N] [--smoke] [--force]
 //! ```
 //!
-//! Everything is deterministic given `--seed`.
+//! Everything is deterministic given `--seed`; the experiment suite is
+//! deterministic for any `--jobs` value.
+//!
+//! The scenario subcommands (`list`, `all`, and `run` with scenario
+//! ids) surface `pema-bench`'s registry. Because `pema-bench` sits
+//! *above* this crate in the dependency graph, they delegate to the
+//! sibling `bench` binary — same pattern the old `all` binary used for
+//! the per-figure executables. Build it with
+//! `cargo build --release -p pema-bench`.
 
 use pema::prelude::*;
 use std::collections::HashMap;
@@ -22,14 +34,18 @@ fn main() {
         usage();
         exit(2);
     };
-    let flags = parse_flags(&args[1..]);
     match cmd.as_str() {
         "apps" => cmd_apps(),
-        "run" => cmd_run(&flags),
-        "rule" => cmd_rule(&flags),
-        "optimum" => cmd_optimum(&flags),
-        "classify" => cmd_classify(&flags),
-        "trace" => cmd_trace(&flags),
+        // `run` is overloaded: scenario ids → suite subset; `--app` →
+        // the classic single-controller run.
+        "run" if scenario_invocation(&args[1..]) => delegate_bench("run", &args[1..]),
+        "run" => cmd_run(&parse_flags(&args[1..])),
+        "rule" => cmd_rule(&parse_flags(&args[1..])),
+        "optimum" => cmd_optimum(&parse_flags(&args[1..])),
+        "classify" => cmd_classify(&parse_flags(&args[1..])),
+        "trace" => cmd_trace(&parse_flags(&args[1..])),
+        "list" => delegate_bench("list", &args[1..]),
+        "all" => delegate_bench("all", &args[1..]),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -43,15 +59,51 @@ fn usage() {
     eprintln!(
         "pema-cli — PEMA microservice autoscaling (HPDC '22 reproduction)\n\
          \n\
-         commands:\n\
+         controller commands:\n\
          \x20 apps                               list application models\n\
          \x20 run      --app A --rps R [--iters N --interval S --seed K\n\
          \x20          --alpha a --beta b --early-check S]   run PEMA\n\
          \x20 rule     --app A --rps R [--iters N]           run the k8s-style baseline\n\
          \x20 optimum  --app A --rps R                       OPTM search\n\
          \x20 classify --app A --service S --rps R           bottleneck classifier study\n\
-         \x20 trace    --app A --rps R --starve S=frac       tail-latency trace analysis"
+         \x20 trace    --app A --rps R --starve S=frac       tail-latency trace analysis\n\
+         \n\
+         experiment-suite commands (scenario registry; delegate to `bench`):\n\
+         \x20 list                                 list registered scenarios\n\
+         \x20 all  [--jobs N] [--smoke] [--force]  run the whole suite\n\
+         \x20 run  <id>… [--jobs N] [--smoke] [--force]  run selected scenarios"
     );
+}
+
+/// `run fig05 …` (scenario ids) vs `run --app …` (controller run).
+fn scenario_invocation(args: &[String]) -> bool {
+    args.first().is_some_and(|a| !a.starts_with("--"))
+}
+
+/// Runs the sibling `bench` executable (`<this dir>/bench`) with the
+/// given subcommand, forwarding arguments and the exit status.
+fn delegate_bench(sub: &str, args: &[String]) -> ! {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate current executable: {e}");
+        exit(2);
+    });
+    let bench = exe.with_file_name(if cfg!(windows) { "bench.exe" } else { "bench" });
+    if !bench.exists() {
+        eprintln!(
+            "{} not found — build the experiment suite first:\n  cargo build --release -p pema-bench",
+            bench.display()
+        );
+        exit(2);
+    }
+    let status = std::process::Command::new(&bench)
+        .arg(sub)
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| {
+            eprintln!("failed to spawn {}: {e}", bench.display());
+            exit(2);
+        });
+    exit(status.code().unwrap_or(1));
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -107,7 +159,10 @@ fn require_f64(flags: &HashMap<String, String>, key: &str) -> f64 {
 }
 
 fn cmd_apps() {
-    println!("{:<18} {:>9} {:>9}  workload band", "app", "services", "SLO(ms)");
+    println!(
+        "{:<18} {:>9} {:>9}  workload band",
+        "app", "services", "SLO(ms)"
+    );
     for app in pema::pema_apps::all_apps() {
         println!(
             "{:<18} {:>9} {:>9}  see DESIGN.md",
@@ -116,7 +171,10 @@ fn cmd_apps() {
             app.slo_ms
         );
     }
-    println!("{:<18} {:>9} {:>9}  toy model for experiments", "toy-chain", 3, 100);
+    println!(
+        "{:<18} {:>9} {:>9}  toy model for experiments",
+        "toy-chain", 3, 100
+    );
 }
 
 fn cmd_run(flags: &HashMap<String, String>) {
@@ -141,7 +199,10 @@ fn cmd_run(flags: &HashMap<String, String>) {
         app.name,
         app.generous_alloc.iter().sum::<f64>()
     );
-    println!("{:>4} {:>9} {:>9} {:>12}", "iter", "totalCPU", "p95(ms)", "action");
+    println!(
+        "{:>4} {:>9} {:>9} {:>12}",
+        "iter", "totalCPU", "p95(ms)", "action"
+    );
     for _ in 0..iters {
         let l = runner.step_once(rps).clone();
         println!(
@@ -170,10 +231,7 @@ fn cmd_rule(flags: &HashMap<String, String>) {
     };
     let r = RuleRunner::new(&app, cfg).run_const(rps, iters);
     for l in &r.log {
-        println!(
-            "{:>4} {:>9.2} {:>9.1}",
-            l.iter, l.total_cpu, l.p95_ms
-        );
+        println!("{:>4} {:>9.2} {:>9.1}", l.iter, l.total_cpu, l.p95_ms);
     }
     println!(
         "\nRULE settled: {:.2} cores | violations {:.1}%",
@@ -248,7 +306,12 @@ fn cmd_trace(flags: &HashMap<String, String>) {
     sim.set_trace_sampling(0.25);
     let stats = sim.run_window(rps, 4.0, 30.0);
     let traces = sim.take_traces();
-    println!("p95 = {:.1} ms (SLO {} ms), {} traces", stats.p95_ms, app.slo_ms, traces.len());
+    println!(
+        "p95 = {:.1} ms (SLO {} ms), {} traces",
+        stats.p95_ms,
+        app.slo_ms,
+        traces.len()
+    );
     let tail: Vec<_> = pema::pema_sim::tail_traces(&traces, 0.95)
         .into_iter()
         .cloned()

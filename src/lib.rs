@@ -13,6 +13,7 @@
 //!
 //! | crate | contents |
 //! |---|---|
+//! | `pema` (this crate) | generic [`ControlLoop`](runner::ControlLoop) harness + `pema-cli` |
 //! | [`pema_core`] | the PEMA controller (Algorithm 1, Eqns. 3–11) |
 //! | [`pema_sim`] | DES cluster: CFS throttling, thread pools, tail latency |
 //! | [`pema_apps`] | SockShop (13), TrainTicket (41), HotelReservation (18) |
@@ -20,6 +21,21 @@
 //! | [`pema_baselines`] | OPTM optimum search, RULE k8s-style scaler |
 //! | [`pema_classifier`] | bottleneck-detection study (paper Table 1) |
 //! | [`pema_metrics`] | histograms, quantiles, counters, windows |
+//! | `pema-bench` | scenario registry + parallel deterministic executor |
+//!
+//! ## The experiment suite
+//!
+//! Every figure/table of the paper's evaluation is a registered
+//! *scenario* in `pema-bench`; the `bench` driver (and `pema-cli
+//! list|run|all`, which delegates to it) runs any subset across worker
+//! threads with byte-identical results for any `--jobs` value. CSVs
+//! land under `$PEMA_RESULTS_DIR` (default `./results`):
+//!
+//! ```text
+//! pema-cli list                 show the registry
+//! pema-cli all  --jobs 4        run the full suite
+//! pema-cli run  fig05 --smoke   tiny-duration sanity pass of one figure
+//! ```
 //!
 //! ## Quick start
 //!
@@ -46,13 +62,12 @@ pub use pema_workload;
 /// Common imports for examples and experiments.
 pub mod prelude {
     pub use crate::runner::{
-        optimum_for, stats_to_obs, HarnessConfig, IterationLog, ManagedRunner, PemaRunner,
-        RuleRunner, RunResult,
+        optimum_for, stats_to_obs, ControlLoop, Decision, HarnessConfig, IterationLog,
+        ManagedRunner, PemaRunner, Policy, RulePolicy, RuleRunner, RunResult,
     };
     pub use pema_baselines::{find_optimum, OptmConfig, RuleScaler};
     pub use pema_core::{
-        Action, Observation, PemaController, PemaParams, RangeConfig, ServiceObs,
-        WorkloadAwarePema,
+        Action, Observation, PemaController, PemaParams, RangeConfig, ServiceObs, WorkloadAwarePema,
     };
     pub use pema_sim::{
         Allocation, AppSpec, ClusterSim, Evaluator, FluidEvaluator, SimEvaluator, WindowStats,

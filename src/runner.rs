@@ -2,12 +2,23 @@
 //! and the autoscaling policies.
 //!
 //! Each control interval the harness measures one monitoring window on
-//! the (persistent) simulator, converts it into the controller's
-//! [`Observation`], lets the policy act, and applies the returned
-//! allocation — exactly the Prometheus → PEMA → Kubernetes loop of the
-//! paper's Fig. 9. Runners exist for the plain controller
-//! ([`PemaRunner`]), the workload-aware manager ([`ManagedRunner`]),
-//! and the rule-based baseline ([`RuleRunner`]).
+//! the (persistent) simulator, converts it into the policy's view,
+//! lets the policy act, and applies the returned allocation — exactly
+//! the Prometheus → PEMA → Kubernetes loop of the paper's Fig. 9.
+//!
+//! The measure → observe → act → apply cycle is implemented once, in
+//! the generic [`ControlLoop`]; a [`Policy`] supplies the
+//! policy-specific pieces (optional pre-interval allocation switch,
+//! the decision itself, the SLO in force). The three runners of the
+//! paper's evaluation are aliases over it:
+//!
+//! * [`PemaRunner`] = `ControlLoop<PemaController>` — the plain PEMA
+//!   controller at (typically) fixed load,
+//! * [`ManagedRunner`] = `ControlLoop<WorkloadAwarePema>` — the
+//!   workload-aware range manager (§3.4), with pre-emptive range
+//!   switching at interval boundaries (Fig. 18),
+//! * [`RuleRunner`] = `ControlLoop<RulePolicy>` — the latency-blind
+//!   k8s-style baseline.
 
 use pema_baselines::RuleScaler;
 use pema_core::{Action, Observation, PemaController, PemaParams, WorkloadAwarePema};
@@ -42,6 +53,18 @@ pub struct HarnessConfig {
     pub warmup_s: f64,
     /// Simulator seed.
     pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// The standard experiment configuration (40 s interval, 4 s
+    /// warmup) with the given simulator seed — the single source of
+    /// truth for the timing every scenario in `pema-bench` uses.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
 }
 
 impl Default for HarnessConfig {
@@ -140,13 +163,105 @@ impl RunResult {
     }
 }
 
-/// Harness for a single [`PemaController`] at (typically) fixed load.
-pub struct PemaRunner {
+/// What a policy decided at the end of one control interval.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Allocation to apply for the next interval.
+    pub alloc: Vec<f64>,
+    /// Human-readable action label for the log / CSVs.
+    pub action: String,
+    /// PEMA process id (workload-aware runs; 0 otherwise).
+    pub pema_id: usize,
+}
+
+/// The policy-specific third of the control loop. Everything else —
+/// window measurement, early-abort checks, logging, allocation
+/// application — lives once in [`ControlLoop`].
+pub trait Policy {
+    /// Called at the interval boundary *before* measuring; returning an
+    /// allocation applies it for the coming interval (the manager's
+    /// pre-emptive range switch, Fig. 18).
+    fn pre_interval(&mut self, _rps: f64) -> Option<Allocation> {
+        None
+    }
+
+    /// Consumes the measured window and decides the next allocation.
+    fn decide(&mut self, stats: &WindowStats) -> Decision;
+
+    /// The SLO currently in force, ms (may change mid-run, Fig. 20).
+    fn slo_ms(&self) -> f64;
+}
+
+impl Policy for PemaController {
+    fn decide(&mut self, stats: &WindowStats) -> Decision {
+        let out = self.step(&stats_to_obs(stats));
+        Decision {
+            action: action_name(&out.action),
+            alloc: out.alloc,
+            pema_id: 0,
+        }
+    }
+
+    fn slo_ms(&self) -> f64 {
+        self.params().slo_ms
+    }
+}
+
+impl Policy for WorkloadAwarePema {
+    fn pre_interval(&mut self, rps: f64) -> Option<Allocation> {
+        Some(Allocation::new(self.allocation_for(rps).to_vec()))
+    }
+
+    fn decide(&mut self, stats: &WindowStats) -> Decision {
+        let out = self.step(&stats_to_obs(stats));
+        Decision {
+            action: out
+                .action
+                .as_ref()
+                .map(action_name)
+                .unwrap_or_else(|| "learn-m".to_string()),
+            alloc: out.alloc,
+            pema_id: out.pema_id,
+        }
+    }
+
+    fn slo_ms(&self) -> f64 {
+        // The inherent accessor (disambiguated from this trait method).
+        WorkloadAwarePema::slo_ms(self)
+    }
+}
+
+/// [`RuleScaler`] plus the SLO it is judged against. The rule itself is
+/// latency-blind (it never reads the SLO); the loop still needs the SLO
+/// to mark violating intervals.
+pub struct RulePolicy {
+    /// The rule-based scaler under test.
+    pub rule: RuleScaler,
+    slo_ms: f64,
+}
+
+impl Policy for RulePolicy {
+    fn decide(&mut self, stats: &WindowStats) -> Decision {
+        let next = self.rule.step(stats);
+        Decision {
+            alloc: next.0.clone(),
+            action: "rule".to_string(),
+            pema_id: 0,
+        }
+    }
+
+    fn slo_ms(&self) -> f64 {
+        self.slo_ms
+    }
+}
+
+/// The measure → observe → act → apply loop, generic over the policy.
+pub struct ControlLoop<P: Policy> {
     /// The simulated cluster (public for scenario scripting: speed
     /// changes, SLO changes, etc.).
     pub sim: ClusterSim,
-    /// The controller under test.
-    pub ctrl: PemaController,
+    /// The policy under test.
+    pub policy: P,
     cfg: HarnessConfig,
     /// When set, the monitoring window is checked every this many
     /// seconds and aborted on an SLO breach (§6's high-resolution
@@ -157,18 +272,17 @@ pub struct PemaRunner {
     log: Vec<IterationLog>,
 }
 
-impl PemaRunner {
-    /// Builds a runner starting from the app's generous allocation.
-    /// Clients time out after 8× the SLO (as a load generator would),
-    /// so saturated intervals shed their backlog instead of poisoning
-    /// later measurements.
-    pub fn new(app: &AppSpec, params: PemaParams, cfg: HarnessConfig) -> Self {
+impl<P: Policy> ControlLoop<P> {
+    /// Builds a loop around an explicit policy, starting the cluster
+    /// from the app's generous allocation. Clients time out after 8×
+    /// the SLO (as a load generator would), so saturated intervals shed
+    /// their backlog instead of poisoning later measurements.
+    pub fn from_parts(app: &AppSpec, policy: P, cfg: HarnessConfig) -> Self {
         let mut sim = ClusterSim::new(app, cfg.seed);
         sim.set_request_timeout(Some(app.slo_ms / 1e3 * 8.0));
-        let ctrl = PemaController::new(params, app.generous_alloc.clone());
         Self {
             sim,
-            ctrl,
+            policy,
             cfg,
             early_check_s: None,
             iter: 0,
@@ -177,19 +291,27 @@ impl PemaRunner {
     }
 
     /// Enables early violation detection: the window aborts (and the
-    /// controller rolls back) as soon as the running p95 exceeds the
-    /// SLO, checked every `check_s` seconds.
+    /// policy rolls back) as soon as the running p95 exceeds the SLO,
+    /// checked every `check_s` seconds.
     pub fn with_early_check(mut self, check_s: f64) -> Self {
         assert!(check_s > 0.0, "check interval must be positive");
         self.early_check_s = Some(check_s);
         self
     }
 
+    /// The per-interval log so far.
+    pub fn log(&self) -> &[IterationLog] {
+        &self.log
+    }
+
     /// Runs one control interval at offered load `rps` and logs it.
     pub fn step_once(&mut self, rps: f64) -> &IterationLog {
         let time_s = self.sim.now().as_secs();
+        if let Some(pre) = self.policy.pre_interval(rps) {
+            self.sim.set_allocation(&pre);
+        }
         let alloc_in_force = self.sim.allocation();
-        let slo = self.ctrl.params().slo_ms;
+        let slo = self.policy.slo_ms();
         let (stats, aborted) = match self.early_check_s {
             Some(check_s) => self.sim.run_window_abortable(
                 rps,
@@ -204,9 +326,8 @@ impl PemaRunner {
                 false,
             ),
         };
-        let obs = stats_to_obs(&stats);
-        let out = self.ctrl.step(&obs);
-        self.sim.set_allocation(&Allocation::new(out.alloc.clone()));
+        let d = self.policy.decide(&stats);
+        self.sim.set_allocation(&Allocation::new(d.alloc.clone()));
         self.log.push(IterationLog {
             iter: self.iter,
             time_s,
@@ -216,12 +337,12 @@ impl PemaRunner {
             mean_ms: stats.mean_ms,
             violated: stats.violates(slo),
             action: if aborted {
-                format!("early-{}", action_name(&out.action))
+                format!("early-{}", d.action)
             } else {
-                action_name(&out.action)
+                d.action
             },
-            alloc: out.alloc,
-            pema_id: 0,
+            alloc: d.alloc,
+            pema_id: d.pema_id,
             interval_s: stats.duration_s,
         });
         self.iter += 1;
@@ -250,25 +371,28 @@ impl PemaRunner {
     pub fn into_result(self) -> RunResult {
         RunResult {
             final_alloc: self.sim.allocation(),
-            slo_ms: self.ctrl.params().slo_ms,
+            slo_ms: self.policy.slo_ms(),
             log: self.log,
         }
     }
 }
 
-/// Harness for the workload-aware manager ([`WorkloadAwarePema`]).
-pub struct ManagedRunner {
-    /// The simulated cluster.
-    pub sim: ClusterSim,
-    /// The workload-aware manager under test.
-    pub mgr: WorkloadAwarePema,
-    cfg: HarnessConfig,
-    iter: usize,
-    slo_ms: f64,
-    log: Vec<IterationLog>,
+/// Harness for a single [`PemaController`] at (typically) fixed load.
+pub type PemaRunner = ControlLoop<PemaController>;
+
+impl ControlLoop<PemaController> {
+    /// Builds a PEMA runner starting from the app's generous
+    /// allocation.
+    pub fn new(app: &AppSpec, params: PemaParams, cfg: HarnessConfig) -> Self {
+        let ctrl = PemaController::new(params, app.generous_alloc.clone());
+        Self::from_parts(app, ctrl, cfg)
+    }
 }
 
-impl ManagedRunner {
+/// Harness for the workload-aware manager ([`WorkloadAwarePema`]).
+pub type ManagedRunner = ControlLoop<WorkloadAwarePema>;
+
+impl ControlLoop<WorkloadAwarePema> {
     /// Builds a managed runner from the app's generous allocation.
     pub fn new(
         app: &AppSpec,
@@ -276,137 +400,23 @@ impl ManagedRunner {
         range_cfg: pema_core::RangeConfig,
         cfg: HarnessConfig,
     ) -> Self {
-        let mut sim = ClusterSim::new(app, cfg.seed);
-        sim.set_request_timeout(Some(app.slo_ms / 1e3 * 8.0));
-        let slo_ms = params.slo_ms;
         let mgr = WorkloadAwarePema::new(params, app.generous_alloc.clone(), range_cfg);
-        Self {
-            sim,
-            mgr,
-            cfg,
-            iter: 0,
-            slo_ms,
-            log: Vec::new(),
-        }
-    }
-
-    /// Runs one interval: pre-switches the allocation to the range
-    /// owning the current workload (burst handling, Fig. 18), measures,
-    /// steps the manager, applies its decision.
-    pub fn step_once(&mut self, rps: f64) -> &IterationLog {
-        let time_s = self.sim.now().as_secs();
-        // Pre-emptive range switch at the interval boundary.
-        let pre = Allocation::new(self.mgr.allocation_for(rps).to_vec());
-        self.sim.set_allocation(&pre);
-        let stats = self
-            .sim
-            .run_window(rps, self.cfg.warmup_s, self.cfg.interval_s);
-        let obs = stats_to_obs(&stats);
-        let out = self.mgr.step(&obs);
-        self.sim.set_allocation(&Allocation::new(out.alloc.clone()));
-        self.log.push(IterationLog {
-            iter: self.iter,
-            time_s,
-            rps,
-            total_cpu: pre.total(),
-            p95_ms: stats.p95_ms,
-            mean_ms: stats.mean_ms,
-            violated: stats.violates(self.slo_ms),
-            action: out
-                .action
-                .as_ref()
-                .map(action_name)
-                .unwrap_or_else(|| "learn-m".to_string()),
-            alloc: out.alloc,
-            pema_id: out.pema_id,
-            interval_s: stats.duration_s,
-        });
-        self.iter += 1;
-        self.log.last().unwrap()
-    }
-
-    /// Runs `iters` intervals against a workload pattern.
-    pub fn run_workload(mut self, w: &dyn Workload, iters: usize) -> RunResult {
-        for _ in 0..iters {
-            let rps = w.rps_at(self.sim.now().as_secs());
-            self.step_once(rps);
-        }
-        self.into_result()
-    }
-
-    /// Finalizes into a [`RunResult`].
-    pub fn into_result(self) -> RunResult {
-        RunResult {
-            final_alloc: self.sim.allocation(),
-            slo_ms: self.slo_ms,
-            log: self.log,
-        }
+        Self::from_parts(app, mgr, cfg)
     }
 }
 
 /// Harness for the rule-based baseline.
-pub struct RuleRunner {
-    /// The simulated cluster.
-    pub sim: ClusterSim,
-    /// The rule-based scaler under test.
-    pub rule: RuleScaler,
-    cfg: HarnessConfig,
-    slo_ms: f64,
-    iter: usize,
-    log: Vec<IterationLog>,
-}
+pub type RuleRunner = ControlLoop<RulePolicy>;
 
-impl RuleRunner {
-    /// Builds a rule-based runner from the app's generous allocation.
+impl ControlLoop<RulePolicy> {
+    /// Builds a rule-based runner from the app's generous allocation,
+    /// judged against the app's SLO.
     pub fn new(app: &AppSpec, cfg: HarnessConfig) -> Self {
-        let mut sim = ClusterSim::new(app, cfg.seed);
-        sim.set_request_timeout(Some(app.slo_ms / 1e3 * 8.0));
-        Self {
-            sim,
+        let policy = RulePolicy {
             rule: RuleScaler::new(app),
-            cfg,
             slo_ms: app.slo_ms,
-            iter: 0,
-            log: Vec::new(),
-        }
-    }
-
-    /// Runs one interval.
-    pub fn step_once(&mut self, rps: f64) -> &IterationLog {
-        let time_s = self.sim.now().as_secs();
-        let alloc_in_force = self.sim.allocation();
-        let stats = self
-            .sim
-            .run_window(rps, self.cfg.warmup_s, self.cfg.interval_s);
-        let next = self.rule.step(&stats);
-        self.sim.set_allocation(&next);
-        self.log.push(IterationLog {
-            iter: self.iter,
-            time_s,
-            rps,
-            total_cpu: alloc_in_force.total(),
-            p95_ms: stats.p95_ms,
-            mean_ms: stats.mean_ms,
-            violated: stats.violates(self.slo_ms),
-            action: "rule".to_string(),
-            alloc: next.0.clone(),
-            pema_id: 0,
-            interval_s: stats.duration_s,
-        });
-        self.iter += 1;
-        self.log.last().unwrap()
-    }
-
-    /// Runs `iters` intervals at constant load.
-    pub fn run_const(mut self, rps: f64, iters: usize) -> RunResult {
-        for _ in 0..iters {
-            self.step_once(rps);
-        }
-        RunResult {
-            final_alloc: self.sim.allocation(),
-            slo_ms: self.slo_ms,
-            log: self.log,
-        }
+        };
+        Self::from_parts(app, policy, cfg)
     }
 }
 
@@ -421,7 +431,12 @@ pub fn optimum_for(
         .with_window(4.0, 20.0)
         .with_robustness(2);
     let start = Allocation::new(app.generous_alloc.clone());
-    pema_baselines::find_optimum(&mut eval, &start, rps, &pema_baselines::OptmConfig::default())
+    pema_baselines::find_optimum(
+        &mut eval,
+        &start,
+        rps,
+        &pema_baselines::OptmConfig::default(),
+    )
 }
 
 fn action_name(a: &Action) -> String {
@@ -479,5 +494,59 @@ mod tests {
         assert_eq!(obs.n_services(), 3);
         assert_eq!(obs.p95_ms, stats.p95_ms);
         assert_eq!(obs.rps, stats.offered_rps);
+    }
+
+    #[test]
+    fn generic_loop_preserves_runner_behaviour() {
+        // The three aliases must drive the exact same loop: a custom
+        // policy that holds the allocation forever sees one window per
+        // interval and the logged totals match the applied allocation.
+        struct Hold(Vec<f64>);
+        impl Policy for Hold {
+            fn decide(&mut self, _stats: &WindowStats) -> Decision {
+                Decision {
+                    alloc: self.0.clone(),
+                    action: "hold".into(),
+                    pema_id: 7,
+                }
+            }
+            fn slo_ms(&self) -> f64 {
+                100.0
+            }
+        }
+        let app = pema_apps::toy_chain();
+        let cfg = HarnessConfig {
+            interval_s: 6.0,
+            warmup_s: 1.0,
+            seed: 9,
+        };
+        let alloc = app.generous_alloc.clone();
+        let result = ControlLoop::from_parts(&app, Hold(alloc.clone()), cfg).run_const(120.0, 3);
+        assert_eq!(result.log.len(), 3);
+        for l in &result.log {
+            assert_eq!(l.pema_id, 7);
+            assert_eq!(l.action, "hold");
+            assert!((l.total_cpu - alloc.iter().sum::<f64>()).abs() < 1e-9);
+        }
+        assert_eq!(result.slo_ms, 100.0);
+    }
+
+    #[test]
+    fn managed_runner_pre_switches_allocation() {
+        let app = pema_apps::toy_chain();
+        let params = PemaParams::defaults(app.slo_ms);
+        let range_cfg =
+            pema_core::RangeConfig::new(pema_workload::WorkloadRange::new(100.0, 300.0), 50.0);
+        let cfg = HarnessConfig {
+            interval_s: 8.0,
+            warmup_s: 1.0,
+            seed: 11,
+        };
+        let mut runner = ManagedRunner::new(&app, params, range_cfg, cfg);
+        let expected: f64 = runner.policy.allocation_for(150.0).iter().sum();
+        let log = runner.step_once(150.0).clone();
+        // total_cpu reflects the pre-switched allocation in force
+        // during the window, exactly as the dedicated runner did.
+        assert!((log.total_cpu - expected).abs() < 1e-9);
     }
 }

@@ -57,13 +57,13 @@ fn tighter_slo_costs_resources_looser_slo_saves_them() {
     }
     let at_100 = avg_tail(&runner, 5);
 
-    runner.ctrl.set_slo_ms(60.0);
+    runner.policy.set_slo_ms(60.0);
     for _ in 0..20 {
         runner.step_once(150.0);
     }
     let at_60 = avg_tail(&runner, 5);
 
-    runner.ctrl.set_slo_ms(200.0);
+    runner.policy.set_slo_ms(200.0);
     for _ in 0..20 {
         runner.step_once(150.0);
     }
@@ -92,7 +92,7 @@ fn slo_violation_detection_follows_current_slo() {
         runner.step_once(150.0);
     }
     // An absurdly tight SLO makes every interval a violation.
-    runner.ctrl.set_slo_ms(1.0);
+    runner.policy.set_slo_ms(1.0);
     let log = runner.step_once(150.0).clone();
     assert!(log.violated);
     assert_eq!(log.action, "rollback");
@@ -102,5 +102,5 @@ fn avg_tail(runner: &PemaRunner, k: usize) -> f64 {
     // `PemaRunner` does not expose its internal log directly; rely on
     // the controller's current allocation as the settled proxy.
     let _ = k;
-    runner.ctrl.total_alloc()
+    runner.policy.total_alloc()
 }

@@ -39,7 +39,12 @@ fn monotonic_reduction_mostly_increases_latency() {
 #[test]
 fn throttling_spikes_when_starved() {
     let app = pema::pema_apps::toy_chain();
-    let healthy = measure(&app, &Allocation::new(app.generous_alloc.clone()), 150.0, 77);
+    let healthy = measure(
+        &app,
+        &Allocation::new(app.generous_alloc.clone()),
+        150.0,
+        77,
+    );
     let mut starved_alloc = Allocation::new(app.generous_alloc.clone());
     starved_alloc.set(1, 0.25); // starve `logic`
     let starved = measure(&app, &starved_alloc, 150.0, 77);
@@ -97,7 +102,10 @@ fn fluid_model_orders_allocations_like_des() {
         .map(|a| fluid.evaluate(a, 150.0).mean_ms)
         .collect();
     assert!(des[0] <= des[1] && des[1] <= des[2], "DES ordering {des:?}");
-    assert!(flu[0] <= flu[1] && flu[1] <= flu[2], "fluid ordering {flu:?}");
+    assert!(
+        flu[0] <= flu[1] && flu[1] <= flu[2],
+        "fluid ordering {flu:?}"
+    );
 }
 
 proptest! {

@@ -29,7 +29,7 @@ fn manager_splits_ranges_under_varying_load() {
         let rps = 120.0 + (i as f64 * 37.0) % 170.0;
         runner.step_once(rps);
     }
-    let ranges = runner.mgr.ranges();
+    let ranges = runner.policy.ranges();
     assert!(ranges.len() >= 2, "no split after 40 intervals");
     // Partition property: contiguous, covering [100, 300].
     assert_eq!(ranges[0].0.lo, 100.0);
@@ -48,7 +48,7 @@ fn manager_learns_workload_slope() {
         let rps = 100.0 + i as f64 * 40.0;
         runner.step_once(rps);
     }
-    let m = runner.mgr.slope_m().expect("m learned after 4 samples");
+    let m = runner.policy.slope_m().expect("m learned after 4 samples");
     assert!(m >= 0.0, "slope must be non-negative: {m}");
 }
 
@@ -88,8 +88,8 @@ fn per_range_allocations_order_with_load() {
         let rps = if i % 2 == 0 { 130.0 } else { 270.0 };
         runner.step_once(rps);
     }
-    let lo_total: f64 = runner.mgr.allocation_for(130.0).iter().sum();
-    let hi_total: f64 = runner.mgr.allocation_for(270.0).iter().sum();
+    let lo_total: f64 = runner.policy.allocation_for(130.0).iter().sum();
+    let hi_total: f64 = runner.policy.allocation_for(270.0).iter().sum();
     assert!(
         lo_total <= hi_total * 1.15,
         "low-load range ({lo_total:.2}) should not need much more than high ({hi_total:.2})"

@@ -1,0 +1,213 @@
+//! Offline subset of the criterion benchmarking API (see README.md).
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed
+//! samples of an adaptively sized batch, and prints mean / min / max
+//! time per iteration. No statistics, plotting, or baselines — just
+//! enough to run `cargo bench` without a registry.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Wall time spent sizing the batch before measurement.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a bare parameter value.
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        Self(p.to_string())
+    }
+
+    /// Builds a `name/parameter` id.
+    pub fn new<D: Display>(name: &str, p: D) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, batching calls so each sample lasts long enough to
+    /// measure reliably.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Size the batch: grow until one batch costs ~SAMPLE_TARGET.
+        if self.batch == 0 {
+            self.batch = 1;
+            let warmup_start = Instant::now();
+            loop {
+                let t = Instant::now();
+                for _ in 0..self.batch {
+                    black_box(f());
+                }
+                let dt = t.elapsed();
+                if dt >= SAMPLE_TARGET || warmup_start.elapsed() >= WARMUP_TARGET {
+                    break;
+                }
+                self.batch = (self.batch * 2).min(1 << 30);
+            }
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / self.batch as u32);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        batch: 0,
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    println!(
+        "{name:<44} mean {:>12?}  [min {:>12?}, max {:>12?}]  ({} samples × {} iters)",
+        mean,
+        min,
+        max,
+        b.samples.len(),
+        b.batch
+    );
+}
+
+/// Declares a benchmark-group function, as crates.io criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+}

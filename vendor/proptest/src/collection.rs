@@ -1,0 +1,47 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Length specifications accepted by [`vec`]: an exact `usize` or a
+/// half-open `Range<usize>`.
+pub trait SizeRange {
+    /// Draws a length.
+    fn pick(&self, rng: &mut SmallRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut SmallRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut SmallRng) -> usize {
+        assert!(self.start < self.end, "vec size range is empty");
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a generated length.
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose
+/// length comes from `len`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,183 @@
+//! Offline subset of the `rand` 0.8 API (see README.md).
+//!
+//! Deterministic by construction: the only generator is
+//! [`rngs::SmallRng`] (xoshiro256++), seeded explicitly — there is no
+//! entropy source. The trait layout mirrors `rand` 0.8 closely enough
+//! that `use rand::{Rng, SeedableRng}; SmallRng::seed_from_u64(s)` and
+//! `rng.gen::<f64>()` / `rng.gen_range(a..b)` compile unchanged.
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, Standard};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns 32 uniformly random bits (upper half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Explicitly seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion, as
+    /// `rand` 0.8 does for small seeds).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution (`f64`/`f32`
+    /// in `[0, 1)`, full-range integers, fair `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a half-open (`a..b`) or inclusive
+    /// (`a..=b`) range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0u64..=5);
+            assert!(y <= 5);
+            let z = r.gen_range(-4i64..4);
+            assert!((-4..4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen={seen:?}");
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = r.gen_range(0.10..0.30);
+            assert!((0.10..0.30).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn single_element_inclusive_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert_eq!(r.gen_range(4usize..=4), 4);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_frequency() {
+        let mut r = SmallRng::seed_from_u64(13);
+        assert!(!r.gen_bool(0.0));
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let f = hits as f64 / 100_000.0;
+        assert!((f - 0.25).abs() < 0.01, "freq={f}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        use super::RngCore;
+        let mut r = SmallRng::seed_from_u64(17);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        // The simulator passes `&mut R where R: Rng + ?Sized`.
+        fn sample(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut r = SmallRng::seed_from_u64(23);
+        let dynr: &mut SmallRng = &mut r;
+        let _ = sample(dynr);
+    }
+}
