@@ -33,6 +33,78 @@ pub use trainticket::trainticket;
 use pema_sim::topology::AppSpec;
 use pema_sim::ServiceSpec;
 
+/// A cluster-scale synthetic application: `replicas` independent
+/// five-service product lines (frontend → {auth, cart} → order → db)
+/// bin-packed 16 containers per node — the shape of a production
+/// cluster rather than a single demo app.
+///
+/// This is the ROADMAP's "production-scale" direction made concrete
+/// and is the workload the `bench perf` macro suite uses to measure
+/// how engine cost scales with topology size: per simulated request
+/// the engine must handle deep fan-out across many co-located
+/// services, dense per-node contention bookkeeping, and hundreds of
+/// armed timers. Drive it at roughly `40 × replicas` rps.
+pub fn cluster_scale(replicas: usize) -> AppSpec {
+    assert!(replicas >= 1, "need at least one replica");
+    let services = replicas * 5;
+    let nodes = services.div_ceil(16);
+    let mut b = AppBuilder::new("cluster-scale", 250.0, 0.0002).nodes(nodes, 32.0);
+    for r in 0..replicas {
+        // Block-pack services onto nodes in declaration order: 16
+        // consecutive containers per node, so each node hosts ~3
+        // complete replica chains plus a fragment of the next — calls
+        // mostly stay node-local, as with a locality-aware scheduler.
+        let node_of = |svc_idx: usize| svc_idx / 16 % nodes;
+        let base = r * 5;
+        let fe = b.service(
+            ServiceSpec::new(&format!("fe-{r}"), 0.0015)
+                .cv(1.0)
+                .threads(Some(24))
+                .on_node(node_of(base)),
+            1.5,
+        );
+        let auth = b.service(
+            ServiceSpec::new(&format!("auth-{r}"), 0.0010)
+                .cv(0.8)
+                .threads(Some(16))
+                .on_node(node_of(base + 1)),
+            1.0,
+        );
+        let cart = b.service(
+            ServiceSpec::new(&format!("cart-{r}"), 0.0022)
+                .cv(1.3)
+                .threads(Some(16))
+                .on_node(node_of(base + 2)),
+            1.5,
+        );
+        let order = b.service(
+            ServiceSpec::new(&format!("order-{r}"), 0.0028)
+                .cv(1.2)
+                .threads(Some(16))
+                .on_node(node_of(base + 3)),
+            1.5,
+        );
+        let db = b.service(
+            ServiceSpec::new(&format!("db-{r}"), 0.0014)
+                .cv(0.7)
+                .threads(Some(12))
+                .on_node(node_of(base + 4)),
+            1.0,
+        );
+        let ep_db = b.leaf(db, 1.0);
+        let ep_order = b.ep(order, 1.0, vec![vec![(ep_db, 1.0)]]);
+        let ep_auth = b.leaf(auth, 1.0);
+        let ep_cart = b.ep(cart, 1.0, vec![vec![(ep_db, 0.6)]]);
+        let ep_fe = b.ep(
+            fe,
+            1.0,
+            vec![vec![(ep_auth, 1.0), (ep_cart, 0.9)], vec![(ep_order, 0.55)]],
+        );
+        b.class(&format!("browse-{r}"), 1.0, ep_fe);
+    }
+    b.build()
+}
+
 /// A three-service chain (gateway → logic → db) for tests and examples.
 /// SLO 100 ms; sensible at 50–400 rps.
 pub fn toy_chain() -> AppSpec {
@@ -71,6 +143,7 @@ pub fn by_name(name: &str) -> Option<AppSpec> {
         "sockshop" => Some(sockshop()),
         "hotelreservation" => Some(hotelreservation()),
         "toy-chain" => Some(toy_chain()),
+        "cluster-scale" => Some(cluster_scale(24)),
         _ => None,
     }
 }
@@ -91,6 +164,37 @@ mod tests {
         assert_eq!(trainticket().slo_ms, 900.0);
         assert_eq!(sockshop().slo_ms, 250.0);
         assert_eq!(hotelreservation().slo_ms, 50.0);
+    }
+
+    #[test]
+    fn cluster_scale_packs_and_validates() {
+        for replicas in [1, 4, 24] {
+            let app = cluster_scale(replicas);
+            assert_eq!(app.services.len(), replicas * 5);
+            assert_eq!(app.classes.len(), replicas);
+            assert_eq!(app.nodes.len(), (replicas * 5).div_ceil(16));
+            // Round-robin packing never exceeds 16 containers/node.
+            let mut per_node = vec![0usize; app.nodes.len()];
+            for s in &app.services {
+                per_node[s.node] += 1;
+            }
+            assert!(per_node.iter().all(|&n| n <= 16), "{per_node:?}");
+            app.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn cluster_scale_serves_light_load() {
+        let app = cluster_scale(4);
+        let mut sim = pema_sim::ClusterSim::new(&app, 3);
+        let stats = sim.run_window(160.0, 1.0, 10.0);
+        assert!(stats.completed > 1000, "completed={}", stats.completed);
+        assert!(
+            stats.p95_ms < app.slo_ms,
+            "p95={} vs SLO {}",
+            stats.p95_ms,
+            app.slo_ms
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! `$PEMA_RESULTS_DIR` (default `results/`); already-written scenarios
 //! are skipped unless `--force` is given.
 
-use pema_bench::{registry, run_suite, Outcome, SuiteConfig};
+use pema_bench::{registry, run_perf, run_suite, Outcome, PerfConfig, SuiteConfig};
 use std::process::exit;
 
 fn main() {
@@ -21,6 +21,7 @@ fn main() {
         Some("list") => cmd_list(),
         Some("all") => cmd_run(&args[1..], true),
         Some("run") => cmd_run(&args[1..], false),
+        Some("perf") => cmd_perf(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => usage(None),
         Some(other) => usage(Some(other)),
     }
@@ -38,6 +39,9 @@ fn usage(unknown: Option<&str>) -> ! {
          \x20 all  [--jobs N] [--smoke] [--force]   run the whole suite\n\
          \x20 run  [--only a,b | ids…] [--jobs N] [--smoke] [--force]\n\
          \x20                                       run a subset\n\
+         \x20 perf [--smoke] [--label L] [--out F] [--check BASELINE.json]\n\
+         \x20                                       perf harness → benchmarks/BENCH_<L>.json;\n\
+         \x20                                       --check fails on >25% macro regression\n\
          \n\
          CSVs land under $PEMA_RESULTS_DIR (default ./results); existing\n\
          results are skipped unless --force is given. Output is identical\n\
@@ -51,6 +55,33 @@ fn cmd_list() {
     for s in registry() {
         println!("{:<22} {}", s.id(), s.outputs().join(", "));
         println!("{:<22}   {}", "", s.about());
+    }
+}
+
+fn cmd_perf(args: &[String]) {
+    let mut cfg = PerfConfig::default();
+    let mut it = args.iter();
+    let need = |flag: &str, v: Option<&String>| -> String {
+        v.cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            exit(2);
+        })
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--label" => cfg.label = need("--label", it.next()),
+            "--out" => cfg.out = Some(need("--out", it.next()).into()),
+            "--check" => cfg.check = Some(need("--check", it.next()).into()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                exit(2);
+            }
+        }
+    }
+    if let Err(e) = run_perf(&cfg) {
+        eprintln!("bench perf: {e}");
+        exit(1);
     }
 }
 

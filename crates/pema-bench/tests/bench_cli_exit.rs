@@ -1,0 +1,98 @@
+//! Exit-code contract of the `bench` driver binary.
+//!
+//! CI's smoke step relies on `bench` exiting non-zero whenever any
+//! scenario reports `Outcome::Failed` — a suite that prints FAILED but
+//! exits 0 would silently green-light broken experiments. These tests
+//! run the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bench_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_bench")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pema-bench-exit-{name}"));
+    let _ = std::fs::remove_dir_all(&d);
+    let _ = std::fs::remove_file(&d);
+    d
+}
+
+#[test]
+fn failing_scenario_exits_nonzero() {
+    // Point the results dir *under a regular file*: `create_dir_all`
+    // fails, the scenario reports `Outcome::Failed`, and the driver
+    // must exit 1.
+    let blocker = tmp("blocker");
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let out = Command::new(bench_bin())
+        .args(["run", "fig06", "--smoke", "--force"])
+        .env("PEMA_RESULTS_DIR", blocker.join("nested"))
+        .output()
+        .expect("bench binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAILED"), "stdout: {stdout}");
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
+fn successful_scenario_exits_zero() {
+    let dir = tmp("ok");
+    let out = Command::new(bench_bin())
+        .args(["run", "fig06", "--smoke", "--force"])
+        .env("PEMA_RESULTS_DIR", &dir)
+        .output()
+        .expect("bench binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.join("fig06.csv").exists());
+}
+
+#[test]
+fn unknown_scenario_is_a_usage_error() {
+    let out = Command::new(bench_bin())
+        .args(["run", "no-such-scenario", "--smoke"])
+        .output()
+        .expect("bench binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn perf_check_against_garbage_baseline_exits_nonzero() {
+    let dir = tmp("perf");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("broken.json");
+    std::fs::write(&baseline, b"{ not json").unwrap();
+    let out = Command::new(bench_bin())
+        .args([
+            "perf",
+            "--smoke",
+            "--label",
+            "exit-test",
+            "--out",
+            dir.join("BENCH_exit-test.json").to_str().unwrap(),
+            "--check",
+            baseline.to_str().unwrap(),
+        ])
+        .env("PEMA_RESULTS_DIR", &dir)
+        .output()
+        .expect("bench binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

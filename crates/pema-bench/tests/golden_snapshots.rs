@@ -1,0 +1,92 @@
+//! Golden-snapshot tests pinning simulator behavior byte-for-byte.
+//!
+//! The engine optimization work (calendar event queue, visit slot
+//! pooling, precomputed samplers) is required to be *behavior
+//! preserving*: the committed CSVs under `tests/goldens/` were
+//! generated before the optimization and every run since must
+//! reproduce them exactly. Three representative scenarios are pinned —
+//! one figure (`fig06`), one ablation (`ablation_ma`), and `table1` —
+//! the same trio `bench perf` runs as its macro scenario suite.
+
+use pema_bench::perf::MACRO_SCENARIOS;
+use pema_bench::{run_suite, SuiteConfig};
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pema-golden-{name}"));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn run_trio(dir: &Path, jobs: usize) {
+    let cfg = SuiteConfig {
+        jobs,
+        only: Some(MACRO_SCENARIOS.iter().map(|s| s.to_string()).collect()),
+        smoke: true,
+        force: true,
+        results_dir: Some(dir.to_path_buf()),
+    };
+    let reports = run_suite(&cfg).expect("suite runs");
+    assert!(reports.iter().all(|r| r.ok()), "{reports:?}");
+}
+
+fn goldens_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+/// Every CSV the trio writes, compared byte-for-byte against the
+/// committed pre-optimization goldens.
+#[test]
+fn scenario_csvs_match_committed_goldens() {
+    let dir = tmp_dir("trio");
+    run_trio(&dir, 1);
+    let mut compared = 0usize;
+    for entry in std::fs::read_dir(goldens_dir()).expect("goldens dir exists") {
+        let golden_path = entry.unwrap().path();
+        if golden_path.extension().is_none_or(|x| x != "csv") {
+            continue;
+        }
+        let name = golden_path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        let golden = std::fs::read(&golden_path).unwrap();
+        let fresh = std::fs::read(dir.join(&name))
+            .unwrap_or_else(|e| panic!("scenario run did not produce {name}: {e}"));
+        assert_eq!(
+            golden, fresh,
+            "{name} diverged from the committed golden — the engine \
+             changed behavior (run `bench run fig06 ablation_ma table1 \
+             --smoke --force` and diff against tests/goldens/)"
+        );
+        compared += 1;
+    }
+    assert!(
+        compared >= 3,
+        "expected at least 3 golden CSVs, found {compared}"
+    );
+}
+
+/// `--jobs` invariance still holds for the pinned trio: a parallel run
+/// produces the same bytes as the sequential one.
+#[test]
+fn golden_trio_is_jobs_invariant() {
+    let d1 = tmp_dir("jobs1");
+    let d4 = tmp_dir("jobs4");
+    run_trio(&d1, 1);
+    run_trio(&d4, 4);
+    for entry in std::fs::read_dir(&d1).unwrap() {
+        let p1 = entry.unwrap().path();
+        if p1.extension().is_none_or(|x| x != "csv") {
+            continue;
+        }
+        let name = p1.file_name().unwrap().to_string_lossy().into_owned();
+        let a = std::fs::read(&p1).unwrap();
+        let b = std::fs::read(d4.join(&name))
+            .unwrap_or_else(|e| panic!("--jobs 4 run missing {name}: {e}"));
+        assert_eq!(a, b, "{name} differs between --jobs 1 and --jobs 4");
+    }
+}

@@ -65,7 +65,22 @@ impl LatencyHistogram {
         }
         let ratio = value_s / UNIT;
         // ratio >= 1. Bucket index = octave * SUBBUCKETS + sub index.
-        let octave = ratio.log2().floor() as usize;
+        //
+        // The octave is floor(log2(ratio)), which for a normal positive
+        // f64 is just its IEEE exponent — no libm call. The one case
+        // where the two can disagree is a value within half an ulp
+        // *below* a power of two, where `log2` may round its result up
+        // to the integer and the old `log2().floor()` formulation
+        // landed in the higher octave; values that close to the
+        // boundary (mantissa all-ones in the top bits) take the slow
+        // path so the bucketing stays bit-for-bit identical.
+        let bits = ratio.to_bits();
+        const MANTISSA_NEAR_TOP: u64 = 0x000F_FFFF_FFFF_FF00;
+        let octave = if (bits & 0x000F_FFFF_FFFF_FFFF) >= MANTISSA_NEAR_TOP {
+            ratio.log2().floor() as usize
+        } else {
+            ((bits >> 52) & 0x7FF) as usize - 1023
+        };
         let octave = octave.min(OCTAVES - 1);
         let base = (1u64 << octave) as f64;
         let frac = (ratio / base - 1.0).clamp(0.0, 0.999_999);
@@ -313,6 +328,45 @@ mod tests {
         let f = h.fraction_above(0.050);
         assert!((f - 0.5).abs() < 0.06, "fraction={f}");
         assert_eq!(h.fraction_above(1.0), 0.0);
+    }
+
+    /// The reference bucketing the exponent-extraction fast path must
+    /// reproduce exactly (the pre-optimization formulation).
+    fn bucket_of_reference(value_s: f64) -> Option<usize> {
+        if value_s < UNIT {
+            return None;
+        }
+        let ratio = value_s / UNIT;
+        let octave = ratio.log2().floor() as usize;
+        let octave = octave.min(OCTAVES - 1);
+        let base = (1u64 << octave) as f64;
+        let frac = (ratio / base - 1.0).clamp(0.0, 0.999_999);
+        let sub = (frac * SUBBUCKETS as f64) as usize;
+        Some(octave * SUBBUCKETS + sub.min(SUBBUCKETS - 1))
+    }
+
+    #[test]
+    fn fast_bucketing_matches_log2_reference() {
+        // Dense sweep plus adversarial values hugging every power-of-
+        // two boundary from both sides (where log2 rounding could
+        // disagree with exponent extraction).
+        let mut values: Vec<f64> = (1..200_000).map(|i| i as f64 * 2.7e-6).collect();
+        for oct in 0..=OCTAVES {
+            let b = UNIT * (1u64 << oct) as f64;
+            for ulps in 1..=4i64 {
+                values.push(f64::from_bits(b.to_bits() - ulps as u64));
+                values.push(f64::from_bits(b.to_bits() + ulps as u64));
+            }
+            values.push(b);
+        }
+        for v in values {
+            assert_eq!(
+                LatencyHistogram::bucket_of(v),
+                bucket_of_reference(v),
+                "bucketing diverged at {v:e} (bits {:#x})",
+                v.to_bits()
+            );
+        }
     }
 
     #[test]

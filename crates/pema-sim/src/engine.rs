@@ -12,16 +12,27 @@
 //! The design notes in `runtime.rs` explain the piecewise-linear
 //! integration; this module owns event scheduling and the visit state
 //! machine.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! ## Event scheduling
+//!
+//! `run_until` merges three sources by a shared `(time, seq)` key —
+//! the [`CalendarQueue`] holding visit events, the arrival-chain slot,
+//! and the per-service timer table — dispatching in exactly the order
+//! the original single-heap engine did (the global `seq` counter ticks
+//! on every scheduling action, including in-place slot overwrites, so
+//! FIFO tie-breaking is preserved). Timer- and arrival-class events
+//! are the ones that get *superseded* on nearly every dispatch; the
+//! indexed slots absorb those rewrites in O(1) instead of leaving
+//! stale heap entries to pop and discard later.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::rng::{bernoulli, exponential, lognormal_mean_cv, weighted_index};
+use crate::queue::CalendarQueue;
+use crate::rng::{bernoulli, exponential, weight_total, weighted_index_with_total, LogNormal};
 use crate::runtime::{
-    DeadlineKind, ServiceRt, Stage, Visit, VisitSlot, CFS_PERIOD_S, NO_PARENT, QUOTA_EPS, WORK_EPS,
+    DeadlineKind, RunningJob, ServiceRt, Stage, Visit, VisitSlot, CFS_PERIOD_NS, NO_PARENT,
+    QUOTA_EPS, WORK_EPS,
 };
 use crate::stats::{ServiceWindowStats, WindowStats};
 use crate::time::SimTime;
@@ -29,36 +40,28 @@ use crate::topology::{Allocation, AppSpec};
 use crate::trace::{RequestTrace, TraceSpan};
 use pema_metrics::LatencyHistogram;
 
-/// Events handled by the engine.
+/// Events routed through the calendar queue. Timer- and arrival-class
+/// events do not appear here: they live in indexed slots (one per
+/// service, one for the arrival chain) where rescheduling is an O(1)
+/// overwrite instead of a push that leaves a stale entry behind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    /// Next external request arrival (chain generation guard).
-    Arrival(u64),
     /// A visit arrives at its service (index, slot generation).
     VisitStart(u32, u32),
     /// A child call replied to its parent visit (index, generation).
     ChildDone(u32, u32),
-    /// Per-service timer (service index, timer generation).
-    Timer(u32, u64),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct HeapItem {
-    t: SimTime,
-    seq: u64,
-    ev: Ev,
+/// Which event source won the three-way merge in `run_until`.
+#[derive(PartialEq)]
+enum Src {
+    Queue,
+    Arrival,
+    Timer,
 }
 
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.t, self.seq).cmp(&(other.t, other.seq))
-    }
-}
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
+/// Services per block of the two-level timer argmin index.
+const TIMER_BLOCK: usize = 16;
 
 /// A running simulation of one application on its cluster.
 ///
@@ -72,10 +75,27 @@ pub struct ClusterSim {
     node_services: Vec<Vec<usize>>,
     node_rate: Vec<f64>,
     node_cores: Vec<f64>,
+    /// Incrementally maintained Σ active jobs per node (the PS-rate
+    /// denominator; see [`Self::after_change`]).
+    node_active: Vec<usize>,
+    /// `floor(cores)` per node — integer fast path of
+    /// [`Self::apply_node_rate`].
+    node_cores_floor: Vec<u64>,
     visits: Vec<VisitSlot>,
     free: Vec<usize>,
-    heap: BinaryHeap<Reverse<HeapItem>>,
+    queue: CalendarQueue<Ev>,
+    /// Global event sequence — the FIFO tie-breaker shared by the
+    /// queue and the indexed timer/arrival slots. Bumped on every
+    /// scheduling action exactly as the old single-heap engine bumped
+    /// it on every push, so same-time events dispatch in the same
+    /// relative order.
     seq: u64,
+    events_dispatched: u64,
+    /// Scheduled events resolved *in place*: a timer or arrival slot
+    /// overwrite that replaced a still-armed deadline. The old
+    /// single-heap engine paid a deferred stale pop for each of these;
+    /// the indexed slots absorb them at reschedule time.
+    events_superseded: u64,
     now: SimTime,
     rng: SmallRng,
     /// CPU speed factor (1.0 = reference). Scales sampled demands.
@@ -84,8 +104,47 @@ pub struct ClusterSim {
     /// are abandoned at their next scheduling point.
     timeout_s: Option<f64>,
     arrival_rate: f64,
-    arrival_gen: u64,
+    /// Arrival-chain slot: next arrival time/seq (armed = chain live).
+    arrival_at: SimTime,
+    arrival_seq: u64,
+    arrival_armed: bool,
+    /// Per-service timer slots `(t_ns, seq)`: the service's next
+    /// deadline, or `(u64::MAX, u64::MAX)` when idle. Rescheduling
+    /// overwrites in place — no stale timer events exist anywhere.
+    timer_key: Vec<(u64, u64)>,
+    /// Two-level argmin index over `timer_key`: per-block minima
+    /// (`t`, `seq`, `sid` per [`TIMER_BLOCK`] services, healed lazily
+    /// via `block_dirty`) plus a cached global minimum. Keeps the
+    /// rescan after each timer fire O(block + #blocks) instead of
+    /// O(#services) — what lets the timer table scale to
+    /// cluster-sized topologies.
+    block_min: Vec<(u64, u64, u32)>,
+    block_dirty: Vec<bool>,
+    /// Cached global argmin (`t`, `seq`, `sid`); recomputed lazily.
+    timer_min: (u64, u64, u32),
+    timer_min_valid: bool,
     class_weights: Vec<f64>,
+    /// Positive mass of `class_weights`, precomputed for the arrival
+    /// path (see [`weight_total`]).
+    class_weight_total: f64,
+    /// Per-endpoint work samplers with the log-normal µ/σ
+    /// transcendentals precomputed (bit-identical to sampling through
+    /// [`crate::rng::lognormal_mean_cv`] per visit).
+    ep_sampler: Vec<LogNormal>,
+    /// Flattened fan-out plan: all call groups of all endpoints as
+    /// spans into one contiguous `(child endpoint, probability)`
+    /// table. `ep_group_start[ep]..ep_group_start[ep + 1]` indexes
+    /// `group_spans`; each span `[lo, hi)` indexes `flat_calls`.
+    /// Replaces the pointer-chasing walk of the nested `AppSpec`
+    /// vectors on the per-visit fan-out path.
+    ep_group_start: Vec<u32>,
+    group_spans: Vec<(u32, u32)>,
+    flat_calls: Vec<(u32, f64)>,
+    /// Reusable buffer for the sampled calls of one fan-out group.
+    scratch_calls: Vec<usize>,
+    /// Reusable buffer for work completions inside one timer event
+    /// (`(position at collection time, visit index)`).
+    scratch_done: Vec<(usize, usize)>,
     // measurement
     hist: LatencyHistogram,
     recording: bool,
@@ -122,25 +181,67 @@ impl ClusterSim {
             services.push(ServiceRt::new(s.node, s.threads, app.generous_alloc[i]));
         }
         let class_weights: Vec<f64> = app.classes.iter().map(|c| c.weight).collect();
+        let class_weight_total = weight_total(&class_weights);
         let node_cores = app.nodes.iter().map(|n| n.cores).collect();
         let node_rate = vec![1.0; app.nodes.len()];
+        let ep_sampler = app
+            .endpoints
+            .iter()
+            .map(|e| {
+                let spec = &app.services[e.service.0];
+                LogNormal::from_mean_cv(spec.demand_s * e.work_scale, spec.demand_cv)
+            })
+            .collect();
+        let mut ep_group_start = Vec::with_capacity(app.endpoints.len() + 1);
+        let mut group_spans = Vec::new();
+        let mut flat_calls = Vec::new();
+        for e in &app.endpoints {
+            ep_group_start.push(group_spans.len() as u32);
+            for g in &e.groups {
+                let lo = flat_calls.len() as u32;
+                flat_calls.extend(g.calls.iter().map(|&(ep, p)| (ep as u32, p)));
+                group_spans.push((lo, flat_calls.len() as u32));
+            }
+        }
+        ep_group_start.push(group_spans.len() as u32);
         ClusterSim {
             app: app.clone(),
             services,
             node_services,
             node_rate,
             node_cores,
+            node_active: vec![0; app.nodes.len()],
+            node_cores_floor: app.nodes.iter().map(|n| n.cores.floor() as u64).collect(),
             visits: Vec::with_capacity(4096),
             free: Vec::new(),
-            heap: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             seq: 0,
+            events_dispatched: 0,
+            events_superseded: 0,
             now: SimTime::ZERO,
             rng: SmallRng::seed_from_u64(seed),
             speed: 1.0,
             timeout_s: None,
             arrival_rate: 0.0,
-            arrival_gen: 0,
+            arrival_at: SimTime::ZERO,
+            arrival_seq: u64::MAX,
+            arrival_armed: false,
+            timer_key: vec![(u64::MAX, u64::MAX); app.services.len()],
+            block_min: vec![
+                (u64::MAX, u64::MAX, u32::MAX);
+                app.services.len().div_ceil(TIMER_BLOCK)
+            ],
+            block_dirty: vec![false; app.services.len().div_ceil(TIMER_BLOCK)],
+            timer_min: (u64::MAX, u64::MAX, u32::MAX),
+            timer_min_valid: true,
             class_weights,
+            class_weight_total,
+            ep_sampler,
+            ep_group_start,
+            group_spans,
+            flat_calls,
+            scratch_calls: Vec::new(),
+            scratch_done: Vec::new(),
             hist: LatencyHistogram::new(),
             recording: false,
             measure_start: SimTime::ZERO,
@@ -192,7 +293,7 @@ impl ClusterSim {
     pub fn set_allocation(&mut self, alloc: &Allocation) {
         assert_eq!(alloc.len(), self.services.len(), "allocation length");
         for i in 0..self.services.len() {
-            self.services[i].advance(&mut self.visits, self.now);
+            self.services[i].advance(self.now);
             self.services[i].set_alloc(alloc.get(i));
         }
         for node in 0..self.node_services.len() {
@@ -239,15 +340,23 @@ impl ClusterSim {
     }
 
     /// Sets the offered load (requests/second). Restarts the arrival
-    /// chain so the new rate takes effect immediately.
+    /// chain so the new rate takes effect immediately (the arrival
+    /// slot is overwritten in place).
     pub fn set_arrival_rate(&mut self, rps: f64) {
         assert!(rps >= 0.0 && rps.is_finite(), "rps must be non-negative");
         self.arrival_rate = rps;
-        self.arrival_gen += 1;
+        if self.arrival_armed {
+            self.events_superseded += 1;
+        }
         if rps > 0.0 {
             let dt = exponential(&mut self.rng, rps);
             let t = self.now.plus_secs(dt);
-            self.push(t, Ev::Arrival(self.arrival_gen));
+            self.seq += 1;
+            self.arrival_at = t;
+            self.arrival_seq = self.seq;
+            self.arrival_armed = true;
+        } else {
+            self.arrival_armed = false;
         }
     }
 
@@ -300,23 +409,112 @@ impl ClusterSim {
         (self.end_window(measured.max(1e-9)), aborted)
     }
 
-    /// Advances the simulation, processing all events up to `t_end`.
+    /// Advances the simulation, processing all events up to `t_end`:
+    /// a three-way merge over the calendar queue (visit events), the
+    /// arrival slot, and the per-service timer table, ordered by the
+    /// shared `(t, seq)` key.
     pub fn run_until(&mut self, t_end: SimTime) {
-        while let Some(&Reverse(item)) = self.heap.peek() {
-            if item.t > t_end {
+        loop {
+            let (tm_t, tm_seq, tm_sid) = self.timer_min();
+            let mut best_t = tm_t;
+            let mut best_seq = tm_seq;
+            let mut src = Src::Timer;
+            if self.arrival_armed && (self.arrival_at.0, self.arrival_seq) < (best_t, best_seq) {
+                best_t = self.arrival_at.0;
+                best_seq = self.arrival_seq;
+                src = Src::Arrival;
+            }
+            if let Some((qt, qseq)) = self.queue.peek_min(t_end) {
+                if (qt.0, qseq) < (best_t, best_seq) {
+                    best_t = qt.0;
+                    src = Src::Queue;
+                }
+            }
+            if best_t > t_end.0 || (src == Src::Timer && tm_sid == u32::MAX) {
                 break;
             }
-            self.heap.pop();
-            self.now = item.t;
-            self.dispatch(item.ev);
+            self.now = SimTime(best_t);
+            self.events_dispatched += 1;
+            match src {
+                Src::Queue => {
+                    let (_, ev) = self.queue.pop_cached();
+                    self.dispatch(ev);
+                }
+                Src::Arrival => {
+                    self.arrival_armed = false;
+                    self.on_arrival();
+                }
+                Src::Timer => {
+                    let sid = tm_sid as usize;
+                    self.set_timer_key(sid, (u64::MAX, u64::MAX));
+                    self.on_timer(sid);
+                }
+            }
         }
         self.now = t_end;
+    }
+
+    /// The earliest armed service timer as `(t, seq, sid)` —
+    /// `(MAX, MAX, MAX)` when every service is idle. Lazily recomputed
+    /// from the (small, contiguous) timer table when invalidated.
+    #[inline]
+    fn timer_min(&mut self) -> (u64, u64, u32) {
+        if !self.timer_min_valid {
+            let mut best = (u64::MAX, u64::MAX, u32::MAX);
+            for b in 0..self.block_min.len() {
+                if self.block_dirty[b] {
+                    self.block_dirty[b] = false;
+                    let lo = b * TIMER_BLOCK;
+                    let hi = (lo + TIMER_BLOCK).min(self.timer_key.len());
+                    let mut bm = (u64::MAX, u64::MAX, u32::MAX);
+                    for sid in lo..hi {
+                        let key = self.timer_key[sid];
+                        if key < (bm.0, bm.1) {
+                            bm = (key.0, key.1, sid as u32);
+                        }
+                    }
+                    self.block_min[b] = bm;
+                }
+                let bm = self.block_min[b];
+                if (bm.0, bm.1) < (best.0, best.1) {
+                    best = bm;
+                }
+            }
+            self.timer_min = best;
+            self.timer_min_valid = true;
+        }
+        self.timer_min
+    }
+
+    /// Writes a service's timer slot, maintaining the block and global
+    /// argmin caches (`(u64::MAX, u64::MAX)` disarms).
+    #[inline]
+    fn set_timer_key(&mut self, sid: usize, key: (u64, u64)) {
+        self.timer_key[sid] = key;
+        let b = sid / TIMER_BLOCK;
+        if !self.block_dirty[b] {
+            let bm = self.block_min[b];
+            if key < (bm.0, bm.1) {
+                self.block_min[b] = (key.0, key.1, sid as u32);
+            } else if bm.2 == sid as u32 {
+                // The block's minimum moved later; heal lazily.
+                self.block_dirty[b] = true;
+            }
+        }
+        if self.timer_min_valid {
+            let gm = self.timer_min;
+            if key < (gm.0, gm.1) {
+                self.timer_min = (key.0, key.1, sid as u32);
+            } else if gm.2 == sid as u32 {
+                self.timer_min_valid = false;
+            }
+        }
     }
 
     /// Starts a measurement window now.
     fn begin_window(&mut self, window_s: f64) {
         for i in 0..self.services.len() {
-            self.services[i].advance(&mut self.visits, self.now);
+            self.services[i].advance(self.now);
             self.services[i].begin_window(self.now, window_s);
         }
         self.hist.reset();
@@ -332,7 +530,7 @@ impl ClusterSim {
         let dur = self.now.secs_since(self.measure_start).max(1e-9);
         let mut per_service = Vec::with_capacity(self.services.len());
         for i in 0..self.services.len() {
-            self.services[i].advance(&mut self.visits, self.now);
+            self.services[i].advance(self.now);
             let s = &self.services[i];
             let spec = &self.app.services[i];
             let mut buckets: Vec<f32> = s
@@ -405,37 +603,34 @@ impl ClusterSim {
 
     // ---- event plumbing ----
 
+    #[inline]
     fn push(&mut self, t: SimTime, ev: Ev) {
         self.seq += 1;
-        self.heap.push(Reverse(HeapItem {
-            t,
-            seq: self.seq,
-            ev,
-        }));
+        self.queue.push(t, self.seq, ev);
     }
 
     fn dispatch(&mut self, ev: Ev) {
         match ev {
-            Ev::Arrival(gen) => self.on_arrival(gen),
             Ev::VisitStart(vi, vgen) => self.on_visit_start(vi as usize, vgen),
             Ev::ChildDone(vi, vgen) => self.on_child_done(vi as usize, vgen),
-            Ev::Timer(si, tgen) => self.on_timer(si as usize, tgen),
         }
     }
 
-    fn on_arrival(&mut self, gen: u64) {
-        if gen != self.arrival_gen || self.arrival_rate <= 0.0 {
-            return;
-        }
-        // Schedule the next arrival of the chain.
+    fn on_arrival(&mut self) {
+        debug_assert!(self.arrival_rate > 0.0, "disarmed chains never fire");
+        // Schedule the next arrival of the chain (slot overwrite).
         let dt = exponential(&mut self.rng, self.arrival_rate);
         let t = self.now.plus_secs(dt);
-        self.push(t, Ev::Arrival(self.arrival_gen));
+        self.seq += 1;
+        self.arrival_at = t;
+        self.arrival_seq = self.seq;
+        self.arrival_armed = true;
 
         if self.recording {
             self.arrivals_in_window += 1;
         }
-        let class = weighted_index(&mut self.rng, &self.class_weights);
+        let class =
+            weighted_index_with_total(&mut self.rng, &self.class_weights, self.class_weight_total);
         let root_ep = self.app.classes[class].root;
         let vi = self.new_visit(root_ep, NO_PARENT, 0, self.now);
         if self.trace_rate > 0.0 && bernoulli(&mut self.rng, self.trace_rate) {
@@ -484,8 +679,7 @@ impl ClusterSim {
         let e = &self.app.endpoints[ep];
         let sid = e.service.0;
         let spec = &self.app.services[sid];
-        let mean = spec.demand_s * e.work_scale;
-        let work = lognormal_mean_cv(&mut self.rng, mean, spec.demand_cv) / self.speed;
+        let work = self.ep_sampler[ep].sample(&mut self.rng) / self.speed;
         let pre = work * spec.pre_fraction;
         let post = work - pre;
         let v = Visit {
@@ -524,7 +718,7 @@ impl ClusterSim {
             return;
         }
         let sid = self.visits[vi].v.service as usize;
-        self.services[sid].advance(&mut self.visits, self.now);
+        self.services[sid].advance(self.now);
         self.ensure_period_current(sid);
         self.visits[vi].v.start = self.now;
         if self.visits[vi].v.trace != u32::MAX {
@@ -551,9 +745,8 @@ impl ClusterSim {
     fn ensure_period_current(&mut self, sid: usize) {
         let s = &mut self.services[sid];
         if self.now >= s.period_end && !s.stalled {
-            let period_ns = (CFS_PERIOD_S * 1e9) as u64;
-            let k = (self.now.0 - s.period_end.0) / period_ns + 1;
-            s.period_end = SimTime(s.period_end.0 + k * period_ns);
+            let k = (self.now.0 - s.period_end.0) / CFS_PERIOD_NS + 1;
+            s.period_end = SimTime(s.period_end.0 + k * CFS_PERIOD_NS);
             s.quota_left = s.quota;
         }
     }
@@ -574,7 +767,13 @@ impl ClusterSim {
             self.visits[vi].v.remaining = 0.0;
             self.handle_exec_complete(sid, vi);
         } else {
-            self.services[sid].running.push(vi);
+            let v = &self.visits[vi].v;
+            let job = RunningJob {
+                vi,
+                remaining: v.remaining,
+                exec_self: v.exec_self,
+            };
+            self.services[sid].push_job(job);
         }
     }
 
@@ -600,7 +799,8 @@ impl ClusterSim {
         }
         loop {
             let ep = self.visits[vi].v.endpoint as usize;
-            let n_groups = self.app.endpoints[ep].groups.len();
+            let groups_lo = self.ep_group_start[ep] as usize;
+            let n_groups = self.ep_group_start[ep + 1] as usize - groups_lo;
             if g >= n_groups {
                 // Move to post-work.
                 let post = self.visits[vi].v.post_work;
@@ -610,22 +810,28 @@ impl ClusterSim {
                     self.visits[vi].v.remaining = 0.0;
                     self.finish_visit(sid, vi);
                 } else {
-                    self.services[sid].running.push(vi);
+                    let exec_self = self.visits[vi].v.exec_self;
+                    self.services[sid].push_job(RunningJob {
+                        vi,
+                        remaining: post,
+                        exec_self,
+                    });
                 }
                 return;
             }
-            // Sample the calls of group g.
-            let calls: Vec<usize> = {
-                let group = &self.app.endpoints[ep].groups[g];
-                let mut made = Vec::with_capacity(group.calls.len());
-                for &(child_ep, p) in &group.calls {
-                    if bernoulli(&mut self.rng, p) {
-                        made.push(child_ep);
-                    }
+            // Sample the calls of group g (flattened table, reusable
+            // scratch buffer: fan-outs are contiguous-read and
+            // allocation-free in steady state).
+            let (lo, hi) = self.group_spans[groups_lo + g];
+            let mut calls = std::mem::take(&mut self.scratch_calls);
+            calls.clear();
+            for &(child_ep, p) in &self.flat_calls[lo as usize..hi as usize] {
+                if bernoulli(&mut self.rng, p) {
+                    calls.push(child_ep as usize);
                 }
-                made
-            };
+            }
             if calls.is_empty() {
+                self.scratch_calls = calls;
                 g += 1;
                 continue;
             }
@@ -635,7 +841,7 @@ impl ClusterSim {
             let root_start = self.visits[vi].v.root_start;
             let parent_trace = self.visits[vi].v.trace;
             let parent_span = self.visits[vi].v.span;
-            for child_ep in calls {
+            for &child_ep in &calls {
                 let ci = self.new_visit(child_ep, vi as u32, parent_gen, root_start);
                 if parent_trace != u32::MAX {
                     let span = self.new_span(parent_trace as usize, child_ep, parent_span);
@@ -646,6 +852,7 @@ impl ClusterSim {
                 let t = self.now.plus_secs(self.hop_delay());
                 self.push(t, Ev::VisitStart(ci as u32, cgen));
             }
+            self.scratch_calls = calls;
             return;
         }
     }
@@ -667,7 +874,7 @@ impl ClusterSim {
             return;
         }
         let sid = self.visits[vi].v.service as usize;
-        self.services[sid].advance(&mut self.visits, self.now);
+        self.services[sid].advance(self.now);
         self.ensure_period_current(sid);
         debug_assert!(matches!(self.visits[vi].v.stage, Stage::Children(_)));
         self.visits[vi].v.pending = self.visits[vi].v.pending.saturating_sub(1);
@@ -685,10 +892,13 @@ impl ClusterSim {
     /// to the parent (or records end-to-end latency for roots), and
     /// starts the next queued visit if any.
     fn finish_visit(&mut self, sid: usize, vi: usize) {
-        // Remove from running if present (post-work may have been inline).
-        if let Some(pos) = self.services[sid].running.iter().position(|&x| x == vi) {
-            self.services[sid].running.swap_remove(pos);
-        }
+        // Every path here has already removed the visit from the
+        // running list (work completions remove it in `on_timer`;
+        // inline zero-work and timed-out visits never entered it).
+        debug_assert!(
+            self.services[sid].running.iter().all(|j| j.vi != vi),
+            "visit finished while still running"
+        );
         let s = &mut self.services[sid];
         s.threads_busy = s.threads_busy.saturating_sub(1);
         s.open_visits = s.open_visits.saturating_sub(1);
@@ -757,18 +967,14 @@ impl ClusterSim {
         }
     }
 
-    fn on_timer(&mut self, sid: usize, tgen: u64) {
-        if self.services[sid].timer_gen != tgen {
-            return;
-        }
-        self.services[sid].advance(&mut self.visits, self.now);
-        let period_ns = (CFS_PERIOD_S * 1e9) as u64;
+    fn on_timer(&mut self, sid: usize) {
+        self.services[sid].advance(self.now);
 
         if self.now >= self.services[sid].period_end {
             // Period boundary: replenish and unstall.
             let s = &mut self.services[sid];
-            let k = (self.now.0 - s.period_end.0) / period_ns + 1;
-            s.period_end = SimTime(s.period_end.0 + k * period_ns);
+            let k = (self.now.0 - s.period_end.0) / CFS_PERIOD_NS + 1;
+            s.period_end = SimTime(s.period_end.0 + k * CFS_PERIOD_NS);
             s.quota_left = s.quota;
             s.stalled = false;
         } else if !self.services[sid].stalled && self.services[sid].quota_left <= QUOTA_EPS {
@@ -781,71 +987,165 @@ impl ClusterSim {
                 s.quota_left = 0.0;
             }
         } else {
-            // Work completion(s).
-            let done: Vec<usize> = self.services[sid]
-                .running
-                .iter()
-                .copied()
-                .filter(|&x| self.visits[x].v.remaining <= WORK_EPS)
-                .collect();
-            for vi in done {
-                if let Some(pos) = self.services[sid].running.iter().position(|&x| x == vi) {
-                    self.services[sid].running.swap_remove(pos);
-                }
+            // Work completion(s). `advance` (which just integrated to
+            // `now`) refreshed the completion caches in its decrement
+            // pass, so the overwhelmingly common cases — exactly one
+            // job done, or a spurious wake with none — need no
+            // re-scan at all.
+            let svc = &self.services[sid];
+            if svc.done_valid && svc.done_count == 0 {
+                // Spurious wake (e.g. the deadline's state changed
+                // between scheduling and firing): nothing completed.
+            } else if svc.done_valid && svc.done_count == 1 {
+                let pos = svc.first_done as usize;
+                let job = self.services[sid].remove_job(pos);
+                let vi = job.vi;
+                self.visits[vi].v.exec_self = job.exec_self;
                 self.visits[vi].v.remaining = 0.0;
                 self.handle_exec_complete(sid, vi);
+            } else {
+                // General path: collect positions and visits in one
+                // pass into the reusable scratch buffer; earlier
+                // removals shift positions, so re-locate each.
+                let mut done = std::mem::take(&mut self.scratch_done);
+                done.clear();
+                done.extend(
+                    self.services[sid]
+                        .running
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, j)| j.remaining <= WORK_EPS)
+                        .map(|(pos, j)| (pos, j.vi)),
+                );
+                for &(_, vi) in &done {
+                    if let Some(pos) = self.services[sid].running.iter().position(|j| j.vi == vi) {
+                        let job = self.services[sid].remove_job(pos);
+                        self.visits[vi].v.exec_self = job.exec_self;
+                    }
+                    self.visits[vi].v.remaining = 0.0;
+                    self.handle_exec_complete(sid, vi);
+                }
+                self.scratch_done = done;
             }
         }
         self.after_change(sid);
     }
 
-    /// Recomputes the node's processor-sharing rate after any state
-    /// change on service `sid`, re-timing affected services.
+    /// Updates the node's processor-sharing bookkeeping after a state
+    /// change on service `sid` and re-times its timer.
+    ///
+    /// Only `sid`'s active-job contribution can have changed (every
+    /// running/stalled mutation happens inside an event handler for
+    /// one service, and each handler ends here), so the node total is
+    /// maintained incrementally — `O(1)` per event instead of
+    /// re-summing the node's services.
     fn after_change(&mut self, sid: usize) {
         let node = self.services[sid].node;
-        self.refresh_node(node);
+        let new = self.services[sid].node_active_jobs();
+        let old = self.services[sid].active_contrib;
+        if new != old {
+            self.node_active[node] = self.node_active[node] - old + new;
+            self.services[sid].active_contrib = new;
+            self.apply_node_rate(node);
+        }
         self.reschedule_timer(sid);
     }
 
-    /// Recomputes a node's PS rate; when it changes, advances and
-    /// re-times every service on the node.
-    fn refresh_node(&mut self, node: usize) {
-        let active: usize = self.node_services[node]
-            .iter()
-            .map(|&i| self.services[i].node_active_jobs())
-            .sum();
+    /// Recomputes a node's PS rate from the tracked active-job count;
+    /// when it changes, advances and re-times every service on the
+    /// node.
+    fn apply_node_rate(&mut self, node: usize) {
+        let active = self.node_active[node];
         let cores = self.node_cores[node];
+        // Fast path: an uncontended node staying uncontended (the
+        // common case) needs no float work at all. `active as f64 <=
+        // cores` is exactly `active <= floor(cores)` for job counts in
+        // the f64-exact range.
+        if active as u64 <= self.node_cores_floor[node] && self.node_rate[node] == 1.0 {
+            return;
+        }
         let new_rate = if active as f64 <= cores {
             1.0
         } else {
             cores / active as f64
         };
         if (new_rate - self.node_rate[node]).abs() > 1e-12 {
-            let members = self.node_services[node].clone();
+            // Borrow dance instead of cloning the membership list: the
+            // loop body never touches `node_services`.
+            let members = std::mem::take(&mut self.node_services[node]);
             for &i in &members {
-                self.services[i].advance(&mut self.visits, self.now);
+                self.services[i].advance(self.now);
                 self.services[i].rate = new_rate;
                 self.reschedule_timer(i);
             }
+            self.node_services[node] = members;
             self.node_rate[node] = new_rate;
         }
     }
 
-    /// Invalidates the service's pending timer and schedules a fresh one
-    /// at its next deadline.
+    /// Fully recomputes a node's active-job count and applies the
+    /// rate — used when an operation (allocation change) may touch
+    /// every service on the node at once.
+    fn refresh_node(&mut self, node: usize) {
+        let mut active = 0;
+        let members = std::mem::take(&mut self.node_services[node]);
+        for &i in &members {
+            let c = self.services[i].node_active_jobs();
+            self.services[i].active_contrib = c;
+            active += c;
+        }
+        self.node_services[node] = members;
+        self.node_active[node] = active;
+        self.apply_node_rate(node);
+    }
+
+    /// Re-times the service: overwrites its timer slot with the next
+    /// deadline (or disarms it), maintaining the cached table minimum.
     fn reschedule_timer(&mut self, sid: usize) {
-        self.services[sid].timer_gen += 1;
-        let gen = self.services[sid].timer_gen;
-        if let Some((t, _kind)) = self.services[sid].next_deadline(&self.visits, self.now) {
-            self.push(t, Ev::Timer(sid as u32, gen));
+        if self.timer_key[sid].0 != u64::MAX {
+            // A still-armed deadline is being replaced — the event is
+            // resolved in place (the old engine popped it as stale).
+            self.events_superseded += 1;
+        }
+        match self.services[sid].next_deadline(self.now) {
+            Some((t, _kind)) => {
+                self.seq += 1;
+                self.set_timer_key(sid, (t.0, self.seq));
+            }
+            None => {
+                if self.timer_key[sid].0 != u64::MAX {
+                    self.set_timer_key(sid, (u64::MAX, u64::MAX));
+                }
+            }
         }
     }
 
-    /// Fraction of heap capacity in use — exposed for tests guarding
-    /// against event leaks.
+    /// Number of scheduled events (queued visit events plus armed
+    /// timer/arrival slots) — exposed for tests guarding against event
+    /// leaks.
     #[doc(hidden)]
     pub fn pending_events(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
+            + self.timer_key.iter().filter(|k| k.0 != u64::MAX).count()
+            + usize::from(self.arrival_armed)
+    }
+
+    /// Total scheduled events *resolved* since construction: events
+    /// dispatched from the queue/slots plus timer and arrival
+    /// deadlines superseded in place by a reschedule. This is the
+    /// workload-invariant throughput numerator `bench perf` divides by
+    /// wall time: the pre-optimization single-heap engine resolved the
+    /// same scheduled events for the same workload (superseded ones as
+    /// deferred stale pops), so events/second is directly comparable
+    /// across engine generations.
+    pub fn events_processed(&self) -> u64 {
+        self.events_dispatched + self.events_superseded
+    }
+
+    /// Events dispatched (state-machine transitions actually run),
+    /// excluding in-place superseded deadlines.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
     }
 
     /// Number of live (in-flight) visits — exposed for tests.
@@ -857,9 +1157,7 @@ impl ClusterSim {
     /// Kind of the next deadline for a service — exposed for tests.
     #[doc(hidden)]
     pub fn deadline_kind(&self, sid: usize) -> Option<DeadlineKind> {
-        self.services[sid]
-            .next_deadline(&self.visits, self.now)
-            .map(|(_, k)| k)
+        self.services[sid].next_deadline(self.now).map(|(_, k)| k)
     }
 }
 

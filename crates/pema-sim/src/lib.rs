@@ -17,6 +17,36 @@
 //! * **per-service utilization / usage percentiles** that rule-based
 //!   autoscalers consume.
 //!
+//! ## Hot-path design
+//!
+//! The engine is tuned so steady-state simulation is allocation-free
+//! and cache-friendly without changing a single simulated outcome
+//! (golden-snapshot tests in `pema-bench` pin CSVs byte-for-byte):
+//!
+//! * **event scheduling** — visit events flow through an index-based
+//!   [`CalendarQueue`] (bucket ring + overflow heap, amortized O(1)),
+//!   while timer- and arrival-class events live in per-service /
+//!   per-chain *slots* where a reschedule is an O(1) overwrite: no
+//!   stale events exist anywhere, and a two-level argmin index keeps
+//!   the timer table scalable to cluster-sized topologies;
+//! * **visit slot pool** — in-flight visits live in a generation-
+//!   checked arena ([`runtime::VisitSlot`]) with a free list, and the
+//!   per-job integration state rides inline in each service's running
+//!   list ([`runtime::RunningJob`]) so the per-event integration walks
+//!   contiguous memory;
+//! * **precomputed samplers** — per-endpoint log-normal parameters and
+//!   the request-class weight mass are derived once at construction
+//!   ([`rng::LogNormal`], [`rng::weight_total`]), bit-identical to
+//!   resampling the parameters per arrival;
+//! * **batched usage sampling** — the per-second usage buckets update
+//!   through a cached bucket cursor (one integer compare per event in
+//!   the common case), and scratch buffers make fan-out and timer
+//!   handling allocation-free.
+//!
+//! `ClusterSim::events_processed` counts scheduled events resolved;
+//! `bench perf` (in `pema-bench`) divides it by wall time and gates
+//! regressions in CI.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -50,6 +80,7 @@
 pub mod engine;
 pub mod evaluator;
 pub mod fluid;
+pub mod queue;
 pub mod rng;
 pub mod runtime;
 pub mod stats;
@@ -60,6 +91,7 @@ pub mod trace;
 pub use engine::ClusterSim;
 pub use evaluator::{Evaluator, SimEvaluator};
 pub use fluid::FluidEvaluator;
+pub use queue::CalendarQueue;
 pub use stats::{ServiceWindowStats, WindowStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Allocation, AppSpec, ServiceId, ServiceSpec, TopologyError, MIN_ALLOC};

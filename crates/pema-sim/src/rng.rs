@@ -41,17 +41,64 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// Parameterizing by mean/CV (rather than µ/σ of the underlying normal)
 /// keeps service-demand configs intuitive: `demand_s` is the average CPU
 /// cost of a request and `demand_cv` its burstiness.
+///
+/// Hot paths that draw from the *same* distribution repeatedly should
+/// build a [`LogNormal`] once instead — it precomputes the µ/σ
+/// transcendentals and produces bit-identical samples.
 pub fn lognormal_mean_cv<R: Rng + ?Sized>(rng: &mut R, mean: f64, cv: f64) -> f64 {
-    if mean <= 0.0 {
-        return 0.0;
+    LogNormal::from_mean_cv(mean, cv).sample(rng)
+}
+
+/// A log-normal sampler with precomputed parameters.
+///
+/// [`lognormal_mean_cv`] re-derives µ = ln(mean) − σ²/2 and σ on every
+/// call — three transcendentals per sample. The simulator draws one
+/// work sample per *visit* from a per-endpoint distribution that never
+/// changes, so the engine builds one of these per endpoint at
+/// construction. `sample` performs the exact same float operations in
+/// the exact same order as the free function, consuming the same RNG
+/// stream — the two are bit-for-bit interchangeable (tested below).
+#[derive(Debug, Clone, Copy)]
+pub enum LogNormal {
+    /// Non-positive mean or CV: the sample is a constant and no RNG is
+    /// consumed (matching the free function's early returns).
+    Degenerate(f64),
+    /// Proper log-normal with precomputed underlying-normal params.
+    Sampled {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Std of the underlying normal (σ = sqrt(ln(1 + cv²))).
+        sigma: f64,
+    },
+}
+
+impl LogNormal {
+    /// Precomputes the sampler for the given mean and CV.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        if mean <= 0.0 {
+            return LogNormal::Degenerate(0.0);
+        }
+        if cv <= 0.0 {
+            return LogNormal::Degenerate(mean);
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        LogNormal::Sampled {
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        }
     }
-    if cv <= 0.0 {
-        return mean;
+
+    /// Draws one sample (consumes RNG only in the non-degenerate case).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            LogNormal::Degenerate(v) => v,
+            LogNormal::Sampled { mu, sigma } => {
+                let z = standard_normal(rng);
+                (mu + sigma * z).exp()
+            }
+        }
     }
-    let sigma2 = (1.0 + cv * cv).ln();
-    let mu = mean.ln() - sigma2 / 2.0;
-    let z = standard_normal(rng);
-    (mu + sigma2.sqrt() * z).exp()
 }
 
 /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
@@ -69,7 +116,26 @@ pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
 /// Weights need not be normalized; non-positive weights are treated as
 /// zero. Returns 0 when all weights vanish.
 pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
-    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    weighted_index_with_total(rng, weights, weight_total(weights))
+}
+
+/// The positive-weight mass [`weighted_index`] normalizes by. Callers
+/// sampling from a fixed weight vector (the engine's request-class
+/// mix) precompute this once instead of re-summing per arrival.
+pub fn weight_total(weights: &[f64]) -> f64 {
+    weights.iter().filter(|w| **w > 0.0).sum()
+}
+
+/// [`weighted_index`] with the positive-weight mass precomputed via
+/// [`weight_total`]. Consumes the same single uniform draw and walks
+/// the weights in the same order, so samples are bit-identical to the
+/// plain function's.
+#[inline]
+pub fn weighted_index_with_total<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    total: f64,
+) -> usize {
     if total <= 0.0 || weights.is_empty() {
         return 0;
     }
@@ -185,6 +251,43 @@ mod tests {
         assert_eq!(weighted_index(&mut r, &[]), 0);
         assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), 0);
         assert_eq!(weighted_index(&mut r, &[-1.0, -2.0]), 0);
+    }
+
+    #[test]
+    fn precomputed_lognormal_is_bit_identical_to_free_function() {
+        for (mean, cv) in [
+            (0.004, 1.5),
+            (2.0, 0.3),
+            (1e-6, 4.0),
+            (0.5, 0.0),
+            (0.0, 1.0),
+        ] {
+            let sampler = LogNormal::from_mean_cv(mean, cv);
+            let mut a = SmallRng::seed_from_u64(99);
+            let mut b = SmallRng::seed_from_u64(99);
+            for _ in 0..1000 {
+                let x = lognormal_mean_cv(&mut a, mean, cv);
+                let y = sampler.sample(&mut b);
+                assert_eq!(x.to_bits(), y.to_bits(), "mean={mean} cv={cv}");
+            }
+            // Streams stayed in lockstep (same RNG consumption).
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn precomputed_weighted_index_is_bit_identical() {
+        let w = [0.5, 0.0, 2.5, -1.0, 1.0];
+        let total = weight_total(&w);
+        let mut a = SmallRng::seed_from_u64(4242);
+        let mut b = SmallRng::seed_from_u64(4242);
+        for _ in 0..10_000 {
+            assert_eq!(
+                weighted_index(&mut a, &w),
+                weighted_index_with_total(&mut b, &w, total)
+            );
+        }
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 
     #[test]

@@ -14,6 +14,11 @@ use crate::time::SimTime;
 /// container CPU quotas are enforced and replenished.
 pub const CFS_PERIOD_S: f64 = 0.1;
 
+/// [`CFS_PERIOD_S`] in integer nanoseconds — the form the engine's
+/// period-rolling arithmetic uses (precomputed once; `(CFS_PERIOD_S *
+/// 1e9) as u64` is exactly this value).
+pub const CFS_PERIOD_NS: u64 = 100_000_000;
+
 /// Work-remaining epsilon (CPU-seconds) below which an execution phase
 /// is considered complete. Covers nanosecond event rounding.
 pub const WORK_EPS: f64 = 5e-9;
@@ -82,6 +87,26 @@ pub struct VisitSlot {
     pub v: Visit,
 }
 
+/// One visit currently executing CPU work, stored *inline* in its
+/// service's running list.
+///
+/// `remaining` and `exec_self` live here (not in the arena slot) while
+/// the visit executes: the per-event integration in
+/// [`ServiceRt::advance`] and the min-scan in
+/// [`ServiceRt::next_deadline`] then walk a small contiguous array
+/// instead of chasing scattered arena slots — the single largest cache
+/// win in the engine's hot path. The authoritative values are written
+/// back to the [`Visit`] when the job leaves the running list.
+#[derive(Debug, Clone, Copy)]
+pub struct RunningJob {
+    /// Arena index of the visit.
+    pub vi: usize,
+    /// CPU-seconds remaining in the current execution stage.
+    pub remaining: f64,
+    /// Accumulated CPU self-time, seconds.
+    pub exec_self: f64,
+}
+
 /// What a service timer deadline means.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeadlineKind {
@@ -110,8 +135,13 @@ pub struct ServiceRt {
     pub period_end: SimTime,
     /// True while throttled (quota exhausted, waiting for period end).
     pub stalled: bool,
-    /// Visits currently executing CPU work (arena indices).
-    pub running: Vec<usize>,
+    /// Visits currently executing CPU work, with their integration
+    /// state inline (see [`RunningJob`]).
+    pub running: Vec<RunningJob>,
+    /// This service's last-reported contribution to its node's
+    /// active-job count — the engine's incremental PS-rate
+    /// bookkeeping (avoids re-summing the node on every event).
+    pub active_contrib: usize,
     /// Visits waiting for a worker thread.
     pub thread_queue: std::collections::VecDeque<usize>,
     /// Worker threads currently held by visits.
@@ -120,8 +150,22 @@ pub struct ServiceRt {
     pub last_update: SimTime,
     /// Cached node processor-sharing rate (cores per running job).
     pub rate: f64,
-    /// Timer generation; stale timer events are discarded.
-    pub timer_gen: u64,
+    /// Minimum `remaining` over the running list — maintained by
+    /// [`Self::advance`] (full recompute during the decrement pass)
+    /// and [`Self::push_job`] (monotone update); invalidated by
+    /// [`Self::remove_job`]. Valid ⇒ exactly the value a fresh scan
+    /// would produce.
+    pub min_remaining: f64,
+    /// Whether `min_remaining` reflects the current running list.
+    pub min_valid: bool,
+    /// Completed-job count as of the last integrating advance (jobs
+    /// with `remaining <= WORK_EPS`).
+    pub done_count: u32,
+    /// Position of the first completed job, `u32::MAX` when none.
+    pub first_done: u32,
+    /// Whether `done_count`/`first_done` reflect the current list
+    /// (cleared by [`Self::remove_job`]).
+    pub done_valid: bool,
 
     // ---- window-relative metrics ----
     /// CPU-seconds consumed since window start.
@@ -144,6 +188,13 @@ pub struct ServiceRt {
     pub usage_buckets: Vec<f32>,
     /// Window start (bucket origin).
     pub window_start: SimTime,
+    /// Bucket the last integrated instant fell in (end-inclusive, the
+    /// same convention the distribution arithmetic uses).
+    cur_bucket: usize,
+    /// End of `cur_bucket` in absolute virtual time — the single
+    /// integer compare the batched fast path of [`Self::advance`]
+    /// needs instead of two float floors per event.
+    cur_bucket_end: SimTime,
 }
 
 impl ServiceRt {
@@ -159,11 +210,16 @@ impl ServiceRt {
             period_end: SimTime::from_secs(CFS_PERIOD_S),
             stalled: false,
             running: Vec::new(),
+            active_contrib: 0,
             thread_queue: std::collections::VecDeque::new(),
             threads_busy: 0,
             last_update: SimTime::ZERO,
             rate: 1.0,
-            timer_gen: 0,
+            min_remaining: f64::INFINITY,
+            min_valid: true,
+            done_count: 0,
+            first_done: u32::MAX,
+            done_valid: true,
             cpu_used_s: 0.0,
             throttled_s: 0.0,
             visits_done: 0,
@@ -173,7 +229,30 @@ impl ServiceRt {
             occupancy_integral: 0.0,
             usage_buckets: Vec::new(),
             window_start: SimTime::ZERO,
+            cur_bucket: 0,
+            cur_bucket_end: SimTime::ZERO,
         }
+    }
+
+    /// Adds a job to the running list, maintaining the min-remaining
+    /// cache. Callers guarantee `remaining > WORK_EPS` (zero-work
+    /// stages complete inline), so the completion caches stay valid.
+    #[inline]
+    pub fn push_job(&mut self, job: RunningJob) {
+        debug_assert!(job.remaining > WORK_EPS);
+        if job.remaining < self.min_remaining {
+            self.min_remaining = job.remaining;
+        }
+        self.running.push(job);
+    }
+
+    /// Removes and returns the job at `pos` (swap-remove), clearing
+    /// the min/completion caches it may have anchored.
+    #[inline]
+    pub fn remove_job(&mut self, pos: usize) -> RunningJob {
+        self.min_valid = false;
+        self.done_valid = false;
+        self.running.swap_remove(pos)
     }
 
     /// True when a new visit can immediately take a worker thread.
@@ -195,23 +274,48 @@ impl ServiceRt {
     }
 
     /// Integrates the piecewise-linear dynamics from `last_update` to
-    /// `now`, updating job progress, quota, and metrics.
-    pub fn advance(&mut self, visits: &mut [VisitSlot], now: SimTime) {
-        let dt = now.secs_since(self.last_update);
-        if dt <= 0.0 {
+    /// `now`, updating job progress, quota, and metrics. Job state
+    /// lives inline in the running list, so this touches only
+    /// contiguous memory.
+    pub fn advance(&mut self, now: SimTime) {
+        // Integer guard first: same-instant re-advances (common when
+        // several events share a nanosecond) skip the ns→seconds
+        // division entirely. `dt <= 0` below is exactly `now.0 <=
+        // last_update.0` because secs_since saturates.
+        if now.0 <= self.last_update.0 {
             self.last_update = now;
             return;
         }
+        let dt = now.secs_since(self.last_update);
         self.occupancy_integral += self.open_visits as f64 * dt;
         if self.stalled {
             self.throttled_s += dt;
         } else if !self.running.is_empty() {
             let per_job = dt * self.rate;
-            for &vi in &self.running {
-                let v = &mut visits[vi].v;
-                v.remaining -= per_job;
-                v.exec_self += per_job;
+            // One pass updates progress AND refreshes the min /
+            // completion caches the deadline computation and the
+            // timer handler would otherwise re-scan for.
+            let mut min_rem = f64::INFINITY;
+            let mut done_count = 0u32;
+            let mut first_done = u32::MAX;
+            for (i, job) in self.running.iter_mut().enumerate() {
+                job.remaining -= per_job;
+                job.exec_self += per_job;
+                if job.remaining < min_rem {
+                    min_rem = job.remaining;
+                }
+                if job.remaining <= WORK_EPS {
+                    done_count += 1;
+                    if first_done == u32::MAX {
+                        first_done = i as u32;
+                    }
+                }
             }
+            self.min_remaining = min_rem;
+            self.min_valid = true;
+            self.done_count = done_count;
+            self.first_done = first_done;
+            self.done_valid = true;
             let drain = per_job * self.running.len() as f64;
             self.quota_left -= drain;
             if self.quota_left < 0.0 {
@@ -225,10 +329,31 @@ impl ServiceRt {
 
     /// Distributes `cpu` seconds of usage across the 1-second usage
     /// buckets spanned by `[t0, t1)`.
+    ///
+    /// Integration is batched: `advance` runs on every event touching
+    /// the service, but almost every interval ends inside the bucket
+    /// the previous one left off in, so the common case is one integer
+    /// compare and one add. Only bucket crossings pay the float
+    /// floor/divide distribution arithmetic (which is unchanged from
+    /// the original per-call implementation — the fast path is exactly
+    /// its `first == last` branch with the floors cached).
+    #[inline]
     fn add_usage(&mut self, t0: SimTime, t1: SimTime, cpu: f64) {
         if self.usage_buckets.is_empty() {
             return;
         }
+        if t1 <= self.cur_bucket_end {
+            if self.cur_bucket < self.usage_buckets.len() {
+                self.usage_buckets[self.cur_bucket] += cpu as f32;
+            }
+            return;
+        }
+        self.add_usage_crossing(t0, t1, cpu);
+    }
+
+    /// Bucket-crossing path of [`Self::add_usage`]; re-caches the
+    /// current bucket afterwards.
+    fn add_usage_crossing(&mut self, t0: SimTime, t1: SimTime, cpu: f64) {
         let rel0 = t0.secs_since(self.window_start);
         let rel1 = t1.secs_since(self.window_start);
         if rel1 <= rel0 {
@@ -242,20 +367,32 @@ impl ServiceRt {
             if first < n {
                 self.usage_buckets[first] += cpu as f32;
             }
-            return;
-        }
-        for b in first..=last {
-            if b >= n {
-                break;
+        } else {
+            for b in first..=last {
+                if b >= n {
+                    break;
+                }
+                let lo = (b as f64).max(rel0);
+                let hi = ((b + 1) as f64).min(rel1);
+                self.usage_buckets[b] += (cpu * (hi - lo) / span) as f32;
             }
-            let lo = (b as f64).max(rel0);
-            let hi = ((b + 1) as f64).min(rel1);
-            self.usage_buckets[b] += (cpu * (hi - lo) / span) as f32;
         }
+        self.set_cur_bucket(last);
+    }
+
+    /// Caches `bucket` as the bucket in progress.
+    fn set_cur_bucket(&mut self, bucket: usize) {
+        self.cur_bucket = bucket;
+        self.cur_bucket_end = SimTime(
+            self.window_start
+                .0
+                .saturating_add((bucket as u64 + 1).saturating_mul(1_000_000_000)),
+        );
     }
 
     /// Resets window-relative metrics, sizing usage buckets for a
-    /// window of `window_s` seconds starting at `now`.
+    /// window of `window_s` seconds starting at `now`. The bucket
+    /// vector's allocation is reused across windows.
     pub fn begin_window(&mut self, now: SimTime, window_s: f64) {
         self.cpu_used_s = 0.0;
         self.throttled_s = 0.0;
@@ -263,8 +400,10 @@ impl ServiceRt {
         self.self_time_s = 0.0;
         self.visit_time_s = 0.0;
         self.occupancy_integral = 0.0;
-        self.usage_buckets = vec![0.0; window_s.ceil() as usize + 2];
+        self.usage_buckets.clear();
+        self.usage_buckets.resize(window_s.ceil() as usize + 2, 0.0);
         self.window_start = now;
+        self.set_cur_bucket(0);
     }
 
     /// Applies a new CPU allocation. Extra quota from an increase is
@@ -279,11 +418,8 @@ impl ServiceRt {
 
     /// Earliest future state change, given current rates, or `None`
     /// when idle. Returned times are strictly after `now`.
-    pub fn next_deadline(
-        &self,
-        visits: &[VisitSlot],
-        now: SimTime,
-    ) -> Option<(SimTime, DeadlineKind)> {
+    #[inline]
+    pub fn next_deadline(&self, now: SimTime) -> Option<(SimTime, DeadlineKind)> {
         if self.stalled {
             return Some((
                 self.period_end.max(SimTime(now.0 + 1)),
@@ -298,21 +434,36 @@ impl ServiceRt {
         let mut best_t = self.period_end;
         let mut kind = DeadlineKind::Period;
 
-        let dt_quota = (self.quota_left / (rate * n)).max(0.0);
+        // `x / 1.0 == x` bit-for-bit, so the uncontended-node common
+        // case (PS rate exactly 1) skips the divisions.
+        let uncontended = rate == 1.0;
+        let dt_quota = if uncontended {
+            (self.quota_left / n).max(0.0)
+        } else {
+            (self.quota_left / (rate * n)).max(0.0)
+        };
         let t_quota = ceil_at(now, dt_quota);
         if t_quota < best_t {
             best_t = t_quota;
             kind = DeadlineKind::Quota;
         }
 
-        let mut min_rem = f64::INFINITY;
-        for &vi in &self.running {
-            let r = visits[vi].v.remaining;
-            if r < min_rem {
-                min_rem = r;
+        let min_rem = if self.min_valid {
+            self.min_remaining
+        } else {
+            let mut m = f64::INFINITY;
+            for job in &self.running {
+                if job.remaining < m {
+                    m = job.remaining;
+                }
             }
-        }
-        let dt_work = (min_rem / rate).max(0.0);
+            m
+        };
+        let dt_work = if uncontended {
+            min_rem.max(0.0)
+        } else {
+            (min_rem / rate).max(0.0)
+        };
         let t_work = ceil_at(now, dt_work);
         if t_work < best_t {
             best_t = t_work;
@@ -329,52 +480,51 @@ impl ServiceRt {
 
 /// `now + dt` rounded *up* to the next nanosecond so that when the timer
 /// fires, at least the intended amount of progress has occurred.
+///
+/// The ceiling is computed with integer arithmetic (truncate, then bump
+/// when a fraction was lost) — exactly `(dt * 1e9).ceil().max(1.0)` for
+/// every representable input, without the libm `ceil` call this sits on
+/// the per-event path for.
+#[inline]
 fn ceil_at(now: SimTime, dt: f64) -> SimTime {
     if !dt.is_finite() {
         return SimTime(u64::MAX);
     }
-    let ns = (dt * 1e9).ceil().max(1.0);
-    if ns >= (u64::MAX - now.0) as f64 {
+    let x = dt * 1e9;
+    if x >= u64::MAX as f64 {
         return SimTime(u64::MAX);
     }
-    SimTime(now.0 + ns as u64)
+    // x < 2^64: `as u64` truncates exactly; values above 2^53 are
+    // already integral in f64, so the fractional bump never applies
+    // where the conversion could round.
+    let t = x as u64;
+    let ns = (t + u64::from((t as f64) < x)).max(1);
+    if ns as f64 >= (u64::MAX - now.0) as f64 {
+        return SimTime(u64::MAX);
+    }
+    SimTime(now.0 + ns)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn slot(remaining: f64) -> VisitSlot {
-        VisitSlot {
-            gen: 0,
-            live: true,
-            v: Visit {
-                service: 0,
-                endpoint: 0,
-                parent: NO_PARENT,
-                parent_gen: 0,
-                stage: Stage::ExecPre,
-                remaining,
-                post_work: 0.0,
-                pending: 0,
-                is_root: true,
-                start: SimTime::ZERO,
-                root_start: SimTime::ZERO,
-                exec_self: 0.0,
-                trace: u32::MAX,
-                span: 0,
-            },
+    fn job(remaining: f64) -> RunningJob {
+        RunningJob {
+            vi: 0,
+            remaining,
+            exec_self: 0.0,
         }
     }
 
     #[test]
     fn advance_progresses_work_and_quota() {
         let mut s = ServiceRt::new(0, Some(4), 1.0);
-        let mut arena = vec![slot(0.010)];
-        s.running.push(0);
+        s.push_job(job(0.010));
         s.begin_window(SimTime::ZERO, 10.0);
-        s.advance(&mut arena, SimTime::from_secs(0.004));
-        assert!((arena[0].v.remaining - 0.006).abs() < 1e-12);
+        s.advance(SimTime::from_secs(0.004));
+        assert!((s.running[0].remaining - 0.006).abs() < 1e-12);
+        assert!((s.running[0].exec_self - 0.004).abs() < 1e-12);
         assert!((s.quota_left - (0.1 - 0.004)).abs() < 1e-12);
         assert!((s.cpu_used_s - 0.004).abs() < 1e-12);
     }
@@ -382,11 +532,10 @@ mod tests {
     #[test]
     fn advance_when_stalled_accrues_throttle_only() {
         let mut s = ServiceRt::new(0, Some(4), 1.0);
-        let mut arena = vec![slot(0.010)];
-        s.running.push(0);
+        s.push_job(job(0.010));
         s.stalled = true;
-        s.advance(&mut arena, SimTime::from_secs(0.05));
-        assert_eq!(arena[0].v.remaining, 0.010);
+        s.advance(SimTime::from_secs(0.05));
+        assert_eq!(s.running[0].remaining, 0.010);
         assert!((s.throttled_s - 0.05).abs() < 1e-12);
         assert_eq!(s.cpu_used_s, 0.0);
     }
@@ -394,9 +543,8 @@ mod tests {
     #[test]
     fn deadline_work_before_quota_when_fast() {
         let mut s = ServiceRt::new(0, Some(4), 1.0);
-        let arena = vec![slot(0.001)];
-        s.running.push(0);
-        let (t, k) = s.next_deadline(&arena, SimTime::ZERO).unwrap();
+        s.push_job(job(0.001));
+        let (t, k) = s.next_deadline(SimTime::ZERO).unwrap();
         assert_eq!(k, DeadlineKind::Work);
         assert!((t.as_secs() - 0.001).abs() < 1e-6);
     }
@@ -406,9 +554,10 @@ mod tests {
         // 4 jobs at rate 1 drain 0.1 CPU-s of quota in 0.025 s; each job
         // has 0.05s of work left, so quota exhausts first.
         let mut s = ServiceRt::new(0, Some(8), 1.0);
-        let arena: Vec<VisitSlot> = (0..4).map(|_| slot(0.05)).collect();
-        s.running.extend(0..4);
-        let (t, k) = s.next_deadline(&arena, SimTime::ZERO).unwrap();
+        for _ in 0..4 {
+            s.push_job(job(0.05));
+        }
+        let (t, k) = s.next_deadline(SimTime::ZERO).unwrap();
         assert_eq!(k, DeadlineKind::Quota);
         assert!((t.as_secs() - 0.025).abs() < 1e-6);
     }
@@ -416,10 +565,9 @@ mod tests {
     #[test]
     fn deadline_period_when_stalled() {
         let mut s = ServiceRt::new(0, Some(4), 1.0);
-        let arena = vec![slot(0.05)];
-        s.running.push(0);
+        s.push_job(job(0.05));
         s.stalled = true;
-        let (t, k) = s.next_deadline(&arena, SimTime::from_secs(0.02)).unwrap();
+        let (t, k) = s.next_deadline(SimTime::from_secs(0.02)).unwrap();
         assert_eq!(k, DeadlineKind::Period);
         assert_eq!(t, SimTime::from_secs(0.1));
     }
@@ -427,7 +575,7 @@ mod tests {
     #[test]
     fn idle_service_has_no_deadline() {
         let s = ServiceRt::new(0, Some(4), 1.0);
-        assert!(s.next_deadline(&[], SimTime::ZERO).is_none());
+        assert!(s.next_deadline(SimTime::ZERO).is_none());
     }
 
     #[test]
@@ -450,11 +598,10 @@ mod tests {
     #[test]
     fn usage_buckets_distribute_across_seconds() {
         let mut s = ServiceRt::new(0, None, 4.0);
-        let mut arena = vec![slot(10.0)];
-        s.running.push(0);
+        s.push_job(job(10.0));
         s.begin_window(SimTime::ZERO, 5.0);
         // 1 job at rate 1 for 2.5 s: 2.5 CPU-s spread over buckets 0..2.
-        s.advance(&mut arena, SimTime::from_secs(2.5));
+        s.advance(SimTime::from_secs(2.5));
         assert!((s.usage_buckets[0] - 1.0).abs() < 1e-4);
         assert!((s.usage_buckets[1] - 1.0).abs() < 1e-4);
         assert!((s.usage_buckets[2] - 0.5).abs() < 1e-4);

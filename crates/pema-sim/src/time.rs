@@ -35,11 +35,24 @@ impl SimTime {
     }
 
     /// Adds a duration expressed in seconds.
+    ///
+    /// The nanosecond rounding is computed with integer arithmetic —
+    /// exactly `(s * 1e9).round() as u64` for every positive finite
+    /// input, without the libm `round` call this sits on the per-hop
+    /// scheduling path for: below 2^52 the `+ 0.5` is exact (ulp ≤
+    /// 0.5) so truncation is round-half-away; at or above 2^52 the
+    /// value is already integral.
     pub fn plus_secs(self, s: f64) -> SimTime {
         if !s.is_finite() || s <= 0.0 {
             return self;
         }
-        SimTime(self.0.saturating_add((s * 1e9).round() as u64))
+        let x = s * 1e9;
+        let ns = if x < 4_503_599_627_370_496.0 {
+            (x + 0.5) as u64
+        } else {
+            x as u64
+        };
+        SimTime(self.0.saturating_add(ns))
     }
 }
 
@@ -126,6 +139,31 @@ mod tests {
         assert_eq!(t.plus_secs(0.0), t);
         assert_eq!(t.plus_secs(-1.0), t);
         assert_eq!(t.plus_secs(0.5), SimTime::from_secs(1.5));
+    }
+
+    #[test]
+    fn plus_secs_matches_round_reference() {
+        // The integer formulation must agree with `.round()` bit-for-
+        // bit, including half-nanosecond ties and huge durations.
+        let cases = [
+            1e-9,
+            1.5e-9,
+            2.5e-9,
+            0.25e-9,
+            0.5e-9,
+            std::f64::consts::PI,
+            1234.567890123,
+            4.6e6,
+            9.2e9,
+        ];
+        for s in cases {
+            let expect = (s * 1e9_f64).round() as u64;
+            assert_eq!(
+                SimTime::ZERO.plus_secs(s),
+                SimTime(expect),
+                "plus_secs({s}) diverged from round()"
+            );
+        }
     }
 
     #[test]

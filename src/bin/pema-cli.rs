@@ -46,6 +46,7 @@ fn main() {
         "trace" => cmd_trace(&parse_flags(&args[1..])),
         "list" => delegate_bench("list", &args[1..]),
         "all" => delegate_bench("all", &args[1..]),
+        "perf" => delegate_bench("perf", &args[1..]),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -71,7 +72,8 @@ fn usage() {
          experiment-suite commands (scenario registry; delegate to `bench`):\n\
          \x20 list                                 list registered scenarios\n\
          \x20 all  [--jobs N] [--smoke] [--force]  run the whole suite\n\
-         \x20 run  <id>… [--jobs N] [--smoke] [--force]  run selected scenarios"
+         \x20 run  <id>… [--jobs N] [--smoke] [--force]  run selected scenarios\n\
+         \x20 perf [--smoke] [--label L] [--check BASE.json]  perf harness → benchmarks/BENCH_<L>.json"
     );
 }
 

@@ -140,6 +140,24 @@ impl Bencher {
     }
 }
 
+/// Calibrated time-per-iteration measurement, reusing the same
+/// warm-up and adaptive batch sizing as the printed benchmarks but
+/// returning the mean instead of printing it. This is what
+/// `pema-bench`'s `bench perf` harness builds its machine-readable
+/// numbers from.
+pub fn time_per_iter<O, F: FnMut() -> O>(sample_size: usize, mut f: F) -> Duration {
+    let mut b = Bencher {
+        batch: 0,
+        samples: Vec::new(),
+        sample_size: sample_size.max(1),
+    };
+    b.iter(&mut f);
+    if b.samples.is_empty() {
+        return Duration::ZERO;
+    }
+    b.samples.iter().sum::<Duration>() / b.samples.len() as u32
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
     let mut b = Bencher {
         batch: 0,
