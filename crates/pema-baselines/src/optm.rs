@@ -107,9 +107,17 @@ pub fn find_optimum(
     }
     let mut current = start.clone();
 
-    // Phase 1: uniform pre-scaling while feasible.
+    // Phase 1: uniform pre-scaling while feasible. The floor clamp in
+    // `Allocation::new` means a fully-floored trial equals `current`;
+    // without the progress check the loop would spin forever whenever
+    // the all-floor allocation is feasible (easy to hit on large
+    // topologies under light per-service load, e.g. the fluid-backed
+    // `cluster_scale` sweep).
     loop {
         let trial = Allocation::new(current.0.iter().map(|x| x * cfg.prescale).collect());
+        if trial.total() >= current.total() - 1e-9 {
+            break;
+        }
         let (ok, _) = feasible(&trial, eval, &mut evaluations);
         if ok {
             current = trial;
@@ -255,6 +263,25 @@ mod tests {
             r.alloc.get(1) > r.alloc.get(0),
             "coef-40 service should keep more cores: {:?}",
             r.alloc
+        );
+    }
+
+    #[test]
+    fn terminates_at_the_floor_when_everything_is_feasible() {
+        // Regression: with near-zero demands the all-floor allocation
+        // is feasible, and the pre-scaling loop used to spin forever
+        // (the floor clamp makes each trial equal to the current
+        // allocation). First hit by the fluid-backed `cluster_scale`
+        // sweep, where per-service load is tiny.
+        let mut toy = Toy {
+            coef: vec![1e-6; 8],
+        };
+        let start = Allocation::new(vec![2.0; 8]);
+        let r = find_optimum(&mut toy, &start, 100.0, &OptmConfig::default()).unwrap();
+        assert!(
+            (r.total - 8.0 * pema_sim::MIN_ALLOC).abs() < 1e-9,
+            "everything feasible ⇒ the optimum is the floor, got {}",
+            r.total
         );
     }
 

@@ -50,11 +50,31 @@ fn usage(unknown: Option<&str>) -> ! {
     exit(if unknown.is_some() { 2 } else { 0 });
 }
 
+/// Lists the registry and exits non-zero if any scenario id or output
+/// CSV name is claimed twice — `bench list` doubles as the registry
+/// sanity gate CI runs.
 fn cmd_list() {
+    let mut ids = std::collections::HashSet::new();
+    let mut outputs = std::collections::HashSet::new();
+    let mut duplicates = Vec::new();
     println!("{:<22} outputs", "scenario");
     for s in registry() {
         println!("{:<22} {}", s.id(), s.outputs().join(", "));
         println!("{:<22}   {}", "", s.about());
+        if !ids.insert(s.id()) {
+            duplicates.push(format!("duplicate scenario id '{}'", s.id()));
+        }
+        for o in s.outputs() {
+            if !outputs.insert(*o) {
+                duplicates.push(format!("output '{o}' claimed twice (by '{}')", s.id()));
+            }
+        }
+    }
+    if !duplicates.is_empty() {
+        for d in &duplicates {
+            eprintln!("error: {d}");
+        }
+        exit(1);
     }
 }
 

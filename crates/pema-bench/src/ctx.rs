@@ -11,9 +11,11 @@ use crate::optm::{CachedOptimum, OptmCache};
 use pema::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Default results directory: `$PEMA_RESULTS_DIR` or `./results`.
@@ -186,11 +188,34 @@ impl ExperimentCtx {
 
     /// Measures one fresh-cluster window of `alloc` at `rps` (fixed
     /// seed, common random numbers across calls).
+    ///
+    /// Implemented as a one-interval [`Experiment`] run: a
+    /// [`HoldPolicy`] pins the allocation, a bare [`SimBackend`] (no
+    /// request timeout — an infinitely patient load generator) hosts
+    /// the cluster, and an observer captures the window's full stats.
+    /// Byte-identical to the historical direct `ClusterSim` path (the
+    /// golden-snapshot tests pin `fig06.csv` through this code).
     pub fn measure(&self, app: &AppSpec, alloc: &Allocation, rps: f64, seed: u64) -> WindowStats {
         let (warmup, window) = self.window(4.0, 20.0);
-        let mut sim = ClusterSim::new(app, seed);
-        sim.set_allocation(alloc);
-        sim.run_window(rps, warmup, window)
+        let captured: Rc<RefCell<Option<WindowStats>>> = Rc::new(RefCell::new(None));
+        let sink = Rc::clone(&captured);
+        Experiment::builder()
+            .app(app)
+            .policy(HoldPolicy::new(alloc.0.clone(), app.slo_ms))
+            .backend(SimBackend::bare(app, seed))
+            .config(HarnessConfig {
+                interval_s: window,
+                warmup_s: warmup,
+                seed,
+            })
+            .rps(rps)
+            .iters(1)
+            .observer(move |_log: &IterationLog, stats: &WindowStats| {
+                *sink.borrow_mut() = Some(stats.clone());
+            })
+            .run();
+        let stats = captured.borrow_mut().take();
+        stats.expect("one-interval run must observe exactly one window")
     }
 
     /// Returns the OPTM allocation for `(app, rps)`, computing and

@@ -86,6 +86,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &ablation_thresholds::AblationThresholds,
         &ablation_fluid::AblationFluid,
         &ablation_early::AblationEarly,
+        &cluster_scale::ClusterScale,
     ];
     REGISTRY
 }

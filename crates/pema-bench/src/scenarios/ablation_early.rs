@@ -43,7 +43,11 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             // Slightly aggressive so violations actually occur.
             params.alpha = 0.3;
             params.seed = 0xEA7 + rep * 17;
-            let mut runner = PemaRunner::new(&app, params, ctx.harness_cfg(0xEC + rep));
+            let mut runner = Experiment::builder()
+                .app(&app)
+                .policy(Pema(params))
+                .config(ctx.harness_cfg(0xEC + rep))
+                .build();
             if let Some(s) = early {
                 runner = runner.with_early_check(s);
             }

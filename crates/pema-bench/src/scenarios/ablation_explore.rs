@@ -36,8 +36,13 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             params.explore_a = a;
             params.explore_b = b;
             params.seed = 0xAB2 + rep * 31;
-            let result =
-                PemaRunner::new(&app, params, ctx.harness_cfg(0xE0 + rep)).run_const(rps, iters);
+            let result = Experiment::builder()
+                .app(&app)
+                .policy(Pema(params))
+                .config(ctx.harness_cfg(0xE0 + rep))
+                .rps(rps)
+                .iters(iters)
+                .run();
             let t = result.settled_total(10);
             totals.push(t);
             worst = worst.max(t);

@@ -31,8 +31,13 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             let mut params = PemaParams::defaults(app.slo_ms);
             params.ma_window = k;
             params.seed = 0xAB1 + rep * 7;
-            let result =
-                PemaRunner::new(&app, params, ctx.harness_cfg(0xAB + rep)).run_const(rps, iters);
+            let result = Experiment::builder()
+                .app(&app)
+                .policy(Pema(params))
+                .config(ctx.harness_cfg(0xAB + rep))
+                .rps(rps)
+                .iters(iters)
+                .run();
             viols += result.violations();
             n += result.log.len();
             totals.push(result.settled_total(10));

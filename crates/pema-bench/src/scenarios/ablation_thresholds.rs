@@ -34,8 +34,13 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             let mut params = PemaParams::defaults(app.slo_ms);
             params.freeze_thresholds = freeze;
             params.seed = 0xAB3 + rep * 13;
-            let result =
-                PemaRunner::new(&app, params, ctx.harness_cfg(0x7E + rep)).run_const(rps, iters);
+            let result = Experiment::builder()
+                .app(&app)
+                .policy(Pema(params))
+                .config(ctx.harness_cfg(0x7E + rep))
+                .rps(rps)
+                .iters(iters)
+                .run();
             totals.push(result.settled_total(10));
             viols += result.violations();
             n += result.log.len();

@@ -30,7 +30,13 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     ] {
         let mut p = params;
         p.seed = 0xF111;
-        let result = PemaRunner::new(&app, p, ctx.harness_cfg(0x11)).run_const(rps, iters);
+        let result = Experiment::builder()
+            .app(&app)
+            .policy(Pema(p))
+            .config(ctx.harness_cfg(0x11))
+            .rps(rps)
+            .iters(iters)
+            .run();
         for l in &result.log {
             rows.push(format!(
                 "{label},{},{:.3},{:.2},{}",

@@ -23,7 +23,13 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
         let opt = ctx.optimum_cached(&app, rps)?;
         let mut params = PemaParams::defaults(app.slo_ms);
         params.seed = 0xF112;
-        let result = PemaRunner::new(&app, params, ctx.harness_cfg(0x12)).run_const(rps, iters);
+        let result = Experiment::builder()
+            .app(&app)
+            .policy(Pema(params))
+            .config(ctx.harness_cfg(0x12))
+            .rps(rps)
+            .iters(iters)
+            .run();
         for l in &result.log {
             rows.push(format!(
                 "{},{},{:.3},{:.2},{}",

@@ -33,7 +33,11 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
         250.0 + 50.0 * (phase.sin() * 0.9 + (2.3 * phase).sin() * 0.1)
     };
 
-    let mut runner = ManagedRunner::new(&app, params, range_cfg, ctx.harness_cfg(0x13));
+    let mut runner = Experiment::builder()
+        .app(&app)
+        .policy(Managed(params, range_cfg))
+        .config(ctx.harness_cfg(0x13))
+        .build();
     let mut rows = Vec::new();
     let mut splits = Vec::new();
     for i in 0..ctx.iters(130) {

@@ -45,7 +45,11 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     }
 
     let intervals = ctx.iters(1080); // 36 h at 2-minute intervals
-    let mut runner = ManagedRunner::new(&app, params, range_cfg, cfg);
+    let mut runner = Experiment::builder()
+        .app(&app)
+        .policy(Managed(params, range_cfg))
+        .config(cfg)
+        .build();
     let mut ma = MovingAvg::new(5);
     let mut rows = Vec::new();
     let t0 = std::time::Instant::now();

@@ -33,8 +33,13 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             for rep in 0..repeats {
                 let mut params = PemaParams::defaults(app.slo_ms);
                 params.seed = 0xF115 + rep as u64 * 101;
-                let result = PemaRunner::new(&app, params, ctx.harness_cfg(0x15 + rep as u64))
-                    .run_const(rps, iters);
+                let result = Experiment::builder()
+                    .app(&app)
+                    .policy(Pema(params))
+                    .config(ctx.harness_cfg(0x15 + rep as u64))
+                    .rps(rps)
+                    .iters(iters)
+                    .run();
                 pema_totals.push(result.settled_total(10));
                 pema_viol += result.violations();
                 pema_n += result.log.len();
@@ -42,7 +47,13 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             let pema_avg = pema_totals.iter().sum::<f64>() / pema_totals.len() as f64;
 
             // RULE: converges in a few windows; settled over the tail.
-            let rule = RuleRunner::new(&app, ctx.harness_cfg(0x5115)).run_const(rps, ctx.iters(12));
+            let rule = Experiment::builder()
+                .app(&app)
+                .policy(Rule)
+                .config(ctx.harness_cfg(0x5115))
+                .rps(rps)
+                .iters(ctx.iters(12))
+                .run();
             let rule_total = rule.settled_total(5);
 
             let pema_n_norm = pema_avg / opt.total;

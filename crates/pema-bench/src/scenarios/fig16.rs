@@ -35,8 +35,13 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
                 params.alpha = alpha;
                 params.beta = 0.3;
                 params.seed = 0xF116 + rep * 977;
-                let result = PemaRunner::new(&app, params, ctx.harness_cfg(0x16 + rep))
-                    .run_const(rps, iters);
+                let result = Experiment::builder()
+                    .app(&app)
+                    .policy(Pema(params))
+                    .config(ctx.harness_cfg(0x16 + rep))
+                    .rps(rps)
+                    .iters(iters)
+                    .run();
                 norms.push(result.settled_total(8) / opt.total);
                 viols += result.violations();
                 n += result.log.len();

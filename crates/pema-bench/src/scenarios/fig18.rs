@@ -32,7 +32,11 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
         cfg.interval_s = 30.0;
     }
 
-    let mut runner = ManagedRunner::new(&app, params, range_cfg, cfg);
+    let mut runner = Experiment::builder()
+        .app(&app)
+        .policy(Managed(params, range_cfg))
+        .config(cfg)
+        .build();
 
     // Training phase: wander over the whole band until ranges mature.
     let train_iters = ctx.iters(140);

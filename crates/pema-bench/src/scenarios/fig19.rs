@@ -21,20 +21,24 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     let rps = 700.0;
     let mut params = PemaParams::defaults(app.slo_ms);
     params.seed = 0xF119;
-    let mut runner = PemaRunner::new(&app, params, ctx.harness_cfg(0x19));
+    let mut runner = Experiment::builder()
+        .app(&app)
+        .policy(Pema(params))
+        .config(ctx.harness_cfg(0x19))
+        .build();
 
     // Phase boundaries: clock change at s1 and s2 of n intervals.
     let (n, s1, s2) = if ctx.smoke() { (6, 2, 4) } else { (76, 32, 54) };
     let mut rows = Vec::new();
     for i in 0..n {
         if i == s1 {
-            runner.sim.set_speed(1.6 / 1.8);
+            runner.backend.set_speed(1.6 / 1.8);
             ctx.say(format!(
                 "-- iter {s1}: clock 1.8 GHz → 1.6 GHz (speed ×{:.2})",
                 1.6 / 1.8
             ));
         } else if i == s2 {
-            runner.sim.set_speed(2.0 / 1.8);
+            runner.backend.set_speed(2.0 / 1.8);
             ctx.say(format!(
                 "-- iter {s2}: clock 1.6 GHz → 2.0 GHz (speed ×{:.2})",
                 2.0 / 1.8

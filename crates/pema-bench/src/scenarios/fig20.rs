@@ -24,7 +24,11 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     let rps = 700.0;
     let mut params = PemaParams::defaults(250.0);
     params.seed = 0xF121;
-    let mut runner = PemaRunner::new(&app, params, ctx.harness_cfg(0x20));
+    let mut runner = Experiment::builder()
+        .app(&app)
+        .policy(Pema(params))
+        .config(ctx.harness_cfg(0x20))
+        .build();
 
     // Phase boundaries: SLO change at s1 and s2 of n intervals.
     let (n, s1, s2) = if ctx.smoke() {

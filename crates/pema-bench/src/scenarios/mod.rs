@@ -11,6 +11,7 @@ pub mod ablation_explore;
 pub mod ablation_fluid;
 pub mod ablation_ma;
 pub mod ablation_thresholds;
+pub mod cluster_scale;
 pub mod fig05;
 pub mod fig06;
 pub mod fig07;

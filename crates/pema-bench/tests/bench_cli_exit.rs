@@ -61,6 +61,28 @@ fn successful_scenario_exits_zero() {
 }
 
 #[test]
+fn list_exits_zero_and_names_every_scenario() {
+    // `bench list` doubles as CI's registry sanity gate: exit 0 with
+    // every id listed (it exits 1 on duplicate ids/outputs, which a
+    // healthy registry can't exhibit — the registry_suite test pins
+    // uniqueness at the library level).
+    let out = Command::new(bench_bin())
+        .arg("list")
+        .output()
+        .expect("bench binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for s in pema_bench::registry() {
+        assert!(stdout.contains(s.id()), "missing {} in:\n{stdout}", s.id());
+    }
+}
+
+#[test]
 fn unknown_scenario_is_a_usage_error() {
     let out = Command::new(bench_bin())
         .args(["run", "no-such-scenario", "--smoke"])

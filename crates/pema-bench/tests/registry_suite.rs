@@ -60,7 +60,11 @@ fn registry_ids_and_outputs_are_unique() {
             );
         }
     }
-    assert_eq!(registry().len(), 20, "expected the 20 paper scenarios");
+    assert_eq!(
+        registry().len(),
+        21,
+        "expected the 20 paper scenarios + cluster_scale"
+    );
 }
 
 #[test]

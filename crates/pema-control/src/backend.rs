@@ -1,0 +1,281 @@
+//! [`ClusterBackend`] — the execution-environment half of the paper's
+//! Fig. 9 loop, split out of the control loop.
+//!
+//! Fig. 9 shows PEMA between two external systems: Prometheus (the
+//! telemetry source it *measures* from) and Kubernetes (the actuator it
+//! *applies* allocations through). A [`ClusterBackend`] bundles exactly
+//! those two roles behind one trait — [`measure_window`] is the
+//! Prometheus scrape, [`apply`] is the `kubectl patch` — so the loop in
+//! [`ControlLoop`](crate::ControlLoop) never knows whether it is
+//! driving the discrete-event simulator, the analytic fluid model, or
+//! (future work) a live cluster or a trace replayer.
+//!
+//! Two backends ship today:
+//!
+//! * [`SimBackend`] — wraps [`ClusterSim`], the packet-level DES. This
+//!   is the fidelity backend every paper figure runs on; it reproduces
+//!   the pre-refactor `ControlLoop` results byte-for-byte (pinned by
+//!   the golden-snapshot tests in `pema-bench`).
+//! * [`FluidBackend`] — wraps [`FluidEvaluator`], the M/G/1-PS analytic
+//!   model. Three to four orders of magnitude faster; shape-faithful
+//!   but approximate. It unlocks sweeps that are infeasible on the DES
+//!   (e.g. the `cluster_scale` scenario's policy sweep over the
+//!   120-service topology).
+//!
+//! [`measure_window`]: ClusterBackend::measure_window
+//! [`apply`]: ClusterBackend::apply
+
+use pema_sim::{Allocation, AppSpec, ClusterSim, Evaluator as _, FluidEvaluator, WindowStats};
+
+/// The telemetry-source + actuator pair of Fig. 9, as one object.
+///
+/// A backend owns a (virtual or real) cluster running one application.
+/// The control loop talks to it in exactly four ways, mirroring the
+/// paper's architecture:
+///
+/// | method | Fig. 9 role |
+/// |---|---|
+/// | [`apply`](Self::apply) | Kubernetes: set CPU limits |
+/// | [`allocation`](Self::allocation) | Kubernetes: read CPU limits |
+/// | [`measure_window`](Self::measure_window) | Prometheus: scrape one monitoring window |
+/// | [`measure_window_abortable`](Self::measure_window_abortable) | §6 high-resolution monitoring |
+///
+/// Implementations must make `apply` take effect before the next
+/// measurement and must report the *actual* measured duration in
+/// [`WindowStats::duration_s`] (shorter than requested when an early
+/// check aborts) — the conformance suite in
+/// `tests/backend_conformance.rs` pins both.
+pub trait ClusterBackend {
+    /// Applies an allocation (cores per service) to the cluster. Takes
+    /// effect before the next measurement.
+    fn apply(&mut self, alloc: &Allocation);
+
+    /// The allocation currently in force.
+    fn allocation(&self) -> Allocation;
+
+    /// Drives offered load `rps` for `warmup_s` (settling, discarded)
+    /// plus `window_s` (measured) virtual seconds and returns the
+    /// window's observables.
+    fn measure_window(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> WindowStats;
+
+    /// Like [`measure_window`](Self::measure_window), but the running
+    /// p95 is checked against `slo_ms` every `check_s` seconds and the
+    /// window aborts on a breach (the paper's §6 high-resolution
+    /// monitoring extension). Returns the (possibly shortened) stats
+    /// and whether the window aborted.
+    ///
+    /// The default implementation measures the full window and never
+    /// aborts — correct for backends without intra-window visibility.
+    fn measure_window_abortable(
+        &mut self,
+        rps: f64,
+        warmup_s: f64,
+        window_s: f64,
+        check_s: f64,
+        slo_ms: f64,
+    ) -> (WindowStats, bool) {
+        let _ = (check_s, slo_ms);
+        (self.measure_window(rps, warmup_s, window_s), false)
+    }
+
+    /// Current virtual time, seconds. Strictly increases across
+    /// measurements.
+    fn now_s(&self) -> f64;
+}
+
+/// Forwarding impl so `Box<dyn ClusterBackend>` (and boxed concrete
+/// backends) drive the loop directly — the trait is object-safe by
+/// design, and heterogeneous backend collections (the conformance
+/// suite, future backend registries) rely on it.
+impl<B: ClusterBackend + ?Sized> ClusterBackend for Box<B> {
+    fn apply(&mut self, alloc: &Allocation) {
+        (**self).apply(alloc)
+    }
+
+    fn allocation(&self) -> Allocation {
+        (**self).allocation()
+    }
+
+    fn measure_window(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> WindowStats {
+        (**self).measure_window(rps, warmup_s, window_s)
+    }
+
+    fn measure_window_abortable(
+        &mut self,
+        rps: f64,
+        warmup_s: f64,
+        window_s: f64,
+        check_s: f64,
+        slo_ms: f64,
+    ) -> (WindowStats, bool) {
+        (**self).measure_window_abortable(rps, warmup_s, window_s, check_s, slo_ms)
+    }
+
+    fn now_s(&self) -> f64 {
+        (**self).now_s()
+    }
+}
+
+/// The discrete-event simulator as a backend (full fidelity).
+///
+/// Construction matches what the pre-refactor harness did: the cluster
+/// starts from the app's generous allocation and clients time out after
+/// 8× the SLO (as a load generator would), so saturated intervals shed
+/// their backlog instead of poisoning later measurements.
+pub struct SimBackend {
+    /// The wrapped simulator — public for backend-specific scripting
+    /// (speed changes, trace sampling, …) that the trait deliberately
+    /// does not cover.
+    pub sim: ClusterSim,
+}
+
+impl SimBackend {
+    /// Standard backend for an app: fresh simulator seeded with `seed`,
+    /// request timeout at 8× the SLO.
+    pub fn new(app: &AppSpec, seed: u64) -> Self {
+        let mut sim = ClusterSim::new(app, seed);
+        sim.set_request_timeout(Some(app.slo_ms / 1e3 * 8.0));
+        Self { sim }
+    }
+
+    /// Backend without the request timeout — an infinitely patient load
+    /// generator. This is what one-shot open-loop measurements (the
+    /// `ExperimentCtx::measure` path in `pema-bench`) use.
+    pub fn bare(app: &AppSpec, seed: u64) -> Self {
+        Self {
+            sim: ClusterSim::new(app, seed),
+        }
+    }
+
+    /// Wraps an already-configured simulator.
+    pub fn from_sim(sim: ClusterSim) -> Self {
+        Self { sim }
+    }
+
+    /// Changes the cluster's CPU speed factor mid-run (the Fig. 19
+    /// clock-change experiments).
+    pub fn set_speed(&mut self, speed: f64) {
+        self.sim.set_speed(speed);
+    }
+}
+
+impl ClusterBackend for SimBackend {
+    fn apply(&mut self, alloc: &Allocation) {
+        self.sim.set_allocation(alloc);
+    }
+
+    fn allocation(&self) -> Allocation {
+        self.sim.allocation()
+    }
+
+    fn measure_window(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> WindowStats {
+        self.sim.run_window(rps, warmup_s, window_s)
+    }
+
+    fn measure_window_abortable(
+        &mut self,
+        rps: f64,
+        warmup_s: f64,
+        window_s: f64,
+        check_s: f64,
+        slo_ms: f64,
+    ) -> (WindowStats, bool) {
+        self.sim
+            .run_window_abortable(rps, warmup_s, window_s, check_s, slo_ms)
+    }
+
+    fn now_s(&self) -> f64 {
+        self.sim.now().as_secs()
+    }
+}
+
+/// The analytic fluid model as a backend (speed over fidelity).
+///
+/// Each measurement is one closed-form evaluation instead of millions
+/// of simulated events, so a full policy run completes in microseconds.
+/// Virtual time is book-kept locally (the evaluator itself is
+/// stateless): each window advances the clock by `warmup_s + duration`,
+/// matching the DES backend's timeline shape.
+///
+/// The model is deterministic — same allocation and load, same stats —
+/// which makes fluid-backed scenarios trivially reproducible.
+pub struct FluidBackend {
+    eval: FluidEvaluator,
+    alloc: Allocation,
+    clock_s: f64,
+}
+
+impl FluidBackend {
+    /// Builds the fluid backend for an app, starting (like the DES
+    /// backend) from the generous allocation.
+    pub fn new(app: &AppSpec) -> Self {
+        Self {
+            eval: FluidEvaluator::new(app),
+            alloc: Allocation::new(app.generous_alloc.clone()),
+            clock_s: 0.0,
+        }
+    }
+
+    /// Changes the modelled CPU speed factor (mirrors
+    /// [`SimBackend::set_speed`]).
+    pub fn set_speed(&mut self, speed: f64) {
+        self.eval.speed = speed;
+    }
+
+    fn evaluate(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> WindowStats {
+        self.eval.window_s = window_s;
+        let mut stats = self.eval.evaluate(&self.alloc, rps);
+        stats.start_s = self.clock_s + warmup_s;
+        self.clock_s += warmup_s + window_s;
+        stats
+    }
+}
+
+impl ClusterBackend for FluidBackend {
+    fn apply(&mut self, alloc: &Allocation) {
+        assert_eq!(
+            alloc.len(),
+            self.alloc.len(),
+            "allocation length must match the app"
+        );
+        self.alloc = alloc.clone();
+    }
+
+    fn allocation(&self) -> Allocation {
+        self.alloc.clone()
+    }
+
+    fn measure_window(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> WindowStats {
+        self.evaluate(rps, warmup_s, window_s)
+    }
+
+    fn measure_window_abortable(
+        &mut self,
+        rps: f64,
+        warmup_s: f64,
+        window_s: f64,
+        check_s: f64,
+        slo_ms: f64,
+    ) -> (WindowStats, bool) {
+        // The fluid model has no intra-window dynamics: a violating
+        // window violates from its first second, so an early check at
+        // `check_s` catches it immediately and the interval shrinks to
+        // exactly one check period. A healthy probe already *is* the
+        // full-window result; only the abort branch re-evaluates (at
+        // the shortened window, so the reported counters stay
+        // duration-consistent).
+        self.eval.window_s = window_s;
+        let mut probe = self.eval.evaluate(&self.alloc, rps);
+        if probe.violates(slo_ms) && check_s < window_s {
+            (self.evaluate(rps, warmup_s, check_s), true)
+        } else {
+            probe.start_s = self.clock_s + warmup_s;
+            self.clock_s += warmup_s + window_s;
+            (probe, false)
+        }
+    }
+
+    fn now_s(&self) -> f64 {
+        self.clock_s
+    }
+}

@@ -1,0 +1,337 @@
+//! The measure → observe → act → apply loop, generic over both the
+//! [`Policy`] *and* the [`ClusterBackend`] it drives.
+//!
+//! This is the paper's Fig. 9 cycle implemented once: each control
+//! interval the loop measures one monitoring window on the backend
+//! (Prometheus role), converts it into the policy's view, lets the
+//! policy act, and applies the returned allocation (Kubernetes role).
+
+use crate::backend::{ClusterBackend, SimBackend};
+use crate::policy::Policy;
+use pema_sim::{Allocation, AppSpec, WindowStats};
+use pema_workload::Workload;
+
+/// Harness timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Measured monitoring window per control interval, virtual
+    /// seconds. The paper uses two minutes; the simulator's statistics
+    /// stabilize faster, so the default is 40 s (configurable back to
+    /// 120 for fidelity runs).
+    pub interval_s: f64,
+    /// Settling time after an allocation change before measurement.
+    pub warmup_s: f64,
+    /// Backend seed (the simulator seed for [`SimBackend`]).
+    pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// The standard experiment configuration (40 s interval, 4 s
+    /// warmup) with the given backend seed — the single source of
+    /// truth for the timing every scenario in `pema-bench` uses.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            interval_s: 40.0,
+            warmup_s: 4.0,
+            seed: 0xFEED,
+        }
+    }
+}
+
+/// One logged control interval.
+#[derive(Debug, Clone)]
+pub struct IterationLog {
+    /// Interval index (0-based).
+    pub iter: usize,
+    /// Virtual time at the start of the interval, seconds.
+    pub time_s: f64,
+    /// Offered load during the interval.
+    pub rps: f64,
+    /// Total cores allocated *during* the interval.
+    pub total_cpu: f64,
+    /// p95 response over the interval, ms.
+    pub p95_ms: f64,
+    /// Mean response over the interval, ms.
+    pub mean_ms: f64,
+    /// Whether the interval violated the SLO.
+    pub violated: bool,
+    /// Policy decision taken at the end of the interval.
+    pub action: String,
+    /// Allocation applied for the *next* interval.
+    pub alloc: Vec<f64>,
+    /// Range / process id for workload-aware runs (0 otherwise).
+    pub pema_id: usize,
+    /// Actual measured length of this interval, seconds (shorter than
+    /// the configured interval when an early check aborted it).
+    pub interval_s: f64,
+}
+
+/// A completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-interval log.
+    pub log: Vec<IterationLog>,
+    /// Allocation in force at the end.
+    pub final_alloc: Allocation,
+    /// The SLO used, ms.
+    pub slo_ms: f64,
+}
+
+impl RunResult {
+    /// Number of SLO-violating intervals.
+    pub fn violations(&self) -> usize {
+        self.log.iter().filter(|l| l.violated).count()
+    }
+
+    /// Fraction of intervals that violated the SLO.
+    pub fn violation_rate(&self) -> f64 {
+        if self.log.is_empty() {
+            0.0
+        } else {
+            self.violations() as f64 / self.log.len() as f64
+        }
+    }
+
+    /// Mean total allocation over the last `k` intervals — the
+    /// "settled" efficiency of the policy.
+    pub fn settled_total(&self, k: usize) -> f64 {
+        let n = self.log.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let k = k.min(n).max(1);
+        self.log[n - k..].iter().map(|l| l.total_cpu).sum::<f64>() / k as f64
+    }
+
+    /// Total wall time spent in SLO-violating intervals, seconds — the
+    /// quantity the §6 early-reaction extension shrinks.
+    pub fn violating_time_s(&self) -> f64 {
+        self.log
+            .iter()
+            .filter(|l| l.violated)
+            .map(|l| l.interval_s)
+            .sum::<f64>()
+            .max(0.0)
+    }
+
+    /// Smallest total allocation among non-violating intervals.
+    pub fn best_feasible_total(&self) -> Option<f64> {
+        self.log
+            .iter()
+            .filter(|l| !l.violated)
+            .map(|l| l.total_cpu)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+}
+
+/// Per-interval hook — the pluggable replacement for ad-hoc CSV / print
+/// plumbing around stepping loops.
+///
+/// Observers receive both the compact [`IterationLog`] entry and the
+/// full [`WindowStats`] it was derived from (per-service utilizations,
+/// throttle times, …), so CSV emitters need no side channel into the
+/// backend. Any `FnMut(&IterationLog, &WindowStats)` closure is an
+/// observer; share state with the caller through `Rc<RefCell<…>>` when
+/// the run is built through the [`Experiment`](crate::Experiment)
+/// facade.
+pub trait Observer {
+    /// Called once per control interval, after the decision was applied
+    /// and the interval logged.
+    fn on_interval(&mut self, log: &IterationLog, stats: &WindowStats);
+}
+
+impl<F: FnMut(&IterationLog, &WindowStats)> Observer for F {
+    fn on_interval(&mut self, log: &IterationLog, stats: &WindowStats) {
+        self(log, stats)
+    }
+}
+
+/// The measure → observe → act → apply loop, generic over the policy
+/// and the cluster backend.
+///
+/// Most callers should construct one through
+/// [`Experiment::builder`](crate::Experiment::builder) rather than
+/// [`ControlLoop::new`]; the struct itself stays public for stepping
+/// runs that script the policy or backend mid-flight (SLO changes,
+/// clock changes, …).
+pub struct ControlLoop<P: Policy, B: ClusterBackend = SimBackend> {
+    /// The cluster under control (public for scenario scripting: speed
+    /// changes, trace sampling, etc.).
+    pub backend: B,
+    /// The policy under test.
+    pub policy: P,
+    cfg: HarnessConfig,
+    /// When set, the monitoring window is checked every this many
+    /// seconds and aborted on an SLO breach (§6's high-resolution
+    /// monitoring extension) so rollback happens within seconds instead
+    /// of a full interval.
+    early_check_s: Option<f64>,
+    iter: usize,
+    log: Vec<IterationLog>,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl<P: Policy> ControlLoop<P, SimBackend> {
+    /// Builds a DES-backed loop around an explicit policy, starting the
+    /// cluster from the app's generous allocation with the standard
+    /// request timeout (see [`SimBackend::new`]).
+    pub fn from_parts(app: &AppSpec, policy: P, cfg: HarnessConfig) -> Self {
+        Self::new(SimBackend::new(app, cfg.seed), policy, cfg)
+    }
+}
+
+impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
+    /// Wires a policy to a backend. The backend arrives fully
+    /// configured; `cfg` only carries the loop timing.
+    pub fn new(backend: B, policy: P, cfg: HarnessConfig) -> Self {
+        Self {
+            backend,
+            policy,
+            cfg,
+            early_check_s: None,
+            iter: 0,
+            log: Vec::new(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Enables early violation detection: the window aborts (and the
+    /// policy rolls back) as soon as the running p95 exceeds the SLO,
+    /// checked every `check_s` seconds.
+    pub fn with_early_check(mut self, check_s: f64) -> Self {
+        assert!(check_s > 0.0, "check interval must be positive");
+        self.early_check_s = Some(check_s);
+        self
+    }
+
+    /// Registers a per-interval observer.
+    pub fn observe(mut self, obs: impl Observer + 'static) -> Self {
+        self.observers.push(Box::new(obs));
+        self
+    }
+
+    pub(crate) fn push_observer(&mut self, obs: Box<dyn Observer>) {
+        self.observers.push(obs);
+    }
+
+    /// The per-interval log so far.
+    pub fn log(&self) -> &[IterationLog] {
+        &self.log
+    }
+
+    /// Runs one control interval at offered load `rps` and logs it.
+    pub fn step_once(&mut self, rps: f64) -> &IterationLog {
+        let time_s = self.backend.now_s();
+        if let Some(pre) = self.policy.pre_interval(rps) {
+            self.backend.apply(&pre);
+        }
+        let alloc_in_force = self.backend.allocation();
+        let slo = self.policy.slo_ms();
+        let (stats, aborted) = match self.early_check_s {
+            Some(check_s) => self.backend.measure_window_abortable(
+                rps,
+                self.cfg.warmup_s,
+                self.cfg.interval_s,
+                check_s,
+                slo,
+            ),
+            None => (
+                self.backend
+                    .measure_window(rps, self.cfg.warmup_s, self.cfg.interval_s),
+                false,
+            ),
+        };
+        let d = self.policy.decide(&stats);
+        self.backend.apply(&Allocation::new(d.alloc.clone()));
+        let entry = IterationLog {
+            iter: self.iter,
+            time_s,
+            rps,
+            total_cpu: alloc_in_force.total(),
+            p95_ms: stats.p95_ms,
+            mean_ms: stats.mean_ms,
+            violated: stats.violates(slo),
+            action: if aborted {
+                format!("early-{}", d.action)
+            } else {
+                d.action
+            },
+            alloc: d.alloc,
+            pema_id: d.pema_id,
+            interval_s: stats.duration_s,
+        };
+        for obs in &mut self.observers {
+            obs.on_interval(&entry, &stats);
+        }
+        self.log.push(entry);
+        self.iter += 1;
+        self.log.last().unwrap()
+    }
+
+    /// Runs `iters` intervals at constant load.
+    pub fn run_const(mut self, rps: f64, iters: usize) -> RunResult {
+        for _ in 0..iters {
+            self.step_once(rps);
+        }
+        self.into_result()
+    }
+
+    /// Runs `iters` intervals sampling the workload at each interval
+    /// start (backend virtual time).
+    pub fn run_workload(mut self, w: &dyn Workload, iters: usize) -> RunResult {
+        for _ in 0..iters {
+            let rps = w.rps_at(self.backend.now_s());
+            self.step_once(rps);
+        }
+        self.into_result()
+    }
+
+    /// Finalizes into a [`RunResult`].
+    pub fn into_result(self) -> RunResult {
+        RunResult {
+            final_alloc: self.backend.allocation(),
+            slo_ms: self.policy.slo_ms(),
+            log: self.log,
+        }
+    }
+}
+
+/// DES-backed harness for a single
+/// [`PemaController`](pema_core::PemaController) — kept as a named
+/// alias for the migration from the old root-crate `runner` module.
+pub type PemaRunner<B = SimBackend> = ControlLoop<pema_core::PemaController, B>;
+
+/// DES-backed harness for the workload-aware manager
+/// ([`WorkloadAwarePema`](pema_core::WorkloadAwarePema)).
+pub type ManagedRunner<B = SimBackend> = ControlLoop<pema_core::WorkloadAwarePema, B>;
+
+/// DES-backed harness for the rule-based baseline.
+pub type RuleRunner<B = SimBackend> = ControlLoop<crate::policy::RulePolicy, B>;
+
+/// Convenience: OPTM search for an app at one workload, starting from
+/// the generous allocation.
+pub fn optimum_for(
+    app: &AppSpec,
+    rps: f64,
+    seed: u64,
+) -> Result<pema_baselines::OptmResult, pema_baselines::OptmError> {
+    let mut eval = pema_sim::SimEvaluator::new(app, seed)
+        .with_window(4.0, 20.0)
+        .with_robustness(2);
+    let start = Allocation::new(app.generous_alloc.clone());
+    pema_baselines::find_optimum(
+        &mut eval,
+        &start,
+        rps,
+        &pema_baselines::OptmConfig::default(),
+    )
+}

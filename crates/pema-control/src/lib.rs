@@ -1,0 +1,82 @@
+//! # pema-control — the backend-agnostic control plane
+//!
+//! The paper's architecture (Fig. 9) is an explicit loop between three
+//! parties: a telemetry source (Prometheus) PEMA *measures* from, the
+//! PEMA decision logic itself, and an actuator (Kubernetes) PEMA
+//! *applies* allocations through. This crate is that loop with the
+//! parties held apart by traits, so the same decision logic drives any
+//! execution environment:
+//!
+//! | Fig. 9 role | paper component | here |
+//! |---|---|---|
+//! | telemetry source | Prometheus + cAdvisor scrape | [`ClusterBackend::measure_window`] |
+//! | actuator | Kubernetes CPU-limit patch | [`ClusterBackend::apply`] |
+//! | decision logic | PEMA / manager / baselines | [`Policy`] implementations |
+//! | control cycle | measure → observe → act → apply | [`ControlLoop`] |
+//! | experiment wiring | testbed scripts | [`Experiment`] builder facade |
+//!
+//! Two [`ClusterBackend`]s ship today: [`SimBackend`] (the
+//! discrete-event simulator — full fidelity, byte-identical to the
+//! pre-refactor harness) and [`FluidBackend`] (the analytic fluid model
+//! — orders of magnitude faster, for large-scale sweeps). A live
+//! Kubernetes adapter or a trace replayer slot in by implementing the
+//! same four methods; nothing above the trait changes.
+//!
+//! ## Constructing runs
+//!
+//! All runs go through the [`Experiment`] builder:
+//!
+//! ```
+//! use pema_control::{Experiment, HarnessConfig, Pema, UseFluid};
+//! use pema_core::PemaParams;
+//!
+//! let app = pema_apps::toy_chain();
+//! let result = Experiment::builder()
+//!     .app(&app)
+//!     .policy(Pema(PemaParams::defaults(app.slo_ms)))
+//!     .backend(UseFluid) // drop this line for the full-fidelity DES
+//!     .config(HarnessConfig::with_seed(7))
+//!     .rps(150.0)
+//!     .iters(10)
+//!     .run();
+//! assert_eq!(result.log.len(), 10);
+//! ```
+//!
+//! `.build()` instead of `.run()` returns the [`ControlLoop`] for
+//! stepping runs that script the policy or backend mid-flight (SLO
+//! changes, CPU-clock changes, bursty traces).
+//!
+//! ## Migrating from the old root-crate `runner` module
+//!
+//! | old (`pema::runner`) | new (`pema_control`) |
+//! |---|---|
+//! | `PemaRunner::new(&app, params, cfg)` | `Experiment::builder().app(&app).policy(Pema(params)).config(cfg)` |
+//! | `ManagedRunner::new(&app, params, rc, cfg)` | `….policy(Managed(params, rc))…` |
+//! | `RuleRunner::new(&app, cfg)` | `….policy(Rule)…` |
+//! | `ControlLoop::from_parts(&app, policy, cfg)` | `….policy(policy)…` (any [`Policy`] instance) |
+//! | `runner.run_const(rps, n)` | `….rps(rps).iters(n).run()` |
+//! | `runner.run_workload(&w, n)` | `….workload(w).iters(n).run()` |
+//! | `runner.with_early_check(s)` | `….early_check(s)` |
+//! | `runner.step_once(rps)` | `….build()` then `step_once(rps)` |
+//! | `runner.sim.set_speed(f)` | `runner.backend.set_speed(f)` (after `.build()`) |
+//! | ad-hoc CSV row collection around `step_once` | `….observer(\|log, stats\| …)` |
+//! | `stats_to_obs`, `optimum_for` | re-exported here, unchanged |
+//!
+//! The old paths still exist as a deprecated re-export module in the
+//! root crate for one transition period.
+
+mod backend;
+mod control;
+mod experiment;
+mod policy;
+
+pub use backend::{ClusterBackend, FluidBackend, SimBackend};
+pub use control::{
+    optimum_for, ControlLoop, HarnessConfig, IterationLog, ManagedRunner, Observer, PemaRunner,
+    RuleRunner, RunResult,
+};
+pub use experiment::{
+    Experiment, ExperimentBuilder, IntoBackend, IntoPolicy, Managed, Pema, Rule, Unset, UseFluid,
+    UseSim,
+};
+pub use policy::{stats_to_obs, Decision, HoldPolicy, Policy, RulePolicy};

@@ -1,0 +1,183 @@
+//! Backend-conformance suite: every [`ClusterBackend`] must honour the
+//! same loop-facing contract, whatever is underneath it. The suite runs
+//! against both shipped backends ([`SimBackend`] and [`FluidBackend`]);
+//! a future live/k8s adapter or trace replayer should be added to
+//! [`each_backend`] and pass unchanged.
+//!
+//! Pinned invariants:
+//! * `apply` takes effect before the next measurement (both directly
+//!   and through a [`ControlLoop`] pre-interval switch);
+//! * virtual time strictly advances across measurements;
+//! * an early-abort check shortens the reported `duration_s` on an SLO
+//!   breach and leaves healthy windows untouched;
+//! * violation accounting: a permanently starved run marks every
+//!   interval violated and `violating_time_s` sums the (shortened)
+//!   interval lengths.
+
+use pema_control::{
+    ClusterBackend, ControlLoop, FluidBackend, HarnessConfig, HoldPolicy, SimBackend,
+};
+use pema_sim::{Allocation, AppSpec, MIN_ALLOC};
+
+/// Runs `check` once per shipped backend, labelled for assertions.
+fn each_backend(app: &AppSpec, check: impl Fn(&str, Box<dyn ClusterBackend>)) {
+    check("sim", Box::new(SimBackend::new(app, 42)));
+    check("fluid", Box::new(FluidBackend::new(app)));
+}
+
+fn app() -> AppSpec {
+    pema_apps::toy_chain() // 3 services, SLO 100 ms
+}
+
+/// A load/allocation pair that deeply saturates the toy chain on both
+/// backends (every service at the 0.05-core floor at 150 rps).
+fn starved(app: &AppSpec) -> Allocation {
+    Allocation::new(vec![MIN_ALLOC; app.n_services()])
+}
+
+#[test]
+fn apply_is_visible_in_allocation_and_measurement() {
+    let app = app();
+    let target = Allocation::new(vec![0.9, 0.8, 0.7]);
+    each_backend(&app, |name, mut b| {
+        b.apply(&target);
+        let read_back = b.allocation();
+        for i in 0..app.n_services() {
+            assert_eq!(
+                read_back.get(i),
+                target.get(i),
+                "{name}: allocation() must read back what apply() set"
+            );
+        }
+        let stats = b.measure_window(120.0, 1.0, 5.0);
+        for (i, s) in stats.per_service.iter().enumerate() {
+            assert_eq!(
+                s.alloc_cores,
+                target.get(i),
+                "{name}: the measured window must see the applied allocation"
+            );
+        }
+    });
+}
+
+#[test]
+fn virtual_time_strictly_advances() {
+    let app = app();
+    each_backend(&app, |name, mut b| {
+        let t0 = b.now_s();
+        b.measure_window(100.0, 1.0, 4.0);
+        let t1 = b.now_s();
+        b.measure_window(100.0, 1.0, 4.0);
+        let t2 = b.now_s();
+        assert!(t1 > t0 && t2 > t1, "{name}: time went {t0} → {t1} → {t2}");
+    });
+}
+
+#[test]
+fn early_abort_shortens_violating_windows_only() {
+    let app = app();
+    each_backend(&app, |name, mut b| {
+        // Healthy: generous allocation, no abort, full window.
+        let (healthy, aborted) = b.measure_window_abortable(120.0, 1.0, 8.0, 2.0, app.slo_ms);
+        assert!(!aborted, "{name}: healthy window must not abort");
+        assert!(
+            healthy.duration_s > 0.9 * 8.0,
+            "{name}: healthy window must run (close to) full length, got {}",
+            healthy.duration_s
+        );
+
+        // Starved: the p95 breach must cut the window to ~one check.
+        b.apply(&starved(&app));
+        let (sick, aborted) = b.measure_window_abortable(150.0, 1.0, 8.0, 2.0, app.slo_ms);
+        assert!(aborted, "{name}: saturated window must abort early");
+        assert!(
+            sick.duration_s < 8.0 / 2.0,
+            "{name}: aborted window must be much shorter than requested, got {}",
+            sick.duration_s
+        );
+        assert!(
+            sick.violates(app.slo_ms),
+            "{name}: aborted window must still report the violation"
+        );
+    });
+}
+
+#[test]
+fn loop_applies_pre_interval_allocation_before_measuring() {
+    let app = app();
+    let held = vec![0.6, 0.5, 0.4];
+    let total: f64 = held.iter().sum();
+    each_backend(&app, |name, b| {
+        let mut control = ControlLoop::new(
+            b,
+            HoldPolicy::new(held.clone(), app.slo_ms),
+            HarnessConfig {
+                interval_s: 5.0,
+                warmup_s: 1.0,
+                seed: 7,
+            },
+        );
+        for _ in 0..3 {
+            let log = control.step_once(120.0);
+            // `total_cpu` is the allocation in force *during* the
+            // window: from the very first interval it must be the held
+            // allocation, not the generous start.
+            assert!(
+                (log.total_cpu - total).abs() < 1e-9,
+                "{name}: interval {} ran under {} cores, expected {total}",
+                log.iter,
+                log.total_cpu
+            );
+        }
+    });
+}
+
+#[test]
+fn violation_accounting_sums_shortened_intervals() {
+    let app = app();
+    each_backend(&app, |name, b| {
+        let floor = starved(&app);
+        let mut control = ControlLoop::new(
+            b,
+            HoldPolicy::new(floor.0.clone(), app.slo_ms),
+            HarnessConfig {
+                interval_s: 8.0,
+                warmup_s: 1.0,
+                seed: 9,
+            },
+        )
+        .with_early_check(2.0);
+        for _ in 0..4 {
+            control.step_once(150.0);
+        }
+        let result = control.into_result();
+        assert_eq!(
+            result.violations(),
+            4,
+            "{name}: every starved interval must count as a violation"
+        );
+        assert!(
+            (result.violation_rate() - 1.0).abs() < 1e-12,
+            "{name}: violation rate must be 1.0"
+        );
+        let expected: f64 = result.log.iter().map(|l| l.interval_s).sum();
+        assert!(
+            (result.violating_time_s() - expected).abs() < 1e-9,
+            "{name}: violating_time_s must sum the measured interval lengths"
+        );
+        // Early checks shortened every interval.
+        for l in &result.log {
+            assert!(
+                l.interval_s < 8.0 / 2.0,
+                "{name}: interval {} ran {}s despite early checks",
+                l.iter,
+                l.interval_s
+            );
+            assert!(
+                l.action.starts_with("early-"),
+                "{name}: aborted interval must carry the early- action tag, got {}",
+                l.action
+            );
+        }
+    });
+}

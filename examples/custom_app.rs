@@ -92,14 +92,17 @@ fn main() {
         app.slo_ms
     );
 
-    let params = PemaParams::defaults(app.slo_ms);
-    let cfg = HarnessConfig {
-        interval_s: 30.0,
-        warmup_s: 3.0,
-        seed: 99,
-    };
-    let result =
-        PemaRunner::new(&app, params, cfg).run_const(/*rps=*/ 250.0, /*iters=*/ 25);
+    let result = Experiment::builder()
+        .app(&app)
+        .policy(Pema(PemaParams::defaults(app.slo_ms)))
+        .config(HarnessConfig {
+            interval_s: 30.0,
+            warmup_s: 3.0,
+            seed: 99,
+        })
+        .rps(250.0)
+        .iters(25)
+        .run();
 
     println!("\n{:>4}  {:>9}  {:>9}", "iter", "totalCPU", "p95(ms)");
     for l in result.log.iter().step_by(4) {

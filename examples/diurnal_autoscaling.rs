@@ -24,12 +24,18 @@ fn main() {
         split_after: 10,
         m_learn_steps: 5,
     };
-    let cfg = HarnessConfig {
-        interval_s: 30.0,
-        warmup_s: 3.0,
-        seed: 7,
-    };
-    let mut runner = ManagedRunner::new(&app, params, range_cfg, cfg);
+    // `.build()` (instead of `.run()`) hands back the loop for manual
+    // stepping: the trace clock here advances two minutes per control
+    // interval, independent of the simulator's virtual time.
+    let mut runner = Experiment::builder()
+        .app(&app)
+        .policy(Managed(params, range_cfg))
+        .config(HarnessConfig {
+            interval_s: 30.0,
+            warmup_s: 3.0,
+            seed: 7,
+        })
+        .build();
 
     // One control interval ≙ two minutes of trace time; 12 hours.
     let intervals = 12 * 30;

@@ -25,12 +25,16 @@ fn main() {
 
     let mut params = PemaParams::defaults(app.slo_ms);
     params.seed = 77;
-    let cfg = HarnessConfig {
-        interval_s: 40.0,
-        warmup_s: 4.0,
-        seed: 78,
-    };
-    let mut runner = PemaRunner::new(&app, params, cfg).with_early_check(10.0);
+    let mut runner = Experiment::builder()
+        .app(&app)
+        .policy(Pema(params))
+        .config(HarnessConfig {
+            interval_s: 40.0,
+            warmup_s: 4.0,
+            seed: 78,
+        })
+        .early_check(10.0)
+        .build();
 
     let mut in_burst_viol = 0;
     let mut burst_intervals = 0;

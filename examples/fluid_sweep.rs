@@ -1,0 +1,73 @@
+//! Large-scale policy sweeps on the fluid backend.
+//!
+//! The `ClusterBackend` trait makes the control loop indifferent to
+//! what is underneath it: here the same PEMA controller that drives the
+//! discrete-event simulator in every paper figure runs against the
+//! analytic fluid model instead — orders of magnitude faster — and
+//! sweeps a workload band on the 120-service `cluster-scale` topology.
+//! The whole sweep (hundreds of control intervals on 120 services, plus
+//! a fluid-model OPTM search per load level) finishes in milliseconds;
+//! a single DES run of this size takes minutes.
+//!
+//! Absolute fluid numbers are approximate (see `pema_sim::fluid` — in
+//! particular its latency knee is much flatter than the DES's, so the
+//! OPTM reference bound is aggressive), but convergence behaviour and
+//! violation counts are the real controller's. The registered
+//! `cluster_scale` bench scenario is this sweep with CSV output.
+//!
+//! ```sh
+//! cargo run --release --example fluid_sweep
+//! ```
+
+use pema::prelude::*;
+
+fn main() {
+    let app = pema_apps::cluster_scale(24); // 120 services on 8 nodes
+    let generous: f64 = app.generous_alloc.iter().sum();
+    println!(
+        "fluid sweep on {} ({} services, SLO {} ms, generous {:.0} cores)\n",
+        app.name,
+        app.n_services(),
+        app.slo_ms,
+        generous
+    );
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>8}  {:>6}",
+        "rps", "fluidOPTM", "PEMA cpu", "vs OPTM", "viol"
+    );
+
+    let t0 = std::time::Instant::now();
+    for rps in [240.0, 480.0, 720.0, 960.0, 1200.0, 1440.0] {
+        let mut eval = FluidEvaluator::new(&app);
+        let start = Allocation::new(app.generous_alloc.clone());
+        let opt = find_optimum(&mut eval, &start, rps, &OptmConfig::default())
+            .expect("generous allocation must satisfy the SLO");
+
+        let mut params = PemaParams::defaults(app.slo_ms);
+        params.seed = 11;
+        params.explore_a = 0.0; // clean settling for the table
+        params.explore_b = 0.0;
+        let pema = Experiment::builder()
+            .app(&app)
+            .policy(Pema(params))
+            .backend(UseFluid)
+            .config(HarnessConfig::with_seed(1))
+            .rps(rps)
+            .iters(60)
+            .run();
+
+        let settled = pema.settled_total(10);
+        println!(
+            "{:>6.0}  {:>10.1}  {:>10.1}  {:>7.2}x  {:>6}",
+            rps,
+            opt.total,
+            settled,
+            settled / opt.total,
+            pema.violations()
+        );
+    }
+    println!(
+        "\nswept 6 load levels × 60 intervals × 120 services (+ 6 OPTM searches) in {:.0?}",
+        t0.elapsed()
+    );
+}

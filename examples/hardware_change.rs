@@ -11,13 +11,15 @@ use pema::prelude::*;
 
 fn main() {
     let app = pema_apps::sockshop();
-    let params = PemaParams::defaults(app.slo_ms);
-    let cfg = HarnessConfig {
-        interval_s: 40.0,
-        warmup_s: 4.0,
-        seed: 5,
-    };
-    let mut runner = PemaRunner::new(&app, params, cfg);
+    let mut runner = Experiment::builder()
+        .app(&app)
+        .policy(Pema(PemaParams::defaults(app.slo_ms)))
+        .config(HarnessConfig {
+            interval_s: 40.0,
+            warmup_s: 4.0,
+            seed: 5,
+        })
+        .build();
 
     println!("phase 1: nominal clock (1.8 GHz)");
     for _ in 0..14 {
@@ -26,14 +28,14 @@ fn main() {
     report(&mut runner);
 
     println!("\nphase 2: clock drops to 1.6 GHz — demands grow by 12.5%");
-    runner.sim.set_speed(1.6 / 1.8);
+    runner.backend.set_speed(1.6 / 1.8);
     for _ in 0..14 {
         runner.step_once(700.0);
     }
     report(&mut runner);
 
     println!("\nphase 3: upgrade to 2.0 GHz — reduction opportunities open up");
-    runner.sim.set_speed(2.0 / 1.8);
+    runner.backend.set_speed(2.0 / 1.8);
     for _ in 0..14 {
         runner.step_once(700.0);
     }

@@ -17,18 +17,6 @@ fn main() {
         app.n_services(),
         app.slo_ms
     );
-
-    // 2. Controller parameters — the paper's defaults.
-    let params = PemaParams::defaults(app.slo_ms);
-
-    // 3. A harness wires the controller to the simulated cluster.
-    let cfg = HarnessConfig {
-        interval_s: 40.0, // monitoring window per control interval
-        warmup_s: 4.0,
-        seed: 42,
-    };
-    let mut runner = PemaRunner::new(&app, params, cfg);
-
     println!(
         "starting from the generous allocation: {:.1} cores total\n",
         app.generous_alloc.iter().sum::<f64>()
@@ -37,15 +25,29 @@ fn main() {
         "{:>4}  {:>9}  {:>9}  {:>10}",
         "iter", "totalCPU", "p95(ms)", "action"
     );
-    for _ in 0..20 {
-        let log = runner.step_once(700.0);
-        println!(
-            "{:>4}  {:>9.2}  {:>9.1}  {:>10}",
-            log.iter, log.total_cpu, log.p95_ms, log.action
-        );
-    }
 
-    let result = runner.into_result();
+    // 2. Describe the run: the paper's default controller parameters, a
+    //    40 s monitoring window, constant 700 rps, and a per-interval
+    //    observer printing the log line (the pluggable replacement for
+    //    hand-rolled stepping loops).
+    let result = Experiment::builder()
+        .app(&app)
+        .policy(Pema(PemaParams::defaults(app.slo_ms)))
+        .config(HarnessConfig {
+            interval_s: 40.0, // monitoring window per control interval
+            warmup_s: 4.0,
+            seed: 42,
+        })
+        .rps(700.0)
+        .iters(20)
+        .observer(|log: &IterationLog, _stats: &WindowStats| {
+            println!(
+                "{:>4}  {:>9.2}  {:>9.1}  {:>10}",
+                log.iter, log.total_cpu, log.p95_ms, log.action
+            );
+        })
+        .run();
+
     println!(
         "\nafter 20 intervals: {:.2} cores ({}% of the starting allocation), \
          {} SLO violations",

@@ -187,15 +187,19 @@ fn cmd_run(flags: &HashMap<String, String>) {
     params.alpha = get_f64(flags, "alpha", params.alpha);
     params.beta = get_f64(flags, "beta", params.beta);
     params.seed = get_f64(flags, "seed", 7.0) as u64;
-    let cfg = HarnessConfig {
-        interval_s: get_f64(flags, "interval", 40.0),
-        warmup_s: 4.0,
-        seed: params.seed ^ 0x5EED,
-    };
-    let mut runner = PemaRunner::new(&app, params, cfg);
+    let seed = params.seed ^ 0x5EED;
+    let mut builder = Experiment::builder()
+        .app(&app)
+        .policy(Pema(params))
+        .config(HarnessConfig {
+            interval_s: get_f64(flags, "interval", 40.0),
+            warmup_s: 4.0,
+            seed,
+        });
     if let Some(s) = flags.get("early-check") {
-        runner = runner.with_early_check(s.parse().unwrap_or(10.0));
+        builder = builder.early_check(s.parse().unwrap_or(10.0));
     }
+    let mut runner = builder.build();
     println!(
         "PEMA on {} @ {rps} rps, {iters} intervals (start {:.1} cores)",
         app.name,
@@ -226,12 +230,17 @@ fn cmd_rule(flags: &HashMap<String, String>) {
     let app = get_app(flags);
     let rps = require_f64(flags, "rps");
     let iters = get_f64(flags, "iters", 12.0) as usize;
-    let cfg = HarnessConfig {
-        interval_s: get_f64(flags, "interval", 40.0),
-        warmup_s: 4.0,
-        seed: get_f64(flags, "seed", 7.0) as u64,
-    };
-    let r = RuleRunner::new(&app, cfg).run_const(rps, iters);
+    let r = Experiment::builder()
+        .app(&app)
+        .policy(Rule)
+        .config(HarnessConfig {
+            interval_s: get_f64(flags, "interval", 40.0),
+            warmup_s: 4.0,
+            seed: get_f64(flags, "seed", 7.0) as u64,
+        })
+        .rps(rps)
+        .iters(iters)
+        .run();
     for l in &r.log {
         println!("{:>4} {:>9.2} {:>9.1}", l.iter, l.total_cpu, l.p95_ms);
     }

@@ -13,7 +13,8 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | `pema` (this crate) | generic [`ControlLoop`](runner::ControlLoop) harness + `pema-cli` |
+//! | `pema` (this crate) | umbrella re-exports + `pema-cli` |
+//! | [`pema_control`] | backend-agnostic control plane: [`ClusterBackend`](pema_control::ClusterBackend), [`ControlLoop`](pema_control::ControlLoop), [`Experiment`](pema_control::Experiment) facade |
 //! | [`pema_core`] | the PEMA controller (Algorithm 1, Eqns. 3–11) |
 //! | [`pema_sim`] | DES cluster: CFS throttling, thread pools, tail latency |
 //! | [`pema_apps`] | SockShop (13), TrainTicket (41), HotelReservation (18) |
@@ -39,21 +40,35 @@
 //!
 //! ## Quick start
 //!
+//! Runs are described through the [`Experiment`](pema_control::Experiment)
+//! builder: pick an app, a policy (marker or instance), a backend
+//! (DES by default, [`UseFluid`](pema_control::UseFluid) for fast
+//! approximate sweeps), and a load:
+//!
 //! ```
 //! use pema::prelude::*;
 //!
 //! let app = pema_apps::sockshop();
-//! let params = PemaParams::defaults(app.slo_ms);
-//! let cfg = HarnessConfig { interval_s: 10.0, warmup_s: 2.0, seed: 7 };
-//! let result = PemaRunner::new(&app, params, cfg).run_const(700.0, 5);
+//! let result = Experiment::builder()
+//!     .app(&app)
+//!     .policy(Pema(PemaParams::defaults(app.slo_ms)))
+//!     .config(HarnessConfig { interval_s: 10.0, warmup_s: 2.0, seed: 7 })
+//!     .rps(700.0)
+//!     .iters(5)
+//!     .run();
 //! assert_eq!(result.log.len(), 5);
 //! ```
 
+#[deprecated(
+    since = "0.2.0",
+    note = "the harness moved to the `pema-control` crate; import from `pema::prelude` or `pema_control` (see its crate docs for the migration table)"
+)]
 pub mod runner;
 
 pub use pema_apps;
 pub use pema_baselines;
 pub use pema_classifier;
+pub use pema_control;
 pub use pema_core;
 pub use pema_metrics;
 pub use pema_sim;
@@ -61,11 +76,13 @@ pub use pema_workload;
 
 /// Common imports for examples and experiments.
 pub mod prelude {
-    pub use crate::runner::{
-        optimum_for, stats_to_obs, ControlLoop, Decision, HarnessConfig, IterationLog,
-        ManagedRunner, PemaRunner, Policy, RulePolicy, RuleRunner, RunResult,
-    };
     pub use pema_baselines::{find_optimum, OptmConfig, RuleScaler};
+    pub use pema_control::{
+        optimum_for, stats_to_obs, ClusterBackend, ControlLoop, Decision, Experiment,
+        ExperimentBuilder, FluidBackend, HarnessConfig, HoldPolicy, IterationLog, Managed,
+        ManagedRunner, Observer, Pema, PemaRunner, Policy, Rule, RulePolicy, RuleRunner, RunResult,
+        SimBackend, UseFluid, UseSim,
+    };
     pub use pema_core::{
         Action, Observation, PemaController, PemaParams, RangeConfig, ServiceObs, WorkloadAwarePema,
     };

@@ -1,552 +1,19 @@
-//! Experiment harness: closes the loop between the simulated cluster
-//! and the autoscaling policies.
+//! Deprecated shim — the experiment harness moved to the
+//! [`pema_control`] crate.
 //!
-//! Each control interval the harness measures one monitoring window on
-//! the (persistent) simulator, converts it into the policy's view,
-//! lets the policy act, and applies the returned allocation — exactly
-//! the Prometheus → PEMA → Kubernetes loop of the paper's Fig. 9.
+//! The control loop is now generic over a
+//! [`ClusterBackend`](pema_control::ClusterBackend) (the telemetry +
+//! actuator roles of the paper's Fig. 9) instead of being hardwired to
+//! `ClusterSim`, and runs are constructed through the builder-style
+//! [`Experiment`](pema_control::Experiment) facade. See the
+//! `pema_control` crate docs for the old-API → new-API migration
+//! table.
 //!
-//! The measure → observe → act → apply cycle is implemented once, in
-//! the generic [`ControlLoop`]; a [`Policy`] supplies the
-//! policy-specific pieces (optional pre-interval allocation switch,
-//! the decision itself, the SLO in force). The three runners of the
-//! paper's evaluation are aliases over it:
-//!
-//! * [`PemaRunner`] = `ControlLoop<PemaController>` — the plain PEMA
-//!   controller at (typically) fixed load,
-//! * [`ManagedRunner`] = `ControlLoop<WorkloadAwarePema>` — the
-//!   workload-aware range manager (§3.4), with pre-emptive range
-//!   switching at interval boundaries (Fig. 18),
-//! * [`RuleRunner`] = `ControlLoop<RulePolicy>` — the latency-blind
-//!   k8s-style baseline.
+//! This module only re-exports the moved names so stale `pema::runner`
+//! paths keep resolving for one transition period; new code should use
+//! `pema::prelude` or `pema_control` directly.
 
-use pema_baselines::RuleScaler;
-use pema_core::{Action, Observation, PemaController, PemaParams, WorkloadAwarePema};
-use pema_sim::{Allocation, AppSpec, ClusterSim, WindowStats};
-use pema_workload::Workload;
-
-/// Converts a simulator window into the controller's observation.
-pub fn stats_to_obs(stats: &WindowStats) -> Observation {
-    Observation {
-        p95_ms: stats.p95_ms,
-        rps: stats.offered_rps,
-        services: stats
-            .per_service
-            .iter()
-            .map(|s| pema_core::ServiceObs {
-                util_pct: s.util_pct,
-                throttle_s: s.throttled_s,
-            })
-            .collect(),
-    }
-}
-
-/// Harness timing parameters.
-#[derive(Debug, Clone, Copy)]
-pub struct HarnessConfig {
-    /// Measured monitoring window per control interval, virtual
-    /// seconds. The paper uses two minutes; the simulator's statistics
-    /// stabilize faster, so the default is 40 s (configurable back to
-    /// 120 for fidelity runs).
-    pub interval_s: f64,
-    /// Settling time after an allocation change before measurement.
-    pub warmup_s: f64,
-    /// Simulator seed.
-    pub seed: u64,
-}
-
-impl HarnessConfig {
-    /// The standard experiment configuration (40 s interval, 4 s
-    /// warmup) with the given simulator seed — the single source of
-    /// truth for the timing every scenario in `pema-bench` uses.
-    pub fn with_seed(seed: u64) -> Self {
-        Self {
-            seed,
-            ..Self::default()
-        }
-    }
-}
-
-impl Default for HarnessConfig {
-    fn default() -> Self {
-        Self {
-            interval_s: 40.0,
-            warmup_s: 4.0,
-            seed: 0xFEED,
-        }
-    }
-}
-
-/// One logged control interval.
-#[derive(Debug, Clone)]
-pub struct IterationLog {
-    /// Interval index (0-based).
-    pub iter: usize,
-    /// Virtual time at the start of the interval, seconds.
-    pub time_s: f64,
-    /// Offered load during the interval.
-    pub rps: f64,
-    /// Total cores allocated *during* the interval.
-    pub total_cpu: f64,
-    /// p95 response over the interval, ms.
-    pub p95_ms: f64,
-    /// Mean response over the interval, ms.
-    pub mean_ms: f64,
-    /// Whether the interval violated the SLO.
-    pub violated: bool,
-    /// Policy decision taken at the end of the interval.
-    pub action: String,
-    /// Allocation applied for the *next* interval.
-    pub alloc: Vec<f64>,
-    /// Range / process id for workload-aware runs (0 otherwise).
-    pub pema_id: usize,
-    /// Actual measured length of this interval, seconds (shorter than
-    /// the configured interval when an early check aborted it).
-    pub interval_s: f64,
-}
-
-/// A completed run.
-#[derive(Debug, Clone)]
-pub struct RunResult {
-    /// Per-interval log.
-    pub log: Vec<IterationLog>,
-    /// Allocation in force at the end.
-    pub final_alloc: Allocation,
-    /// The SLO used, ms.
-    pub slo_ms: f64,
-}
-
-impl RunResult {
-    /// Number of SLO-violating intervals.
-    pub fn violations(&self) -> usize {
-        self.log.iter().filter(|l| l.violated).count()
-    }
-
-    /// Fraction of intervals that violated the SLO.
-    pub fn violation_rate(&self) -> f64 {
-        if self.log.is_empty() {
-            0.0
-        } else {
-            self.violations() as f64 / self.log.len() as f64
-        }
-    }
-
-    /// Mean total allocation over the last `k` intervals — the
-    /// "settled" efficiency of the policy.
-    pub fn settled_total(&self, k: usize) -> f64 {
-        let n = self.log.len();
-        if n == 0 {
-            return 0.0;
-        }
-        let k = k.min(n).max(1);
-        self.log[n - k..].iter().map(|l| l.total_cpu).sum::<f64>() / k as f64
-    }
-
-    /// Total wall time spent in SLO-violating intervals, seconds — the
-    /// quantity the §6 early-reaction extension shrinks.
-    pub fn violating_time_s(&self) -> f64 {
-        self.log
-            .iter()
-            .filter(|l| l.violated)
-            .map(|l| l.interval_s)
-            .sum::<f64>()
-            .max(0.0)
-    }
-
-    /// Smallest total allocation among non-violating intervals.
-    pub fn best_feasible_total(&self) -> Option<f64> {
-        self.log
-            .iter()
-            .filter(|l| !l.violated)
-            .map(|l| l.total_cpu)
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
-    }
-}
-
-/// What a policy decided at the end of one control interval.
-#[derive(Debug, Clone)]
-pub struct Decision {
-    /// Allocation to apply for the next interval.
-    pub alloc: Vec<f64>,
-    /// Human-readable action label for the log / CSVs.
-    pub action: String,
-    /// PEMA process id (workload-aware runs; 0 otherwise).
-    pub pema_id: usize,
-}
-
-/// The policy-specific third of the control loop. Everything else —
-/// window measurement, early-abort checks, logging, allocation
-/// application — lives once in [`ControlLoop`].
-pub trait Policy {
-    /// Called at the interval boundary *before* measuring; returning an
-    /// allocation applies it for the coming interval (the manager's
-    /// pre-emptive range switch, Fig. 18).
-    fn pre_interval(&mut self, _rps: f64) -> Option<Allocation> {
-        None
-    }
-
-    /// Consumes the measured window and decides the next allocation.
-    fn decide(&mut self, stats: &WindowStats) -> Decision;
-
-    /// The SLO currently in force, ms (may change mid-run, Fig. 20).
-    fn slo_ms(&self) -> f64;
-}
-
-impl Policy for PemaController {
-    fn decide(&mut self, stats: &WindowStats) -> Decision {
-        let out = self.step(&stats_to_obs(stats));
-        Decision {
-            action: action_name(&out.action),
-            alloc: out.alloc,
-            pema_id: 0,
-        }
-    }
-
-    fn slo_ms(&self) -> f64 {
-        self.params().slo_ms
-    }
-}
-
-impl Policy for WorkloadAwarePema {
-    fn pre_interval(&mut self, rps: f64) -> Option<Allocation> {
-        Some(Allocation::new(self.allocation_for(rps).to_vec()))
-    }
-
-    fn decide(&mut self, stats: &WindowStats) -> Decision {
-        let out = self.step(&stats_to_obs(stats));
-        Decision {
-            action: out
-                .action
-                .as_ref()
-                .map(action_name)
-                .unwrap_or_else(|| "learn-m".to_string()),
-            alloc: out.alloc,
-            pema_id: out.pema_id,
-        }
-    }
-
-    fn slo_ms(&self) -> f64 {
-        // The inherent accessor (disambiguated from this trait method).
-        WorkloadAwarePema::slo_ms(self)
-    }
-}
-
-/// [`RuleScaler`] plus the SLO it is judged against. The rule itself is
-/// latency-blind (it never reads the SLO); the loop still needs the SLO
-/// to mark violating intervals.
-pub struct RulePolicy {
-    /// The rule-based scaler under test.
-    pub rule: RuleScaler,
-    slo_ms: f64,
-}
-
-impl Policy for RulePolicy {
-    fn decide(&mut self, stats: &WindowStats) -> Decision {
-        let next = self.rule.step(stats);
-        Decision {
-            alloc: next.0.clone(),
-            action: "rule".to_string(),
-            pema_id: 0,
-        }
-    }
-
-    fn slo_ms(&self) -> f64 {
-        self.slo_ms
-    }
-}
-
-/// The measure → observe → act → apply loop, generic over the policy.
-pub struct ControlLoop<P: Policy> {
-    /// The simulated cluster (public for scenario scripting: speed
-    /// changes, SLO changes, etc.).
-    pub sim: ClusterSim,
-    /// The policy under test.
-    pub policy: P,
-    cfg: HarnessConfig,
-    /// When set, the monitoring window is checked every this many
-    /// seconds and aborted on an SLO breach (§6's high-resolution
-    /// monitoring extension) so rollback happens within seconds instead
-    /// of a full interval.
-    early_check_s: Option<f64>,
-    iter: usize,
-    log: Vec<IterationLog>,
-}
-
-impl<P: Policy> ControlLoop<P> {
-    /// Builds a loop around an explicit policy, starting the cluster
-    /// from the app's generous allocation. Clients time out after 8×
-    /// the SLO (as a load generator would), so saturated intervals shed
-    /// their backlog instead of poisoning later measurements.
-    pub fn from_parts(app: &AppSpec, policy: P, cfg: HarnessConfig) -> Self {
-        let mut sim = ClusterSim::new(app, cfg.seed);
-        sim.set_request_timeout(Some(app.slo_ms / 1e3 * 8.0));
-        Self {
-            sim,
-            policy,
-            cfg,
-            early_check_s: None,
-            iter: 0,
-            log: Vec::new(),
-        }
-    }
-
-    /// Enables early violation detection: the window aborts (and the
-    /// policy rolls back) as soon as the running p95 exceeds the SLO,
-    /// checked every `check_s` seconds.
-    pub fn with_early_check(mut self, check_s: f64) -> Self {
-        assert!(check_s > 0.0, "check interval must be positive");
-        self.early_check_s = Some(check_s);
-        self
-    }
-
-    /// The per-interval log so far.
-    pub fn log(&self) -> &[IterationLog] {
-        &self.log
-    }
-
-    /// Runs one control interval at offered load `rps` and logs it.
-    pub fn step_once(&mut self, rps: f64) -> &IterationLog {
-        let time_s = self.sim.now().as_secs();
-        if let Some(pre) = self.policy.pre_interval(rps) {
-            self.sim.set_allocation(&pre);
-        }
-        let alloc_in_force = self.sim.allocation();
-        let slo = self.policy.slo_ms();
-        let (stats, aborted) = match self.early_check_s {
-            Some(check_s) => self.sim.run_window_abortable(
-                rps,
-                self.cfg.warmup_s,
-                self.cfg.interval_s,
-                check_s,
-                slo,
-            ),
-            None => (
-                self.sim
-                    .run_window(rps, self.cfg.warmup_s, self.cfg.interval_s),
-                false,
-            ),
-        };
-        let d = self.policy.decide(&stats);
-        self.sim.set_allocation(&Allocation::new(d.alloc.clone()));
-        self.log.push(IterationLog {
-            iter: self.iter,
-            time_s,
-            rps,
-            total_cpu: alloc_in_force.total(),
-            p95_ms: stats.p95_ms,
-            mean_ms: stats.mean_ms,
-            violated: stats.violates(slo),
-            action: if aborted {
-                format!("early-{}", d.action)
-            } else {
-                d.action
-            },
-            alloc: d.alloc,
-            pema_id: d.pema_id,
-            interval_s: stats.duration_s,
-        });
-        self.iter += 1;
-        self.log.last().unwrap()
-    }
-
-    /// Runs `iters` intervals at constant load.
-    pub fn run_const(mut self, rps: f64, iters: usize) -> RunResult {
-        for _ in 0..iters {
-            self.step_once(rps);
-        }
-        self.into_result()
-    }
-
-    /// Runs `iters` intervals sampling the workload at each interval
-    /// start.
-    pub fn run_workload(mut self, w: &dyn Workload, iters: usize) -> RunResult {
-        for _ in 0..iters {
-            let rps = w.rps_at(self.sim.now().as_secs());
-            self.step_once(rps);
-        }
-        self.into_result()
-    }
-
-    /// Finalizes into a [`RunResult`].
-    pub fn into_result(self) -> RunResult {
-        RunResult {
-            final_alloc: self.sim.allocation(),
-            slo_ms: self.policy.slo_ms(),
-            log: self.log,
-        }
-    }
-}
-
-/// Harness for a single [`PemaController`] at (typically) fixed load.
-pub type PemaRunner = ControlLoop<PemaController>;
-
-impl ControlLoop<PemaController> {
-    /// Builds a PEMA runner starting from the app's generous
-    /// allocation.
-    pub fn new(app: &AppSpec, params: PemaParams, cfg: HarnessConfig) -> Self {
-        let ctrl = PemaController::new(params, app.generous_alloc.clone());
-        Self::from_parts(app, ctrl, cfg)
-    }
-}
-
-/// Harness for the workload-aware manager ([`WorkloadAwarePema`]).
-pub type ManagedRunner = ControlLoop<WorkloadAwarePema>;
-
-impl ControlLoop<WorkloadAwarePema> {
-    /// Builds a managed runner from the app's generous allocation.
-    pub fn new(
-        app: &AppSpec,
-        params: PemaParams,
-        range_cfg: pema_core::RangeConfig,
-        cfg: HarnessConfig,
-    ) -> Self {
-        let mgr = WorkloadAwarePema::new(params, app.generous_alloc.clone(), range_cfg);
-        Self::from_parts(app, mgr, cfg)
-    }
-}
-
-/// Harness for the rule-based baseline.
-pub type RuleRunner = ControlLoop<RulePolicy>;
-
-impl ControlLoop<RulePolicy> {
-    /// Builds a rule-based runner from the app's generous allocation,
-    /// judged against the app's SLO.
-    pub fn new(app: &AppSpec, cfg: HarnessConfig) -> Self {
-        let policy = RulePolicy {
-            rule: RuleScaler::new(app),
-            slo_ms: app.slo_ms,
-        };
-        Self::from_parts(app, policy, cfg)
-    }
-}
-
-/// Convenience: OPTM search for an app at one workload, starting from
-/// the generous allocation.
-pub fn optimum_for(
-    app: &AppSpec,
-    rps: f64,
-    seed: u64,
-) -> Result<pema_baselines::OptmResult, pema_baselines::OptmError> {
-    let mut eval = pema_sim::SimEvaluator::new(app, seed)
-        .with_window(4.0, 20.0)
-        .with_robustness(2);
-    let start = Allocation::new(app.generous_alloc.clone());
-    pema_baselines::find_optimum(
-        &mut eval,
-        &start,
-        rps,
-        &pema_baselines::OptmConfig::default(),
-    )
-}
-
-fn action_name(a: &Action) -> String {
-    match a {
-        Action::RolledBack { .. } => "rollback".to_string(),
-        Action::Explored { .. } => "explore".to_string(),
-        Action::Reduced { services, .. } => format!("reduce({})", services.len()),
-        Action::Held => "hold".to_string(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pema_runner_reduces_toy_chain() {
-        let app = pema_apps::toy_chain();
-        let mut params = PemaParams::defaults(app.slo_ms);
-        params.seed = 3;
-        let cfg = HarnessConfig {
-            interval_s: 15.0,
-            warmup_s: 2.0,
-            seed: 5,
-        };
-        let result = PemaRunner::new(&app, params, cfg).run_const(150.0, 20);
-        let start_total: f64 = app.generous_alloc.iter().sum();
-        assert!(
-            result.settled_total(5) < start_total * 0.8,
-            "PEMA should have reduced from {start_total}: {}",
-            result.settled_total(5)
-        );
-        assert!(result.violation_rate() < 0.3, "too many violations");
-    }
-
-    #[test]
-    fn rule_runner_tracks_usage() {
-        let app = pema_apps::toy_chain();
-        let cfg = HarnessConfig {
-            interval_s: 15.0,
-            warmup_s: 2.0,
-            seed: 5,
-        };
-        let result = RuleRunner::new(&app, cfg).run_const(150.0, 8);
-        let start_total: f64 = app.generous_alloc.iter().sum();
-        assert!(result.settled_total(3) < start_total);
-    }
-
-    #[test]
-    fn stats_conversion_preserves_fields() {
-        let app = pema_apps::toy_chain();
-        let mut sim = ClusterSim::new(&app, 1);
-        let stats = sim.run_window(100.0, 1.0, 5.0);
-        let obs = stats_to_obs(&stats);
-        assert_eq!(obs.n_services(), 3);
-        assert_eq!(obs.p95_ms, stats.p95_ms);
-        assert_eq!(obs.rps, stats.offered_rps);
-    }
-
-    #[test]
-    fn generic_loop_preserves_runner_behaviour() {
-        // The three aliases must drive the exact same loop: a custom
-        // policy that holds the allocation forever sees one window per
-        // interval and the logged totals match the applied allocation.
-        struct Hold(Vec<f64>);
-        impl Policy for Hold {
-            fn decide(&mut self, _stats: &WindowStats) -> Decision {
-                Decision {
-                    alloc: self.0.clone(),
-                    action: "hold".into(),
-                    pema_id: 7,
-                }
-            }
-            fn slo_ms(&self) -> f64 {
-                100.0
-            }
-        }
-        let app = pema_apps::toy_chain();
-        let cfg = HarnessConfig {
-            interval_s: 6.0,
-            warmup_s: 1.0,
-            seed: 9,
-        };
-        let alloc = app.generous_alloc.clone();
-        let result = ControlLoop::from_parts(&app, Hold(alloc.clone()), cfg).run_const(120.0, 3);
-        assert_eq!(result.log.len(), 3);
-        for l in &result.log {
-            assert_eq!(l.pema_id, 7);
-            assert_eq!(l.action, "hold");
-            assert!((l.total_cpu - alloc.iter().sum::<f64>()).abs() < 1e-9);
-        }
-        assert_eq!(result.slo_ms, 100.0);
-    }
-
-    #[test]
-    fn managed_runner_pre_switches_allocation() {
-        let app = pema_apps::toy_chain();
-        let params = PemaParams::defaults(app.slo_ms);
-        let range_cfg =
-            pema_core::RangeConfig::new(pema_workload::WorkloadRange::new(100.0, 300.0), 50.0);
-        let cfg = HarnessConfig {
-            interval_s: 8.0,
-            warmup_s: 1.0,
-            seed: 11,
-        };
-        let mut runner = ManagedRunner::new(&app, params, range_cfg, cfg);
-        let expected: f64 = runner.policy.allocation_for(150.0).iter().sum();
-        let log = runner.step_once(150.0).clone();
-        // total_cpu reflects the pre-switched allocation in force
-        // during the window, exactly as the dedicated runner did.
-        assert!((log.total_cpu - expected).abs() < 1e-9);
-    }
-}
+pub use pema_control::{
+    optimum_for, stats_to_obs, ControlLoop, Decision, HarnessConfig, IterationLog, ManagedRunner,
+    PemaRunner, Policy, RulePolicy, RuleRunner, RunResult,
+};

@@ -11,26 +11,34 @@ fn cfg(seed: u64) -> HarnessConfig {
     }
 }
 
+fn pema_runner(app: &AppSpec, params: PemaParams, cfg: HarnessConfig) -> PemaRunner {
+    Experiment::builder()
+        .app(app)
+        .policy(Pema(params))
+        .config(cfg)
+        .build()
+}
+
 #[test]
 fn slowdown_raises_allocation_speedup_lowers_it() {
     let app = pema::pema_apps::toy_chain();
     let mut params = PemaParams::defaults(app.slo_ms);
     params.seed = 21;
-    let mut runner = PemaRunner::new(&app, params, cfg(21));
+    let mut runner = pema_runner(&app, params, cfg(21));
     for _ in 0..20 {
         runner.step_once(150.0);
     }
     let settled_nominal = avg_tail(&runner, 5);
 
     // Slow the hardware down 25%: demands grow, PEMA must hold more.
-    runner.sim.set_speed(0.75);
+    runner.backend.set_speed(0.75);
     for _ in 0..20 {
         runner.step_once(150.0);
     }
     let settled_slow = avg_tail(&runner, 5);
 
     // Speed up 50% beyond nominal: reductions resume.
-    runner.sim.set_speed(1.5);
+    runner.backend.set_speed(1.5);
     for _ in 0..20 {
         runner.step_once(150.0);
     }
@@ -51,7 +59,7 @@ fn tighter_slo_costs_resources_looser_slo_saves_them() {
     let app = pema::pema_apps::toy_chain(); // SLO 100 ms
     let mut params = PemaParams::defaults(app.slo_ms);
     params.seed = 22;
-    let mut runner = PemaRunner::new(&app, params, cfg(22));
+    let mut runner = pema_runner(&app, params, cfg(22));
     for _ in 0..20 {
         runner.step_once(150.0);
     }
@@ -87,7 +95,7 @@ fn slo_violation_detection_follows_current_slo() {
     let app = pema::pema_apps::toy_chain();
     let mut params = PemaParams::defaults(app.slo_ms);
     params.seed = 23;
-    let mut runner = PemaRunner::new(&app, params, cfg(23));
+    let mut runner = pema_runner(&app, params, cfg(23));
     for _ in 0..10 {
         runner.step_once(150.0);
     }

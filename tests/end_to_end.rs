@@ -11,12 +11,29 @@ fn cfg(seed: u64) -> HarnessConfig {
     }
 }
 
+/// Shorthand: a constant-load PEMA run through the `Experiment` facade.
+fn pema_run(
+    app: &AppSpec,
+    params: PemaParams,
+    cfg: HarnessConfig,
+    rps: f64,
+    iters: usize,
+) -> RunResult {
+    Experiment::builder()
+        .app(app)
+        .policy(Pema(params))
+        .config(cfg)
+        .rps(rps)
+        .iters(iters)
+        .run()
+}
+
 #[test]
 fn pema_converges_and_preserves_qos_on_toy_chain() {
     let app = pema::pema_apps::toy_chain();
     let mut params = PemaParams::defaults(app.slo_ms);
     params.seed = 1;
-    let result = PemaRunner::new(&app, params, cfg(2)).run_const(150.0, 30);
+    let result = pema_run(&app, params, cfg(2), 150.0, 30);
     let start: f64 = app.generous_alloc.iter().sum();
     assert!(
         result.settled_total(8) < 0.7 * start,
@@ -35,8 +52,14 @@ fn pema_beats_rule_on_sockshop() {
     let app = pema::pema_apps::sockshop();
     let mut params = PemaParams::defaults(app.slo_ms);
     params.seed = 3;
-    let pema = PemaRunner::new(&app, params, cfg(4)).run_const(550.0, 35);
-    let rule = RuleRunner::new(&app, cfg(4)).run_const(550.0, 10);
+    let pema = pema_run(&app, params, cfg(4), 550.0, 35);
+    let rule = Experiment::builder()
+        .app(&app)
+        .policy(Rule)
+        .config(cfg(4))
+        .rps(550.0)
+        .iters(10)
+        .run();
     assert!(
         pema.settled_total(8) < rule.settled_total(4),
         "PEMA ({:.2}) should settle below RULE ({:.2})",
@@ -52,7 +75,7 @@ fn optimum_is_a_lower_bound_for_pema() {
     let opt = optimum_for(&app, rps, 9).expect("optimum exists");
     let mut params = PemaParams::defaults(app.slo_ms);
     params.seed = 5;
-    let result = PemaRunner::new(&app, params, cfg(6)).run_const(rps, 30);
+    let result = pema_run(&app, params, cfg(6), rps, 30);
     // PEMA is provably efficient, not optimal: it must end at or above
     // the optimum (tolerating measurement noise), and within ~2×.
     let settled = result.settled_total(8);
@@ -76,7 +99,7 @@ fn rollback_recovers_from_violation() {
     params.alpha = 0.1;
     params.beta = 0.9;
     params.seed = 7;
-    let result = PemaRunner::new(&app, params, cfg(8)).run_const(150.0, 25);
+    let result = pema_run(&app, params, cfg(8), 150.0, 25);
     let had_violation = result.violations() > 0;
     let had_rollback = result.log.iter().any(|l| l.action == "rollback");
     assert!(
@@ -95,7 +118,7 @@ fn rollback_recovers_from_violation() {
 fn run_logs_are_complete_and_consistent() {
     let app = pema::pema_apps::toy_chain();
     let params = PemaParams::defaults(app.slo_ms);
-    let result = PemaRunner::new(&app, params, cfg(10)).run_const(100.0, 12);
+    let result = pema_run(&app, params, cfg(10), 100.0, 12);
     assert_eq!(result.log.len(), 12);
     for (i, l) in result.log.iter().enumerate() {
         assert_eq!(l.iter, i);
@@ -116,7 +139,7 @@ fn different_seeds_give_different_but_sane_outcomes() {
     for seed in [11, 22, 33] {
         let mut params = PemaParams::defaults(app.slo_ms);
         params.seed = seed;
-        let result = PemaRunner::new(&app, params, cfg(seed)).run_const(150.0, 25);
+        let result = pema_run(&app, params, cfg(seed), 150.0, 25);
         totals.push(result.settled_total(8));
     }
     // Randomized exploration ⇒ runs differ…

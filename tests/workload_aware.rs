@@ -11,6 +11,19 @@ fn cfg(seed: u64) -> HarnessConfig {
     }
 }
 
+fn managed_runner(
+    app: &AppSpec,
+    params: PemaParams,
+    ranges: RangeConfig,
+    cfg: HarnessConfig,
+) -> ManagedRunner {
+    Experiment::builder()
+        .app(app)
+        .policy(Managed(params, ranges))
+        .config(cfg)
+        .build()
+}
+
 fn range_cfg() -> RangeConfig {
     RangeConfig {
         initial: WorkloadRange::new(100.0, 300.0),
@@ -24,7 +37,7 @@ fn range_cfg() -> RangeConfig {
 fn manager_splits_ranges_under_varying_load() {
     let app = pema::pema_apps::toy_chain();
     let params = PemaParams::defaults(app.slo_ms);
-    let mut runner = ManagedRunner::new(&app, params, range_cfg(), cfg(1));
+    let mut runner = managed_runner(&app, params, range_cfg(), cfg(1));
     for i in 0..40 {
         let rps = 120.0 + (i as f64 * 37.0) % 170.0;
         runner.step_once(rps);
@@ -43,7 +56,7 @@ fn manager_splits_ranges_under_varying_load() {
 fn manager_learns_workload_slope() {
     let app = pema::pema_apps::toy_chain();
     let params = PemaParams::defaults(app.slo_ms);
-    let mut runner = ManagedRunner::new(&app, params, range_cfg(), cfg(2));
+    let mut runner = managed_runner(&app, params, range_cfg(), cfg(2));
     for i in 0..6 {
         let rps = 100.0 + i as f64 * 40.0;
         runner.step_once(rps);
@@ -56,7 +69,7 @@ fn manager_learns_workload_slope() {
 fn burst_switch_keeps_qos() {
     let app = pema::pema_apps::toy_chain();
     let params = PemaParams::defaults(app.slo_ms);
-    let mut runner = ManagedRunner::new(&app, params, range_cfg(), cfg(3));
+    let mut runner = managed_runner(&app, params, range_cfg(), cfg(3));
     // Mature both halves of the band.
     for i in 0..36 {
         let rps = if i % 2 == 0 { 130.0 } else { 270.0 };
@@ -83,7 +96,7 @@ fn burst_switch_keeps_qos() {
 fn per_range_allocations_order_with_load() {
     let app = pema::pema_apps::toy_chain();
     let params = PemaParams::defaults(app.slo_ms);
-    let mut runner = ManagedRunner::new(&app, params, range_cfg(), cfg(4));
+    let mut runner = managed_runner(&app, params, range_cfg(), cfg(4));
     for i in 0..60 {
         let rps = if i % 2 == 0 { 130.0 } else { 270.0 };
         runner.step_once(rps);
@@ -100,7 +113,7 @@ fn per_range_allocations_order_with_load() {
 fn managed_runner_result_accounting() {
     let app = pema::pema_apps::toy_chain();
     let params = PemaParams::defaults(app.slo_ms);
-    let mut runner = ManagedRunner::new(&app, params, range_cfg(), cfg(5));
+    let mut runner = managed_runner(&app, params, range_cfg(), cfg(5));
     for _ in 0..10 {
         runner.step_once(200.0);
     }
