@@ -12,7 +12,7 @@
 //! `$PEMA_RESULTS_DIR` (default `results/`); already-written scenarios
 //! are skipped unless `--force` is given.
 
-use pema_bench::{registry, run_perf, run_suite, Outcome, PerfConfig, SuiteConfig};
+use pema_bench::{registry, run_perf, run_suite, BackendSel, Outcome, PerfConfig, SuiteConfig};
 use std::process::exit;
 
 fn main() {
@@ -36,9 +36,13 @@ fn usage(unknown: Option<&str>) -> ! {
          \n\
          commands:\n\
          \x20 list                                  list registered scenarios\n\
-         \x20 all  [--jobs N] [--smoke] [--force]   run the whole suite\n\
-         \x20 run  [--only a,b | ids…] [--jobs N] [--smoke] [--force]\n\
+         \x20 all  [--jobs N] [--smoke] [--force] [--backend B]\n\
+         \x20                                       run the whole suite\n\
+         \x20 run  [--only a,b | ids…] [--jobs N] [--smoke] [--force] [--backend B]\n\
          \x20                                       run a subset\n\
+         \x20      --backend sim|fluid|trace:<path> backend for participating\n\
+         \x20                                       closed-loop scenarios (default sim;\n\
+         \x20                                       DES goldens stay authoritative)\n\
          \x20 perf [--smoke] [--label L] [--out F] [--check BASELINE.json]\n\
          \x20                                       perf harness → benchmarks/BENCH_<L>.json;\n\
          \x20                                       --check fails on >25% macro regression\n\
@@ -130,6 +134,16 @@ fn cmd_run(args: &[String], all: bool) {
             }
             "--smoke" => cfg.smoke = true,
             "--force" => cfg.force = true,
+            "--backend" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--backend needs a value (sim, fluid, or trace:<path>)");
+                    exit(2);
+                });
+                cfg.backend = BackendSel::parse(v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(2);
+                });
+            }
             other if !other.starts_with("--") && !all => ids.push(other.to_string()),
             other => {
                 eprintln!("unexpected argument '{other}'");

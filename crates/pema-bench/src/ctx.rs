@@ -7,6 +7,7 @@
 //! executor deterministic (per-scenario seeds, no interleaved stdout)
 //! and lets a `--smoke` run shrink every knob in one place.
 
+use crate::exec::BackendSel;
 use crate::optm::{CachedOptimum, OptmCache};
 use pema::prelude::*;
 use rand::rngs::SmallRng;
@@ -48,6 +49,11 @@ pub struct ExperimentCtx {
     results_dir: PathBuf,
     out: String,
     optm: Arc<OptmCache>,
+    backend: BackendSel,
+    /// Parsed once per context for `BackendSel::Trace` — scenarios
+    /// build several backends per run and must not re-read the file
+    /// each time.
+    trace: RefCell<Option<Trace>>,
 }
 
 impl ExperimentCtx {
@@ -56,6 +62,7 @@ impl ExperimentCtx {
         smoke: bool,
         results_dir: PathBuf,
         optm: Arc<OptmCache>,
+        backend: BackendSel,
     ) -> Self {
         Self {
             id,
@@ -64,6 +71,8 @@ impl ExperimentCtx {
             results_dir,
             out: String::new(),
             optm,
+            backend,
+            trace: RefCell::new(None),
         }
     }
 
@@ -167,6 +176,51 @@ impl ExperimentCtx {
         cfg
     }
 
+    /// The backend selection this suite run was launched with
+    /// (`--backend`; DES by default).
+    pub fn backend(&self) -> &BackendSel {
+        &self.backend
+    }
+
+    /// Builds the selected backend for a closed-loop run of `app`,
+    /// seeded like the default DES path ([`SimBackend::new`] with
+    /// `cfg.seed`) so `--backend sim` stays byte-identical to the
+    /// historical `UseSim` construction. `trace:<path>` backends are
+    /// read leniently, replay cycling (scenarios often run longer than
+    /// the tape), and must have been recorded from the same app.
+    ///
+    /// Scenarios participating in the backend matrix pass the result
+    /// to `Experiment::builder().backend(..)`; the boxed trait object
+    /// drives the loop through the `Box` forwarding impl.
+    pub fn loop_backend(
+        &self,
+        app: &AppSpec,
+        cfg: &HarnessConfig,
+    ) -> io::Result<Box<dyn ClusterBackend>> {
+        match &self.backend {
+            BackendSel::Sim => Ok(Box::new(SimBackend::new(app, cfg.seed))),
+            BackendSel::Fluid => Ok(Box::new(FluidBackend::new(app))),
+            BackendSel::Trace(path) => {
+                let mut cached = self.trace.borrow_mut();
+                if cached.is_none() {
+                    *cached = Some(Trace::read_file(path, ReadMode::Lenient)?);
+                }
+                let trace = cached.as_ref().unwrap();
+                if trace.meta.app != app.name || trace.n_services() != app.n_services() {
+                    return Err(io::Error::other(format!(
+                        "trace {} was recorded from '{}' ({} services), scenario needs '{}' ({})",
+                        path.display(),
+                        trace.meta.app,
+                        trace.n_services(),
+                        app.name,
+                        app.n_services()
+                    )));
+                }
+                Ok(Box::new(TraceBackend::cycling(trace.clone())))
+            }
+        }
+    }
+
     /// Scales an iteration/trial count for smoke mode (full count
     /// otherwise).
     pub fn iters(&self, full: usize) -> usize {
@@ -195,14 +249,23 @@ impl ExperimentCtx {
     /// the cluster, and an observer captures the window's full stats.
     /// Byte-identical to the historical direct `ClusterSim` path (the
     /// golden-snapshot tests pin `fig06.csv` through this code).
+    ///
+    /// Under `--backend fluid` the window comes from the analytic
+    /// model instead (instant, approximate). A `trace:` selection
+    /// keeps the DES here: an arbitrary one-shot allocation probe has
+    /// no counterpart on a recorded tape.
     pub fn measure(&self, app: &AppSpec, alloc: &Allocation, rps: f64, seed: u64) -> WindowStats {
         let (warmup, window) = self.window(4.0, 20.0);
         let captured: Rc<RefCell<Option<WindowStats>>> = Rc::new(RefCell::new(None));
         let sink = Rc::clone(&captured);
+        let backend: Box<dyn ClusterBackend> = match self.backend {
+            BackendSel::Fluid => Box::new(FluidBackend::new(app)),
+            _ => Box::new(SimBackend::bare(app, seed)),
+        };
         Experiment::builder()
             .app(app)
             .policy(HoldPolicy::new(alloc.0.clone(), app.slo_ms))
-            .backend(SimBackend::bare(app, seed))
+            .backend(backend)
             .config(HarnessConfig {
                 interval_s: window,
                 warmup_s: warmup,
@@ -261,6 +324,7 @@ mod tests {
             true,
             dir.to_path_buf(),
             Arc::new(OptmCache::new(dir.to_path_buf(), true)),
+            BackendSel::default(),
         )
     }
 

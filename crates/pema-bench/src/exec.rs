@@ -21,6 +21,56 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Which [`ClusterBackend`](pema::prelude::ClusterBackend) closed-loop
+/// scenario runs are driven against (the `--backend` flag). The DES
+/// default is authoritative — goldens and paper numbers come from it;
+/// the alternatives exist for instant suite iteration (`fluid`) and
+/// for replaying recorded history (`trace:<path>`).
+///
+/// Scenarios opt in through
+/// [`ExperimentCtx::loop_backend`](crate::ExperimentCtx::loop_backend);
+/// scenarios with backend-specific semantics (e.g. `cluster_scale`'s
+/// explicit fluid sweep, `trace_replay`'s DES recording) ignore the
+/// selection and say so in their docs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum BackendSel {
+    /// The discrete-event simulator (default, full fidelity).
+    #[default]
+    Sim,
+    /// The analytic fluid model — orders of magnitude faster,
+    /// approximate numbers.
+    Fluid,
+    /// Replay a recorded trace (cycling when the scenario outruns it).
+    /// The trace's app must match the scenario's.
+    Trace(PathBuf),
+}
+
+impl BackendSel {
+    /// Parses a `--backend` argument: `sim`, `fluid`, or
+    /// `trace:<path>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "sim" => Ok(Self::Sim),
+            "fluid" => Ok(Self::Fluid),
+            _ => match s.strip_prefix("trace:") {
+                Some(path) if !path.is_empty() => Ok(Self::Trace(PathBuf::from(path))),
+                _ => Err(format!(
+                    "unknown backend '{s}' (expected sim, fluid, or trace:<path>)"
+                )),
+            },
+        }
+    }
+
+    /// Short label for log lines.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Sim => "sim".to_string(),
+            Self::Fluid => "fluid".to_string(),
+            Self::Trace(p) => format!("trace:{}", p.display()),
+        }
+    }
+}
+
 /// Suite-run configuration.
 #[derive(Debug, Clone)]
 pub struct SuiteConfig {
@@ -34,6 +84,9 @@ pub struct SuiteConfig {
     pub force: bool,
     /// Results directory (None → `$PEMA_RESULTS_DIR` or `./results`).
     pub results_dir: Option<PathBuf>,
+    /// Backend the participating scenarios drive closed-loop runs
+    /// against (DES by default).
+    pub backend: BackendSel,
 }
 
 impl Default for SuiteConfig {
@@ -44,6 +97,7 @@ impl Default for SuiteConfig {
             smoke: false,
             force: false,
             results_dir: None,
+            backend: BackendSel::default(),
         }
     }
 }
@@ -159,7 +213,13 @@ fn run_one(
         };
     }
 
-    let mut ctx = ExperimentCtx::new(id, cfg.smoke, results_dir.to_path_buf(), Arc::clone(optm));
+    let mut ctx = ExperimentCtx::new(
+        id,
+        cfg.smoke,
+        results_dir.to_path_buf(),
+        Arc::clone(optm),
+        cfg.backend.clone(),
+    );
     let t0 = Instant::now();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run(&mut ctx)));
     let wall = t0.elapsed();

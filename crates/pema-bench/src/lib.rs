@@ -38,7 +38,7 @@ pub mod registry;
 pub mod scenarios;
 
 pub use ctx::{default_results_dir, paper_apps, ExperimentCtx};
-pub use exec::{run_suite, scenario_main, Outcome, ScenarioReport, SuiteConfig};
+pub use exec::{run_suite, scenario_main, BackendSel, Outcome, ScenarioReport, SuiteConfig};
 pub use optm::{CachedOptimum, OptmCache};
 pub use perf::{run_perf, PerfConfig, PerfReport};
 pub use registry::{by_id, registry, Scenario};

@@ -350,6 +350,7 @@ fn run_macro_scenarios() -> io::Result<Vec<MacroResult>> {
         smoke: true,
         force: true,
         results_dir: Some(results_dir),
+        ..SuiteConfig::default()
     };
     let reports = run_suite(&cfg)?;
     let mut out = Vec::new();

@@ -87,6 +87,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &ablation_fluid::AblationFluid,
         &ablation_early::AblationEarly,
         &cluster_scale::ClusterScale,
+        &trace_replay::TraceReplay,
     ];
     REGISTRY
 }

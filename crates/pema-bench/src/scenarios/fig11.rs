@@ -5,6 +5,10 @@
 //! settings converge near the optimum (8.8 CPU in the paper; the
 //! dashed optimum here is the cached OPTM result), with exploration
 //! occasionally jumping back to older allocations.
+//!
+//! Participates in the backend matrix: the closed-loop runs go
+//! through `ctx.loop_backend`, so `--backend fluid` (or
+//! `trace:<path>`) swaps the execution environment.
 
 use crate::ExperimentCtx;
 use pema::prelude::*;
@@ -30,10 +34,12 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     ] {
         let mut p = params;
         p.seed = 0xF111;
+        let cfg = ctx.harness_cfg(0x11);
         let result = Experiment::builder()
             .app(&app)
             .policy(Pema(p))
-            .config(ctx.harness_cfg(0x11))
+            .backend(ctx.loop_backend(&app, &cfg)?)
+            .config(cfg)
             .rps(rps)
             .iters(iters)
             .run();

@@ -2,6 +2,9 @@
 //! HotelReservation (500 rps): total CPU and p95 response per
 //! iteration, converging toward efficient allocations with only a few
 //! unintentional SLO violations.
+//!
+//! Participates in the backend matrix (`--backend`, via
+//! `ctx.loop_backend`).
 
 use crate::ExperimentCtx;
 use pema::prelude::*;
@@ -23,10 +26,12 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
         let opt = ctx.optimum_cached(&app, rps)?;
         let mut params = PemaParams::defaults(app.slo_ms);
         params.seed = 0xF112;
+        let cfg = ctx.harness_cfg(0x12);
         let result = Experiment::builder()
             .app(&app)
             .policy(Pema(params))
-            .config(ctx.harness_cfg(0x12))
+            .backend(ctx.loop_backend(&app, &cfg)?)
+            .config(cfg)
             .rps(rps)
             .iters(iters)
             .run();

@@ -6,6 +6,11 @@
 //! up to 33%. PEMA results average several independent runs, as in the
 //! paper ("since PEMA is provably efficient, we run PEMA several
 //! times … and show the average").
+//!
+//! Participates in the backend matrix (`--backend`, via
+//! `ctx.loop_backend`) — note the OPTM reference stays DES-cached, so
+//! under `--backend fluid` the normalized columns mix models and only
+//! the PEMA-vs-RULE comparison is internally consistent.
 
 use crate::{paper_apps, ExperimentCtx};
 use pema::prelude::*;
@@ -33,10 +38,12 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             for rep in 0..repeats {
                 let mut params = PemaParams::defaults(app.slo_ms);
                 params.seed = 0xF115 + rep as u64 * 101;
+                let cfg = ctx.harness_cfg(0x15 + rep as u64);
                 let result = Experiment::builder()
                     .app(&app)
                     .policy(Pema(params))
-                    .config(ctx.harness_cfg(0x15 + rep as u64))
+                    .backend(ctx.loop_backend(&app, &cfg)?)
+                    .config(cfg)
                     .rps(rps)
                     .iters(iters)
                     .run();
@@ -47,10 +54,12 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             let pema_avg = pema_totals.iter().sum::<f64>() / pema_totals.len() as f64;
 
             // RULE: converges in a few windows; settled over the tail.
+            let rule_cfg = ctx.harness_cfg(0x5115);
             let rule = Experiment::builder()
                 .app(&app)
                 .policy(Rule)
-                .config(ctx.harness_cfg(0x5115))
+                .backend(ctx.loop_backend(&app, &rule_cfg)?)
+                .config(rule_cfg)
                 .rps(rps)
                 .iters(ctx.iters(12))
                 .run();

@@ -27,3 +27,4 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod table1;
+pub mod trace_replay;

@@ -118,3 +118,14 @@ fn perf_check_against_garbage_baseline_exits_nonzero() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn unknown_backend_is_a_usage_error() {
+    let out = Command::new(bench_bin())
+        .args(["run", "fig06", "--backend", "quantum"])
+        .output()
+        .expect("bench binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("quantum"), "stderr: {stderr}");
+}

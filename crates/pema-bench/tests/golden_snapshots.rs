@@ -25,6 +25,7 @@ fn run_trio(dir: &Path, jobs: usize) {
         smoke: true,
         force: true,
         results_dir: Some(dir.to_path_buf()),
+        ..SuiteConfig::default()
     };
     let reports = run_suite(&cfg).expect("suite runs");
     assert!(reports.iter().all(|r| r.ok()), "{reports:?}");

@@ -19,6 +19,7 @@ fn smoke_cfg(dir: &Path, jobs: usize, only: Option<&[&str]>) -> SuiteConfig {
         smoke: true,
         force: true,
         results_dir: Some(dir.to_path_buf()),
+        ..SuiteConfig::default()
     }
 }
 
@@ -62,8 +63,8 @@ fn registry_ids_and_outputs_are_unique() {
     }
     assert_eq!(
         registry().len(),
-        21,
-        "expected the 20 paper scenarios + cluster_scale"
+        22,
+        "expected the 20 paper scenarios + cluster_scale + trace_replay"
     );
 }
 
@@ -93,9 +94,10 @@ fn every_scenario_completes_a_smoke_run() {
 fn jobs1_and_jobs4_produce_identical_csv_bytes() {
     // A representative subset keeps the double run fast while covering
     // the shared-OPTM-cache path (fig05), a plain controller run
-    // (fig11), the workload-aware manager (fig13), and the classifier
-    // (table1).
-    let subset = ["fig05", "fig11", "fig13", "table1"];
+    // (fig11), the workload-aware manager (fig13), the classifier
+    // (table1), and the record→replay stack (trace_replay — an
+    // acceptance criterion pins its CSV as jobs-invariant).
+    let subset = ["fig05", "fig11", "fig13", "table1", "trace_replay"];
     let serial_dir = tmp_dir("det-serial");
     let parallel_dir = tmp_dir("det-parallel");
     let serial = run_suite(&smoke_cfg(&serial_dir, 1, Some(&subset))).unwrap();

@@ -7,10 +7,11 @@
 //! those two roles behind one trait — [`measure_window`] is the
 //! Prometheus scrape, [`apply`] is the `kubectl patch` — so the loop in
 //! [`ControlLoop`](crate::ControlLoop) never knows whether it is
-//! driving the discrete-event simulator, the analytic fluid model, or
-//! (future work) a live cluster or a trace replayer.
+//! driving the discrete-event simulator, the analytic fluid model, a
+//! recorded-trace replayer, or (future work) a live cluster.
 //!
-//! Two backends ship today:
+//! Two backends live in this crate (the trace replayer is
+//! `pema_trace::TraceBackend`, one crate up):
 //!
 //! * [`SimBackend`] — wraps [`ClusterSim`], the packet-level DES. This
 //!   is the fidelity backend every paper figure runs on; it reproduces
@@ -216,10 +217,28 @@ impl FluidBackend {
         }
     }
 
+    /// Builds the fluid backend with a non-default synthetic
+    /// burstiness factor (see [`FluidEvaluator::burst_p90`]).
+    pub fn with_burstiness(app: &AppSpec, burst_p90: f64) -> Self {
+        let mut b = Self::new(app);
+        b.set_burstiness(burst_p90);
+        b
+    }
+
     /// Changes the modelled CPU speed factor (mirrors
     /// [`SimBackend::set_speed`]).
     pub fn set_speed(&mut self, speed: f64) {
         self.eval.speed = speed;
+    }
+
+    /// Changes the synthetic burstiness factor: the reported p90 of
+    /// per-second usage as a multiple of the mean rate. The default is
+    /// calibrated against DES windows
+    /// ([`pema_sim::BURST_P90_DEFAULT`]); raise it to model spikier
+    /// workloads than the DES's Poisson arrivals.
+    pub fn set_burstiness(&mut self, burst_p90: f64) {
+        assert!(burst_p90 >= 1.0, "p90 cannot be below the mean rate");
+        self.eval.burst_p90 = burst_p90;
     }
 
     fn evaluate(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> WindowStats {

@@ -15,12 +15,15 @@
 //! | control cycle | measure → observe → act → apply | [`ControlLoop`] |
 //! | experiment wiring | testbed scripts | [`Experiment`] builder facade |
 //!
-//! Two [`ClusterBackend`]s ship today: [`SimBackend`] (the
+//! Three [`ClusterBackend`]s ship today: [`SimBackend`] (the
 //! discrete-event simulator — full fidelity, byte-identical to the
-//! pre-refactor harness) and [`FluidBackend`] (the analytic fluid model
-//! — orders of magnitude faster, for large-scale sweeps). A live
-//! Kubernetes adapter or a trace replayer slot in by implementing the
-//! same four methods; nothing above the trait changes.
+//! pre-refactor harness), [`FluidBackend`] (the analytic fluid model
+//! — orders of magnitude faster, for large-scale sweeps), and
+//! `pema_trace::TraceBackend` (replays a recorded run for
+//! counterfactual policy evaluation — its `apply` is a no-op that
+//! logs divergence from the tape). A live Kubernetes adapter slots in
+//! by implementing the same four methods; nothing above the trait
+//! changes.
 //!
 //! ## Constructing runs
 //!

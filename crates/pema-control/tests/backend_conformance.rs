@@ -1,8 +1,9 @@
 //! Backend-conformance suite: every [`ClusterBackend`] must honour the
 //! same loop-facing contract, whatever is underneath it. The suite runs
-//! against both shipped backends ([`SimBackend`] and [`FluidBackend`]);
-//! a future live/k8s adapter or trace replayer should be added to
-//! [`each_backend`] and pass unchanged.
+//! against all three shipped backends ([`SimBackend`], [`FluidBackend`]
+//! and `pema_trace::TraceBackend` replaying a freshly recorded DES
+//! run); a future live/k8s adapter should be added to [`each_backend`]
+//! and pass unchanged.
 //!
 //! Pinned invariants:
 //! * `apply` takes effect before the next measurement (both directly
@@ -15,14 +16,40 @@
 //!   interval lengths.
 
 use pema_control::{
-    ClusterBackend, ControlLoop, FluidBackend, HarnessConfig, HoldPolicy, SimBackend,
+    ClusterBackend, ControlLoop, Experiment, FluidBackend, HarnessConfig, HoldPolicy, SimBackend,
 };
 use pema_sim::{Allocation, AppSpec, MIN_ALLOC};
+use pema_trace::{TraceBackend, TraceRecorder};
+
+/// Records a healthy DES run of `app` to replay in the conformance
+/// checks: six 8-second windows under the generous allocation. Long
+/// enough for every check below (none measures more than four
+/// windows), and recorded at the longest window any check requests so
+/// the replayed `duration_s` satisfies the full-length assertion.
+fn conformance_trace(app: &AppSpec) -> pema_trace::Trace {
+    let cfg = HarnessConfig {
+        interval_s: 8.0,
+        warmup_s: 1.0,
+        seed: 42,
+    };
+    let recorder = TraceRecorder::new(app, "hold", 0, &cfg);
+    let handle = recorder.handle();
+    Experiment::builder()
+        .app(app)
+        .policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))
+        .config(cfg)
+        .rps(120.0)
+        .iters(6)
+        .observer(recorder)
+        .run();
+    handle.take()
+}
 
 /// Runs `check` once per shipped backend, labelled for assertions.
 fn each_backend(app: &AppSpec, check: impl Fn(&str, Box<dyn ClusterBackend>)) {
     check("sim", Box::new(SimBackend::new(app, 42)));
     check("fluid", Box::new(FluidBackend::new(app)));
+    check("trace", Box::new(TraceBackend::new(conformance_trace(app))));
 }
 
 fn app() -> AppSpec {

@@ -24,6 +24,18 @@ use crate::topology::{Allocation, AppSpec};
 /// better.
 const P95_FACTOR: f64 = 2.6;
 
+/// Default synthetic burstiness: the reported p90 of per-second CPU
+/// usage as a multiple of the mean usage rate. Calibrated against a
+/// DES window set (SockShop @ 550 rps, generous allocation, 20 s
+/// windows, seeds 7/42), where the per-service median of
+/// `usage_p90_cores / mean usage` is ≈ 1.15; the same probe puts the
+/// three paper apps between 1.06 and 1.31 overall. The historical
+/// hard-coded 1.6 overstated DES burstiness by ~40%, which made
+/// fluid-backed RULE baselines over-allocate (see README,
+/// "Fluid-model fidelity"). Override per run with
+/// [`FluidEvaluator::burst_p90`].
+pub const BURST_P90_DEFAULT: f64 = 1.15;
+
 /// Analytic evaluator implementing the same [`Evaluator`] interface as
 /// the DES-backed one.
 pub struct FluidEvaluator {
@@ -34,6 +46,11 @@ pub struct FluidEvaluator {
     pub speed: f64,
     /// Pretend window length used for reporting counters, seconds.
     pub window_s: f64,
+    /// Synthetic burstiness: reported per-second usage p90 as a
+    /// multiple of the mean usage rate (what rule-based allocators act
+    /// on). Defaults to [`BURST_P90_DEFAULT`], calibrated against DES
+    /// windows.
+    pub burst_p90: f64,
 }
 
 impl FluidEvaluator {
@@ -46,6 +63,7 @@ impl FluidEvaluator {
             demand: app.expected_demand(),
             speed: 1.0,
             window_s: 20.0,
+            burst_p90: BURST_P90_DEFAULT,
         }
     }
 
@@ -180,8 +198,10 @@ impl Evaluator for FluidEvaluator {
                 util_pct: util,
                 cpu_used_s: cpu_rate * self.window_s,
                 throttled_s: thr_frac * self.window_s,
-                usage_p90_cores: cpu_rate * 1.6, // bursty p90 heuristic
-                usage_peak_cores: cpu_rate * 2.5,
+                usage_p90_cores: cpu_rate * self.burst_p90,
+                // Peak can never sit below the p90, however spiky the
+                // knob is set.
+                usage_peak_cores: cpu_rate * self.burst_p90.max(2.5),
                 mem_bytes: self.app.services[i].mem_base_bytes,
                 visits: (lambda_i * self.window_s) as u64,
                 mean_self_ms: if self.visits[i] > 0.0 {
@@ -301,6 +321,58 @@ mod tests {
         assert!(normal_tail(-3.0) > 0.998);
         assert_eq!(normal_tail(10.0), 0.0);
         assert_eq!(normal_tail(-10.0), 1.0);
+    }
+
+    #[test]
+    fn burstiness_knob_scales_reported_p90() {
+        let mut f = FluidEvaluator::new(&app());
+        let a = Allocation::new(vec![1.0, 1.0]);
+        let base = f.evaluate(&a, 100.0);
+        f.burst_p90 = 2.0 * BURST_P90_DEFAULT;
+        let bursty = f.evaluate(&a, 100.0);
+        for (b, s) in base.per_service.iter().zip(&bursty.per_service) {
+            assert!(
+                (s.usage_p90_cores - 2.0 * b.usage_p90_cores).abs() < 1e-12,
+                "p90 must scale with the knob: {} vs {}",
+                b.usage_p90_cores,
+                s.usage_p90_cores
+            );
+        }
+        // Latency is untouched by the burstiness knob.
+        assert_eq!(base.p95_ms, bursty.p95_ms);
+        // An extreme knob keeps the telemetry physically consistent.
+        f.burst_p90 = 4.0;
+        let spiky = f.evaluate(&a, 100.0);
+        for s in &spiky.per_service {
+            assert!(s.usage_peak_cores >= s.usage_p90_cores);
+        }
+    }
+
+    #[test]
+    fn default_burstiness_matches_des_calibration_band() {
+        // Re-derive the calibration on the cheap two-service pair: one
+        // DES window at the generous allocation, per-service p90/mean
+        // usage ratio. Deterministic (fixed seed), so this pins that
+        // BURST_P90_DEFAULT stays in the DES-plausible band if either
+        // side changes.
+        use crate::ClusterSim;
+        let app = app();
+        let mut sim = ClusterSim::new(&app, 42);
+        sim.set_allocation(&Allocation::new(app.generous_alloc.clone()));
+        let stats = sim.run_window(120.0, 4.0, 20.0);
+        let mut ratios: Vec<f64> = stats
+            .per_service
+            .iter()
+            .filter(|s| s.cpu_used_s / stats.duration_s > 0.02)
+            .map(|s| s.usage_p90_cores / (s.cpu_used_s / stats.duration_s))
+            .collect();
+        assert!(!ratios.is_empty());
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ratios[ratios.len() / 2];
+        assert!(
+            (BURST_P90_DEFAULT - median).abs() < 0.25,
+            "calibrated default {BURST_P90_DEFAULT} drifted from the DES ratio {median:.3}"
+        );
     }
 
     #[test]

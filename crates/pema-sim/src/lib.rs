@@ -90,7 +90,7 @@ pub mod trace;
 
 pub use engine::ClusterSim;
 pub use evaluator::{Evaluator, SimEvaluator};
-pub use fluid::FluidEvaluator;
+pub use fluid::{FluidEvaluator, BURST_P90_DEFAULT};
 pub use queue::CalendarQueue;
 pub use stats::{ServiceWindowStats, WindowStats};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,617 @@
+//! The on-disk trace format: versioned, schema-checked JSON lines.
+//!
+//! A trace file is UTF-8 text, one JSON document per line:
+//!
+//! * **line 1** — the header: format name, version, and the run
+//!   metadata ([`TraceMeta`]) needed to replay the run (app identity,
+//!   SLO, harness timing, seeds, the allocation in force before the
+//!   first interval);
+//! * **every further line** — one control interval ([`TraceRecord`]):
+//!   the loop-level fields (interval index, virtual time, offered
+//!   load, the policy's decision tag and applied allocation) plus the
+//!   complete measured [`WindowStats`], per-service observations
+//!   included.
+//!
+//! Floats use the bit-exact encoding of [`crate::json`] (shortest
+//! round-trip decimals, `"inf"`/`"-inf"`/`"nan"` string tokens), so a
+//! write → read cycle reproduces every field to the bit — the property
+//! the replay determinism guarantee rests on.
+//!
+//! Readers run in one of two [`ReadMode`]s:
+//!
+//! * [`Strict`](ReadMode::Strict) — the version must equal
+//!   [`FORMAT_VERSION`] and unknown keys are rejected. Use for traces
+//!   this build of the code wrote (CI, tests, goldens).
+//! * [`Lenient`](ReadMode::Lenient) — unknown keys are ignored and
+//!   any version up to [`FORMAT_VERSION`] is accepted, so files from
+//!   older writers (or newer writers that only *added* optional keys)
+//!   still load. Structural invariants (per-service array lengths,
+//!   parseable numbers) are enforced in both modes.
+//!
+//! The full spec, including the compatibility rules for evolving the
+//! schema, lives in `docs/trace-format.md`.
+
+use crate::json::{self, ObjReader, Value};
+use pema_sim::{ServiceWindowStats, WindowStats};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Format identifier carried in every header line.
+pub const FORMAT_NAME: &str = "pema-trace";
+
+/// Current format version. Bump only for incompatible changes (see
+/// `docs/trace-format.md`); additive optional keys do not bump it.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// How tolerant the reader is of schema drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Exact version match, unknown keys rejected.
+    Strict,
+    /// Versions `<= FORMAT_VERSION` accepted, unknown keys ignored.
+    Lenient,
+}
+
+/// A trace-format error, carrying the offending line (1-based; 0 for
+/// file-level problems).
+#[derive(Debug, Clone)]
+pub struct TraceError {
+    /// Line the error occurred on (1-based; 0 = file level).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace: {}", self.message)
+        } else {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<TraceError> for io::Error {
+    fn from(e: TraceError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Run metadata: everything a replay needs besides the records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Application name (resolvable via `pema_apps::by_name` for the
+    /// bundled apps; informational otherwise).
+    pub app: String,
+    /// Service names, indexed like the allocation vector.
+    pub services: Vec<String>,
+    /// SLO the recorded run was judged against, ms.
+    pub slo_ms: f64,
+    /// Configured monitoring window per control interval, seconds.
+    pub interval_s: f64,
+    /// Configured settling time before each measurement, seconds.
+    pub warmup_s: f64,
+    /// Backend seed of the recorded run.
+    pub backend_seed: u64,
+    /// Policy tag of the recorded run (`"pema"`, `"rule"`, …).
+    pub policy: String,
+    /// Seed the recorded policy was constructed with (0 when the
+    /// policy is seedless, e.g. the rule baseline).
+    pub policy_seed: u64,
+    /// §6 early-violation-check period of the recorded run, seconds
+    /// (`None` when the run measured full windows). A faithful replay
+    /// must re-enable the same mode — [`replay`](crate::replay) does.
+    pub early_check_s: Option<f64>,
+    /// Allocation in force during the first recorded window — the
+    /// starting point an exact replay must use.
+    pub initial_alloc: Vec<f64>,
+}
+
+impl TraceMeta {
+    /// Number of services in the recorded app.
+    pub fn n_services(&self) -> usize {
+        self.services.len()
+    }
+}
+
+/// One recorded control interval: the loop-level view plus the full
+/// measured window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Interval index (0-based).
+    pub iter: u64,
+    /// Virtual time at the start of the interval, seconds.
+    pub time_s: f64,
+    /// Offered load during the interval.
+    pub rps: f64,
+    /// Policy decision tag at the end of the interval.
+    pub action: String,
+    /// PEMA process id (workload-aware runs; 0 otherwise).
+    pub pema_id: u64,
+    /// Allocation applied for the *next* interval (after the cluster's
+    /// allocation floor).
+    pub alloc: Vec<f64>,
+    /// The complete measured window.
+    pub stats: WindowStats,
+}
+
+/// A complete recorded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Run metadata (header line).
+    pub meta: TraceMeta,
+    /// Per-interval records, in recorded order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Number of services in the recorded app.
+    pub fn n_services(&self) -> usize {
+        self.meta.n_services()
+    }
+
+    /// Structural validation shared by both read modes: every
+    /// allocation / per-service vector must match the header's service
+    /// count, and recorded window start times must not go backwards.
+    ///
+    /// Errors use the dense-file convention (header = line 1, record
+    /// `i` = line `i + 2`); the file reader remaps them onto real line
+    /// numbers when the file contains blank lines.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        self.validate_at(&|i| i + 2, 1)
+    }
+
+    /// [`validate`](Self::validate) with an explicit record-index →
+    /// file-line mapping and header line.
+    fn validate_at(
+        &self,
+        line_of: &dyn Fn(usize) -> usize,
+        header_line: usize,
+    ) -> Result<(), TraceError> {
+        let n = self.n_services();
+        if self.meta.initial_alloc.len() != n {
+            return Err(err(
+                header_line,
+                format!(
+                    "initial_alloc has {} entries for {n} services",
+                    self.meta.initial_alloc.len()
+                ),
+            ));
+        }
+        let mut prev_end = f64::NEG_INFINITY;
+        for (i, r) in self.records.iter().enumerate() {
+            let line = line_of(i);
+            if r.alloc.len() != n {
+                return Err(err(line, format!("alloc has {} entries", r.alloc.len())));
+            }
+            if r.stats.per_service.len() != n {
+                return Err(err(
+                    line,
+                    format!("per_service has {} entries", r.stats.per_service.len()),
+                ));
+            }
+            if r.stats.start_s < prev_end {
+                return Err(err(
+                    line,
+                    format!(
+                        "window starts at {} before the previous window ended at {prev_end}",
+                        r.stats.start_s
+                    ),
+                ));
+            }
+            prev_end = r.stats.start_s + r.stats.duration_s;
+        }
+        Ok(())
+    }
+
+    // ---- writing ----
+
+    /// Serializes the trace to JSON lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(256 + self.records.len() * 512);
+        self.write_header(&mut out);
+        for r in &self.records {
+            write_record(&mut out, r);
+        }
+        out
+    }
+
+    /// Writes the trace to a file.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_jsonl())
+            .map_err(|e| io::Error::new(e.kind(), format!("write trace {}: {e}", path.display())))
+    }
+
+    fn write_header(&self, out: &mut String) {
+        let m = &self.meta;
+        out.push_str(&format!(
+            "{{\"format\":{},\"version\":{FORMAT_VERSION},\"app\":{},\"services\":[",
+            json::quote(FORMAT_NAME),
+            json::quote(&m.app),
+        ));
+        push_join(out, &m.services, |out, s| out.push_str(&json::quote(s)));
+        out.push_str("],\"slo_ms\":");
+        json::push_f64(out, m.slo_ms);
+        out.push_str(",\"interval_s\":");
+        json::push_f64(out, m.interval_s);
+        out.push_str(",\"warmup_s\":");
+        json::push_f64(out, m.warmup_s);
+        out.push_str(&format!(
+            ",\"backend_seed\":{},\"policy\":{},\"policy_seed\":{},\"early_check_s\":",
+            m.backend_seed,
+            json::quote(&m.policy),
+            m.policy_seed,
+        ));
+        match m.early_check_s {
+            Some(s) => json::push_f64(out, s),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"initial_alloc\":[");
+        push_join(out, &m.initial_alloc, |out, v| json::push_f64(out, *v));
+        out.push_str("]}\n");
+    }
+
+    // ---- reading ----
+
+    /// Parses a trace from JSON-lines text. Blank lines are skipped;
+    /// errors name the real file line.
+    pub fn parse_jsonl(text: &str, mode: ReadMode) -> Result<Self, TraceError> {
+        let strict = mode == ReadMode::Strict;
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (header_idx, header) = lines.next().ok_or_else(|| err(0, "empty trace file"))?;
+        let header_line = header_idx + 1;
+        let meta = parse_header(header, strict).map_err(|m| err(header_line, m))?;
+        let mut records = Vec::new();
+        let mut record_lines = Vec::new();
+        for (idx, line) in lines {
+            let record = parse_record(line, strict).map_err(|m| err(idx + 1, m))?;
+            records.push(record);
+            record_lines.push(idx + 1);
+        }
+        let trace = Trace { meta, records };
+        trace.validate_at(&|i| record_lines[i], header_line)?;
+        Ok(trace)
+    }
+
+    /// Reads a trace from a file.
+    pub fn read_file(path: impl AsRef<Path>, mode: ReadMode) -> io::Result<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("read trace {}: {e}", path.display())))?;
+        Self::parse_jsonl(&text, mode).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+}
+
+fn push_join<T>(out: &mut String, items: &[T], mut push: impl FnMut(&mut String, &T)) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push(out, item);
+    }
+}
+
+fn write_record(out: &mut String, r: &TraceRecord) {
+    out.push_str(&format!("{{\"iter\":{},\"time_s\":", r.iter));
+    json::push_f64(out, r.time_s);
+    out.push_str(",\"rps\":");
+    json::push_f64(out, r.rps);
+    out.push_str(&format!(
+        ",\"action\":{},\"pema_id\":{},\"alloc\":[",
+        json::quote(&r.action),
+        r.pema_id
+    ));
+    push_join(out, &r.alloc, |out, v| json::push_f64(out, *v));
+    out.push_str("],\"stats\":");
+    write_stats(out, &r.stats);
+    out.push_str("}\n");
+}
+
+fn write_stats(out: &mut String, s: &WindowStats) {
+    out.push_str("{\"start_s\":");
+    json::push_f64(out, s.start_s);
+    for (key, v) in [
+        ("duration_s", s.duration_s),
+        ("offered_rps", s.offered_rps),
+        ("achieved_rps", s.achieved_rps),
+    ] {
+        out.push_str(&format!(",\"{key}\":"));
+        json::push_f64(out, v);
+    }
+    out.push_str(&format!(
+        ",\"completed\":{},\"arrivals\":{}",
+        s.completed, s.arrivals
+    ));
+    for (key, v) in [
+        ("mean_ms", s.mean_ms),
+        ("p50_ms", s.p50_ms),
+        ("p95_ms", s.p95_ms),
+        ("p99_ms", s.p99_ms),
+        ("max_ms", s.max_ms),
+    ] {
+        out.push_str(&format!(",\"{key}\":"));
+        json::push_f64(out, v);
+    }
+    out.push_str(",\"per_service\":[");
+    push_join(out, &s.per_service, |out, svc| {
+        out.push_str("{\"alloc_cores\":");
+        json::push_f64(out, svc.alloc_cores);
+        for (key, v) in [
+            ("util_pct", svc.util_pct),
+            ("cpu_used_s", svc.cpu_used_s),
+            ("throttled_s", svc.throttled_s),
+            ("usage_p90_cores", svc.usage_p90_cores),
+            ("usage_peak_cores", svc.usage_peak_cores),
+            ("mem_bytes", svc.mem_bytes),
+        ] {
+            out.push_str(&format!(",\"{key}\":"));
+            json::push_f64(out, v);
+        }
+        out.push_str(&format!(",\"visits\":{}", svc.visits));
+        for (key, v) in [
+            ("mean_self_ms", svc.mean_self_ms),
+            ("mean_visit_ms", svc.mean_visit_ms),
+        ] {
+            out.push_str(&format!(",\"{key}\":"));
+            json::push_f64(out, v);
+        }
+        out.push('}');
+    });
+    out.push_str("]}");
+}
+
+fn parse_header(line: &str, strict: bool) -> Result<TraceMeta, String> {
+    let mut obj = ObjReader::new(json::parse(line)?)?;
+    let format = json::read_string(&obj.take("format")?)?;
+    if format != FORMAT_NAME {
+        return Err(format!("not a {FORMAT_NAME} file (format = \"{format}\")"));
+    }
+    let version = json::read_u64(&obj.take("version")?)?;
+    if version > FORMAT_VERSION {
+        return Err(format!(
+            "version {version} is newer than this reader (max {FORMAT_VERSION})"
+        ));
+    }
+    if strict && version != FORMAT_VERSION {
+        return Err(format!(
+            "version {version} != {FORMAT_VERSION} (strict mode; use lenient to read older traces)"
+        ));
+    }
+    let meta = TraceMeta {
+        app: json::read_string(&obj.take("app")?)?,
+        services: obj
+            .take("services")?
+            .as_array()
+            .ok_or("services must be an array")?
+            .iter()
+            .map(json::read_string)
+            .collect::<Result<_, _>>()?,
+        slo_ms: json::read_f64(&obj.take("slo_ms")?)?,
+        interval_s: json::read_f64(&obj.take("interval_s")?)?,
+        warmup_s: json::read_f64(&obj.take("warmup_s")?)?,
+        backend_seed: json::read_u64(&obj.take("backend_seed")?)?,
+        policy: json::read_string(&obj.take("policy")?)?,
+        policy_seed: json::read_u64(&obj.take("policy_seed")?)?,
+        early_check_s: match obj.take("early_check_s")? {
+            Value::Null => None,
+            v => Some(json::read_f64(&v)?),
+        },
+        initial_alloc: json::read_f64_array(&obj.take("initial_alloc")?)?,
+    };
+    obj.finish(strict)?;
+    Ok(meta)
+}
+
+fn parse_record(line: &str, strict: bool) -> Result<TraceRecord, String> {
+    let mut obj = ObjReader::new(json::parse(line)?)?;
+    let record = TraceRecord {
+        iter: json::read_u64(&obj.take("iter")?)?,
+        time_s: json::read_f64(&obj.take("time_s")?)?,
+        rps: json::read_f64(&obj.take("rps")?)?,
+        action: json::read_string(&obj.take("action")?)?,
+        pema_id: json::read_u64(&obj.take("pema_id")?)?,
+        alloc: json::read_f64_array(&obj.take("alloc")?)?,
+        stats: parse_stats(obj.take("stats")?, strict)?,
+    };
+    obj.finish(strict)?;
+    Ok(record)
+}
+
+fn parse_stats(v: Value, strict: bool) -> Result<WindowStats, String> {
+    let mut obj = ObjReader::new(v)?;
+    let stats = WindowStats {
+        start_s: json::read_f64(&obj.take("start_s")?)?,
+        duration_s: json::read_f64(&obj.take("duration_s")?)?,
+        offered_rps: json::read_f64(&obj.take("offered_rps")?)?,
+        achieved_rps: json::read_f64(&obj.take("achieved_rps")?)?,
+        completed: json::read_u64(&obj.take("completed")?)?,
+        arrivals: json::read_u64(&obj.take("arrivals")?)?,
+        mean_ms: json::read_f64(&obj.take("mean_ms")?)?,
+        p50_ms: json::read_f64(&obj.take("p50_ms")?)?,
+        p95_ms: json::read_f64(&obj.take("p95_ms")?)?,
+        p99_ms: json::read_f64(&obj.take("p99_ms")?)?,
+        max_ms: json::read_f64(&obj.take("max_ms")?)?,
+        per_service: obj
+            .take("per_service")?
+            .as_array()
+            .ok_or("per_service must be an array")?
+            .iter()
+            .map(|svc| parse_service(svc.clone(), strict))
+            .collect::<Result<_, _>>()?,
+    };
+    obj.finish(strict)?;
+    Ok(stats)
+}
+
+fn parse_service(v: Value, strict: bool) -> Result<ServiceWindowStats, String> {
+    let mut obj = ObjReader::new(v)?;
+    let svc = ServiceWindowStats {
+        alloc_cores: json::read_f64(&obj.take("alloc_cores")?)?,
+        util_pct: json::read_f64(&obj.take("util_pct")?)?,
+        cpu_used_s: json::read_f64(&obj.take("cpu_used_s")?)?,
+        throttled_s: json::read_f64(&obj.take("throttled_s")?)?,
+        usage_p90_cores: json::read_f64(&obj.take("usage_p90_cores")?)?,
+        usage_peak_cores: json::read_f64(&obj.take("usage_peak_cores")?)?,
+        mem_bytes: json::read_f64(&obj.take("mem_bytes")?)?,
+        visits: json::read_u64(&obj.take("visits")?)?,
+        mean_self_ms: json::read_f64(&obj.take("mean_self_ms")?)?,
+        mean_visit_ms: json::read_f64(&obj.take("mean_visit_ms")?)?,
+    };
+    obj.finish(strict)?;
+    Ok(svc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(alloc: f64) -> ServiceWindowStats {
+        ServiceWindowStats {
+            alloc_cores: alloc,
+            util_pct: 37.5,
+            cpu_used_s: 1.125,
+            throttled_s: 0.25,
+            usage_p90_cores: 0.7,
+            usage_peak_cores: 1.1,
+            mem_bytes: 1.5e8,
+            visits: 1234,
+            mean_self_ms: 1.75,
+            mean_visit_ms: 3.5,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                app: "toy-chain".into(),
+                services: vec!["gateway".into(), "logic".into()],
+                slo_ms: 100.0,
+                interval_s: 8.0,
+                warmup_s: 1.0,
+                backend_seed: 42,
+                policy: "pema".into(),
+                policy_seed: 7,
+                early_check_s: None,
+                initial_alloc: vec![1.5, 2.0],
+            },
+            records: vec![TraceRecord {
+                iter: 0,
+                time_s: 0.0,
+                rps: 120.0,
+                action: "reduce(2)".into(),
+                pema_id: 0,
+                alloc: vec![1.4, 1.9],
+                stats: WindowStats {
+                    start_s: 1.0,
+                    duration_s: 8.0,
+                    offered_rps: 120.0,
+                    achieved_rps: 119.5,
+                    completed: 956,
+                    arrivals: 960,
+                    mean_ms: 12.25,
+                    p50_ms: 10.5,
+                    p95_ms: f64::INFINITY,
+                    p99_ms: 80.0,
+                    max_ms: 95.0,
+                    per_service: vec![svc(1.5), svc(2.0)],
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_strict() {
+        let t = sample();
+        let text = t.to_jsonl();
+        let back = Trace::parse_jsonl(&text, ReadMode::Strict).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn unknown_key_rejected_strict_ignored_lenient() {
+        let mut text = sample().to_jsonl();
+        text = text.replacen("{\"iter\":", "{\"future_field\":[1,2],\"iter\":", 1);
+        assert!(Trace::parse_jsonl(&text, ReadMode::Strict).is_err());
+        let t = Trace::parse_jsonl(&text, ReadMode::Lenient).unwrap();
+        assert_eq!(t.records.len(), 1);
+    }
+
+    #[test]
+    fn newer_version_rejected_in_both_modes() {
+        let text = sample()
+            .to_jsonl()
+            .replacen("\"version\":1", "\"version\":99", 1);
+        assert!(Trace::parse_jsonl(&text, ReadMode::Strict).is_err());
+        assert!(Trace::parse_jsonl(&text, ReadMode::Lenient).is_err());
+    }
+
+    #[test]
+    fn missing_key_rejected_in_both_modes() {
+        let text = sample().to_jsonl().replacen("\"rps\":120,", "", 1);
+        assert!(Trace::parse_jsonl(&text, ReadMode::Strict).is_err());
+        let lenient = Trace::parse_jsonl(&text, ReadMode::Lenient);
+        assert!(lenient.is_err(), "required keys stay required: {lenient:?}");
+    }
+
+    #[test]
+    fn wrong_service_count_rejected() {
+        let mut t = sample();
+        t.records[0].alloc.pop();
+        let text = t.to_jsonl();
+        let e = Trace::parse_jsonl(&text, ReadMode::Lenient).unwrap_err();
+        assert_eq!(e.line, 2, "{e}");
+    }
+
+    #[test]
+    fn error_names_the_line() {
+        let mut text = sample().to_jsonl();
+        text.push_str("not json\n");
+        let e = Trace::parse_jsonl(&text, ReadMode::Strict).unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+    }
+
+    #[test]
+    fn early_check_round_trips_as_null_or_number() {
+        let mut t = sample();
+        assert!(t.to_jsonl().contains("\"early_check_s\":null"));
+        t.meta.early_check_s = Some(2.5);
+        let back = Trace::parse_jsonl(&t.to_jsonl(), ReadMode::Strict).unwrap();
+        assert_eq!(back.meta.early_check_s, Some(2.5));
+    }
+
+    #[test]
+    fn blank_lines_do_not_shift_reported_line_numbers() {
+        let mut t = sample();
+        t.records[0].alloc.pop(); // structural error in the record
+        let text = t.to_jsonl().replacen('\n', "\n\n\n", 1); // record now on line 4
+        let e = Trace::parse_jsonl(&text, ReadMode::Lenient).unwrap_err();
+        assert_eq!(e.line, 4, "{e}");
+    }
+
+    #[test]
+    fn infinity_survives_the_file() {
+        let t = sample();
+        let back = Trace::parse_jsonl(&t.to_jsonl(), ReadMode::Strict).unwrap();
+        assert!(back.records[0].stats.p95_ms.is_infinite());
+    }
+}

@@ -1,0 +1,259 @@
+//! Replay determinism and counterfactual-evaluation behaviour.
+//!
+//! The headline guarantee (an acceptance criterion of the trace
+//! subsystem): replaying a trace recorded from a [`SimBackend`] run
+//! under the *identical* policy reproduces the recorded per-interval
+//! decision sequence bit-identically — through a full disk round trip
+//! — and reports zero divergence. Different policies produce honest
+//! divergence metrics instead.
+
+use pema_control::{Experiment, HarnessConfig, HoldPolicy, Pema, Rule, RulePolicy};
+use pema_core::{PemaController, PemaParams};
+use pema_trace::{replay, ReadMode, Trace, TraceRecorder};
+
+fn record_pema_run(iters: usize) -> (Trace, Vec<(String, Vec<f64>, f64)>) {
+    let app = pema_apps::toy_chain();
+    let cfg = HarnessConfig {
+        interval_s: 6.0,
+        warmup_s: 1.0,
+        seed: 42,
+    };
+    let mut params = PemaParams::defaults(app.slo_ms);
+    params.seed = 0x7ACE;
+    let recorder = TraceRecorder::new(&app, "pema", params.seed, &cfg);
+    let handle = recorder.handle();
+    let result = Experiment::builder()
+        .app(&app)
+        .policy(Pema(params))
+        .config(cfg)
+        .rps(130.0)
+        .iters(iters)
+        .observer(recorder)
+        .run();
+    let recorded: Vec<(String, Vec<f64>, f64)> = result
+        .log
+        .iter()
+        .map(|l| (l.action.clone(), l.alloc.clone(), l.p95_ms))
+        .collect();
+    (handle.take(), recorded)
+}
+
+fn same_policy(trace: &Trace) -> PemaController {
+    let mut params = PemaParams::defaults(trace.meta.slo_ms);
+    params.seed = trace.meta.policy_seed;
+    PemaController::new(params, trace.meta.initial_alloc.clone())
+}
+
+#[test]
+fn same_policy_replay_reproduces_decisions_bit_identically() {
+    let (trace, recorded) = record_pema_run(12);
+    assert_eq!(trace.records.len(), 12);
+
+    // Full disk round trip: the replay reads what the recorder wrote.
+    let dir = std::env::temp_dir().join("pema-trace-determinism");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+    trace.write_file(&path).unwrap();
+    let from_disk = Trace::read_file(&path, ReadMode::Strict).unwrap();
+
+    let rerun = replay(&from_disk, same_policy(&from_disk));
+    assert_eq!(rerun.result.log.len(), recorded.len());
+    for (i, ((action, alloc, p95), replayed)) in recorded.iter().zip(&rerun.result.log).enumerate()
+    {
+        assert_eq!(action, &replayed.action, "action diverged at interval {i}");
+        assert_eq!(
+            alloc.len(),
+            replayed.alloc.len(),
+            "alloc arity diverged at interval {i}"
+        );
+        for (a, b) in alloc.iter().zip(&replayed.alloc) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "allocation diverged at interval {i}: {a} vs {b}"
+            );
+        }
+        assert_eq!(
+            p95.to_bits(),
+            replayed.p95_ms.to_bits(),
+            "replayed p95 diverged at interval {i}"
+        );
+    }
+
+    // Zero divergence, by construction.
+    assert!(
+        rerun.summary.is_zero(),
+        "same-policy replay must not diverge: {:?}",
+        rerun.summary
+    );
+    assert!(rerun.divergence.iter().all(|d| d.l1_delta == 0.0));
+}
+
+#[test]
+fn replayed_timeline_matches_the_recording() {
+    let (trace, _) = record_pema_run(6);
+    let rerun = replay(&trace, same_policy(&trace));
+    for (r, l) in trace.records.iter().zip(&rerun.result.log) {
+        assert_eq!(
+            r.time_s.to_bits(),
+            l.time_s.to_bits(),
+            "reconstructed now_s diverged at interval {}",
+            r.iter
+        );
+        assert_eq!(r.stats.duration_s, l.interval_s);
+    }
+}
+
+#[test]
+fn early_check_and_slo_override_runs_replay_exactly() {
+    // A run with a builder-level SLO override tight enough to trigger
+    // §6 early aborts: the recorder mirrors both knobs into the
+    // header, and the replay must reproduce the `early-…` action tags
+    // and the shortened intervals exactly.
+    let app = pema_apps::toy_chain();
+    // An SLO the toy chain cannot meet even at the generous
+    // allocation, so early checks fire from the first interval.
+    let slo_override = 6.0;
+    let cfg = HarnessConfig {
+        interval_s: 8.0,
+        warmup_s: 1.0,
+        seed: 5,
+    };
+    let mut params = PemaParams::defaults(slo_override);
+    params.seed = 0xEC;
+    let recorder = TraceRecorder::new(&app, "pema", params.seed, &cfg)
+        .with_slo_ms(slo_override)
+        .with_early_check(2.0);
+    let handle = recorder.handle();
+    let recorded = Experiment::builder()
+        .app(&app)
+        .policy(Pema(params.clone()))
+        .config(cfg)
+        .early_check(2.0)
+        .rps(170.0)
+        .iters(10)
+        .observer(recorder)
+        .run();
+    let trace = handle.take();
+    assert_eq!(trace.meta.slo_ms, slo_override);
+    assert_eq!(trace.meta.early_check_s, Some(2.0));
+    assert!(
+        recorded.log.iter().any(|l| l.action.starts_with("early-")),
+        "the recording should contain early-aborted intervals for this test to bite"
+    );
+
+    // Through the disk, like a real workflow.
+    let from_disk = Trace::parse_jsonl(&trace.to_jsonl(), ReadMode::Strict).unwrap();
+    let rerun = replay(
+        &from_disk,
+        PemaController::new(params, from_disk.meta.initial_alloc.clone()),
+    );
+    assert!(
+        rerun.summary.is_zero(),
+        "same-policy replay must not diverge: {:?}",
+        rerun.summary
+    );
+    for (r, l) in recorded.log.iter().zip(&rerun.result.log) {
+        assert_eq!(r.action, l.action, "action diverged at interval {}", r.iter);
+        assert_eq!(
+            r.interval_s.to_bits(),
+            l.interval_s.to_bits(),
+            "shortened interval diverged at interval {}",
+            r.iter
+        );
+    }
+}
+
+#[test]
+fn counterfactual_hold_policy_reports_divergence() {
+    let (trace, _) = record_pema_run(10);
+    let n = trace.n_services();
+    // Hold a deliberately starved allocation: every window diverges
+    // and the work-conservation check flags would-have-violated.
+    let floor = vec![0.05; n];
+    let rerun = replay(&trace, HoldPolicy::new(floor, trace.meta.slo_ms));
+    assert_eq!(rerun.summary.intervals, 10);
+    assert_eq!(
+        rerun.summary.diverged_intervals, 10,
+        "starved hold must diverge every interval: {:?}",
+        rerun.summary
+    );
+    assert!(!rerun.summary.is_zero());
+    assert_eq!(
+        rerun.summary.would_violations, 10,
+        "starved hold must flag would-have-violated everywhere"
+    );
+    assert!(
+        rerun.summary.mean_total_delta < 0.0,
+        "floor is cheaper than the tape"
+    );
+
+    // A generous hold (the recorded starting allocation) may coincide
+    // with the tape's first window but must not *violate* more than
+    // the recording did.
+    let generous = replay(
+        &trace,
+        HoldPolicy::new(trace.meta.initial_alloc.clone(), trace.meta.slo_ms),
+    );
+    assert!(generous.summary.would_violations <= generous.summary.recorded_violations + 1);
+}
+
+#[test]
+fn rule_policy_replays_through_the_same_loop() {
+    let (trace, _) = record_pema_run(8);
+    let app = pema_apps::toy_chain();
+    let rerun = replay(&trace, RulePolicy::new(&app));
+    assert_eq!(rerun.result.log.len(), 8);
+    assert!(rerun.result.log.iter().all(|l| l.action == "rule"));
+    // The rule baseline allocates differently from PEMA somewhere.
+    assert!(rerun.summary.diverged_intervals > 0);
+}
+
+#[test]
+fn experiment_facade_accepts_a_trace_backend() {
+    use pema_trace::TraceBackend;
+    let (trace, _) = record_pema_run(5);
+    let app = pema_apps::toy_chain();
+    let result = Experiment::builder()
+        .app(&app)
+        .policy(Rule)
+        .backend(TraceBackend::new(trace.clone()))
+        .config(HarnessConfig {
+            interval_s: trace.meta.interval_s,
+            warmup_s: trace.meta.warmup_s,
+            seed: trace.meta.backend_seed,
+        })
+        .rps(130.0)
+        .iters(5)
+        .run();
+    assert_eq!(result.log.len(), 5);
+}
+
+#[test]
+fn cycling_replay_outlives_the_tape_with_monotone_time() {
+    use pema_control::ClusterBackend;
+    use pema_trace::TraceBackend;
+    let (trace, _) = record_pema_run(3);
+    let mut b = TraceBackend::cycling(trace);
+    let mut prev = b.now_s();
+    for _ in 0..10 {
+        let stats = b.measure_window(130.0, 1.0, 6.0);
+        assert!(stats.duration_s > 0.0);
+        let now = b.now_s();
+        assert!(now > prev, "time went {prev} -> {now}");
+        prev = now;
+    }
+}
+
+#[test]
+#[should_panic(expected = "trace exhausted")]
+fn strict_replay_panics_past_the_end() {
+    use pema_control::ClusterBackend;
+    use pema_trace::TraceBackend;
+    let (trace, _) = record_pema_run(2);
+    let mut b = TraceBackend::new(trace);
+    for _ in 0..3 {
+        b.measure_window(130.0, 1.0, 6.0);
+    }
+}

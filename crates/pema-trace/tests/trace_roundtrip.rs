@@ -1,0 +1,168 @@
+//! Property test: a trace survives write → read **bit-exactly**.
+//!
+//! The replay determinism guarantee (same policy over a replayed trace
+//! reproduces the recorded decision sequence) rests on every `f64`
+//! coming back from disk with identical bits — including non-finite
+//! p95s from saturated windows, subnormals, and negative zero. The
+//! generator therefore mixes adversarial float shapes into otherwise
+//! realistic windows.
+
+use pema_sim::{ServiceWindowStats, WindowStats};
+use pema_trace::{ReadMode, Trace, TraceMeta, TraceRecord};
+use proptest::prelude::*;
+use proptest::strategy::{boxed, OneOf};
+
+/// Floats with adversarial shapes mixed into a plain uniform range.
+fn any_f64() -> OneOf<f64> {
+    OneOf::new(vec![
+        boxed(0.0f64..1e6),
+        boxed((-1e3f64..1e3).prop_map(|x| x / 3.0)),
+        boxed(Just(f64::INFINITY)),
+        boxed(Just(0.0f64)),
+        boxed(Just(-0.0f64)),
+        boxed(Just(f64::MIN_POSITIVE / 2.0)), // subnormal
+        boxed(Just(1.0f64 / 3.0)),
+        boxed(Just(f64::MAX)),
+    ])
+}
+
+fn assert_bits(a: f64, b: f64, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a} vs {b}");
+}
+
+fn build_trace(n_services: usize, n_records: usize, floats: &[f64], counts: &[u64]) -> Trace {
+    let mut f = floats.iter().copied().cycle();
+    let mut c = counts.iter().copied().cycle();
+    let mut nf = move || f.next().unwrap();
+    let services: Vec<String> = (0..n_services).map(|i| format!("svc-{i}")).collect();
+    let mut start = 0.0f64;
+    let records = (0..n_records)
+        .map(|i| {
+            let duration = 5.0 + (i as f64);
+            let record = TraceRecord {
+                iter: i as u64,
+                time_s: start,
+                rps: nf().abs().min(1e5),
+                action: format!("action-{i}\"quoted\""),
+                pema_id: (i % 3) as u64,
+                alloc: (0..n_services).map(|_| nf()).collect(),
+                stats: WindowStats {
+                    start_s: start + 1.0,
+                    duration_s: duration,
+                    offered_rps: nf(),
+                    achieved_rps: nf(),
+                    completed: c.next().unwrap(),
+                    arrivals: c.next().unwrap(),
+                    mean_ms: nf(),
+                    p50_ms: nf(),
+                    p95_ms: nf(),
+                    p99_ms: nf(),
+                    max_ms: nf(),
+                    per_service: (0..n_services)
+                        .map(|_| ServiceWindowStats {
+                            alloc_cores: nf(),
+                            util_pct: nf(),
+                            cpu_used_s: nf(),
+                            throttled_s: nf(),
+                            usage_p90_cores: nf(),
+                            usage_peak_cores: nf(),
+                            mem_bytes: nf(),
+                            visits: c.next().unwrap(),
+                            mean_self_ms: nf(),
+                            mean_visit_ms: nf(),
+                        })
+                        .collect(),
+                },
+            };
+            start += 1.0 + duration;
+            record
+        })
+        .collect();
+    Trace {
+        meta: TraceMeta {
+            app: "prop-app".into(),
+            services,
+            slo_ms: 100.0,
+            interval_s: 40.0,
+            warmup_s: 4.0,
+            backend_seed: counts.first().copied().unwrap_or(7),
+            policy: "pema".into(),
+            policy_seed: counts.last().copied().unwrap_or(11),
+            early_check_s: if n_records.is_multiple_of(2) {
+                None
+            } else {
+                Some(nf().abs())
+            },
+            initial_alloc: (0..n_services).map(|_| nf().abs() + 0.05).collect(),
+        },
+        records,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn write_read_is_bit_equal(
+        n_services in 1usize..6,
+        n_records in 1usize..8,
+        floats in proptest::collection::vec(any_f64(), 32..64),
+        counts in proptest::collection::vec(0u64..=u64::MAX, 8..16),
+    ) {
+        let trace = build_trace(n_services, n_records, &floats, &counts);
+        let text = trace.to_jsonl();
+        let back = Trace::parse_jsonl(&text, ReadMode::Strict)
+            .expect("self-written trace must read back strictly");
+
+        // `PartialEq` on floats treats 0.0 == -0.0; compare bits.
+        prop_assert_eq!(back.records.len(), trace.records.len());
+        assert_bits(back.meta.slo_ms, trace.meta.slo_ms, "slo_ms");
+        for (a, b) in trace.meta.initial_alloc.iter().zip(&back.meta.initial_alloc) {
+            assert_bits(*a, *b, "initial_alloc");
+        }
+        for (r, s) in trace.records.iter().zip(&back.records) {
+            prop_assert_eq!(r.iter, s.iter);
+            prop_assert_eq!(&r.action, &s.action);
+            assert_bits(r.time_s, s.time_s, "time_s");
+            assert_bits(r.rps, s.rps, "rps");
+            for (a, b) in r.alloc.iter().zip(&s.alloc) {
+                assert_bits(*a, *b, "alloc");
+            }
+            let (x, y) = (&r.stats, &s.stats);
+            prop_assert_eq!(x.completed, y.completed);
+            prop_assert_eq!(x.arrivals, y.arrivals);
+            for (a, b, what) in [
+                (x.start_s, y.start_s, "start_s"),
+                (x.duration_s, y.duration_s, "duration_s"),
+                (x.offered_rps, y.offered_rps, "offered_rps"),
+                (x.achieved_rps, y.achieved_rps, "achieved_rps"),
+                (x.mean_ms, y.mean_ms, "mean_ms"),
+                (x.p50_ms, y.p50_ms, "p50_ms"),
+                (x.p95_ms, y.p95_ms, "p95_ms"),
+                (x.p99_ms, y.p99_ms, "p99_ms"),
+                (x.max_ms, y.max_ms, "max_ms"),
+            ] {
+                assert_bits(a, b, what);
+            }
+            for (u, v) in x.per_service.iter().zip(&y.per_service) {
+                prop_assert_eq!(u.visits, v.visits);
+                for (a, b, what) in [
+                    (u.alloc_cores, v.alloc_cores, "alloc_cores"),
+                    (u.util_pct, v.util_pct, "util_pct"),
+                    (u.cpu_used_s, v.cpu_used_s, "cpu_used_s"),
+                    (u.throttled_s, v.throttled_s, "throttled_s"),
+                    (u.usage_p90_cores, v.usage_p90_cores, "usage_p90_cores"),
+                    (u.usage_peak_cores, v.usage_peak_cores, "usage_peak_cores"),
+                    (u.mem_bytes, v.mem_bytes, "mem_bytes"),
+                    (u.mean_self_ms, v.mean_self_ms, "mean_self_ms"),
+                    (u.mean_visit_ms, v.mean_visit_ms, "mean_visit_ms"),
+                ] {
+                    assert_bits(a, b, what);
+                }
+            }
+        }
+
+        // Re-serializing the parsed trace reproduces the same bytes —
+        // writing is canonical.
+        prop_assert_eq!(back.to_jsonl(), text);
+    }
+}

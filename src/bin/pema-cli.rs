@@ -9,9 +9,14 @@
 //! pema-cli classify --app sockshop --service carts --rps 550
 //! pema-cli trace    --app sockshop --rps 550 --starve carts=0.45
 //!
+//! pema-cli record   --app sockshop --rps 700 --out run.jsonl [--iters N]
+//! pema-cli replay   --trace run.jsonl [--policy pema|rule|hold]
+//!                   [--lenient] [--assert-zero-divergence]
+//!
 //! pema-cli list                              list experiment scenarios
 //! pema-cli all  [--jobs N] [--smoke] [--force]    run the whole suite
 //! pema-cli run  fig05 fig11 … [--jobs N] [--smoke] [--force]
+//!               [--backend sim|fluid|trace:F.jsonl]
 //! ```
 //!
 //! Everything is deterministic given `--seed`; the experiment suite is
@@ -44,6 +49,8 @@ fn main() {
         "optimum" => cmd_optimum(&parse_flags(&args[1..])),
         "classify" => cmd_classify(&parse_flags(&args[1..])),
         "trace" => cmd_trace(&parse_flags(&args[1..])),
+        "record" => cmd_record(&parse_flags(&args[1..])),
+        "replay" => cmd_replay(&parse_flags(&args[1..])),
         "list" => delegate_bench("list", &args[1..]),
         "all" => delegate_bench("all", &args[1..]),
         "perf" => delegate_bench("perf", &args[1..]),
@@ -69,10 +76,17 @@ fn usage() {
          \x20 classify --app A --service S --rps R           bottleneck classifier study\n\
          \x20 trace    --app A --rps R --starve S=frac       tail-latency trace analysis\n\
          \n\
+         trace record/replay (counterfactual policy evaluation):\n\
+         \x20 record   --app A --rps R --out F.jsonl [--iters N --seed K --interval S\n\
+         \x20          --warmup S --early-check S --policy pema|rule]  record a DES run\n\
+         \x20 replay   --trace F.jsonl [--policy pema|rule|hold] [--lenient]\n\
+         \x20          [--assert-zero-divergence]     replay it under another policy\n\
+         \n\
          experiment-suite commands (scenario registry; delegate to `bench`):\n\
          \x20 list                                 list registered scenarios\n\
-         \x20 all  [--jobs N] [--smoke] [--force]  run the whole suite\n\
-         \x20 run  <id>… [--jobs N] [--smoke] [--force]  run selected scenarios\n\
+         \x20 all  [--jobs N] [--smoke] [--force] [--backend B]  run the whole suite\n\
+         \x20 run  <id>… [--jobs N] [--smoke] [--force] [--backend sim|fluid|trace:F]\n\
+         \x20                                      run selected scenarios\n\
          \x20 perf [--smoke] [--label L] [--check BASE.json]  perf harness → benchmarks/BENCH_<L>.json"
     );
 }
@@ -292,6 +306,170 @@ fn cmd_classify(flags: &HashMap<String, String>) {
     );
     for (fset, acc) in pema::pema_classifier::feature_study(&ds, 5, 1) {
         println!("  {fset:<16} {:.1}%", acc * 100.0);
+    }
+}
+
+/// Records a DES run into a trace file (`pema-cli record`). The trace
+/// carries everything `replay` needs: app identity, harness timing,
+/// seeds, and the full per-interval telemetry.
+fn cmd_record(flags: &HashMap<String, String>) {
+    let app = get_app(flags);
+    let rps = require_f64(flags, "rps");
+    let out = flags.get("out").cloned().unwrap_or_else(|| {
+        eprintln!("--out is required (path the .jsonl trace is written to)");
+        exit(2);
+    });
+    let iters = get_f64(flags, "iters", 20.0) as usize;
+    let policy_name = flags.get("policy").map(String::as_str).unwrap_or("pema");
+    let cfg = HarnessConfig {
+        interval_s: get_f64(flags, "interval", 40.0),
+        warmup_s: get_f64(flags, "warmup", 4.0),
+        seed: get_f64(flags, "seed", 7.0) as u64,
+    };
+    let early_check = flags.get("early-check").map(|s| s.parse().unwrap_or(10.0));
+
+    let mut builder = Experiment::builder()
+        .app(&app)
+        .config(cfg)
+        .rps(rps)
+        .iters(iters);
+    if let Some(s) = early_check {
+        builder = builder.early_check(s);
+    }
+    let make_recorder = |tag: &str, seed: u64| {
+        let recorder = TraceRecorder::new(&app, tag, seed, &cfg);
+        match early_check {
+            Some(s) => recorder.with_early_check(s),
+            None => recorder,
+        }
+    };
+    let (result, handle) = match policy_name {
+        "pema" => {
+            let mut params = PemaParams::defaults(app.slo_ms);
+            params.seed = cfg.seed;
+            let recorder = make_recorder("pema", params.seed);
+            let handle = recorder.handle();
+            (
+                builder.policy(Pema(params)).observer(recorder).run(),
+                handle,
+            )
+        }
+        "rule" => {
+            let recorder = make_recorder("rule", 0);
+            let handle = recorder.handle();
+            (builder.policy(Rule).observer(recorder).run(), handle)
+        }
+        other => {
+            eprintln!("unknown --policy '{other}' (record supports pema, rule)");
+            exit(2);
+        }
+    };
+
+    let trace = handle.take();
+    if let Err(e) = trace.write_file(&out) {
+        eprintln!("{e}");
+        exit(1);
+    }
+    println!(
+        "recorded {} intervals of {policy_name} on {} @ {rps} rps → {out}\n\
+         settled: {:.2} cores | violations: {} ({:.1}%)",
+        trace.records.len(),
+        app.name,
+        result.settled_total(8),
+        result.violations(),
+        result.violation_rate() * 100.0,
+    );
+}
+
+/// Replays a recorded trace under a (possibly different) policy and
+/// prints the counterfactual comparison (`pema-cli replay`).
+fn cmd_replay(flags: &HashMap<String, String>) {
+    let path = flags.get("trace").unwrap_or_else(|| {
+        eprintln!("--trace is required (a .jsonl file written by `record`)");
+        exit(2);
+    });
+    let mode = if flags.contains_key("lenient") {
+        ReadMode::Lenient
+    } else {
+        ReadMode::Strict
+    };
+    let trace = Trace::read_file(path, mode).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    let policy_name = flags
+        .get("policy")
+        .cloned()
+        .unwrap_or_else(|| trace.meta.policy.clone());
+
+    let rerun = match policy_name.as_str() {
+        "pema" => {
+            let mut params = PemaParams::defaults(trace.meta.slo_ms);
+            params.seed = trace.meta.policy_seed;
+            replay(
+                &trace,
+                PemaController::new(params, trace.meta.initial_alloc.clone()),
+            )
+        }
+        "rule" => {
+            let app = pema::pema_apps::by_name(&trace.meta.app).unwrap_or_else(|| {
+                eprintln!(
+                    "trace app '{}' is not a bundled app; the rule baseline needs its spec",
+                    trace.meta.app
+                );
+                exit(2);
+            });
+            replay(&trace, RulePolicy::new(&app).with_slo_ms(trace.meta.slo_ms))
+        }
+        "hold" => replay(
+            &trace,
+            HoldPolicy::new(trace.meta.initial_alloc.clone(), trace.meta.slo_ms),
+        ),
+        other => {
+            eprintln!("unknown --policy '{other}' (replay supports pema, rule, hold)");
+            exit(2);
+        }
+    };
+
+    println!(
+        "replayed {} recorded intervals ({} on {}) under {policy_name}",
+        trace.records.len(),
+        trace.meta.policy,
+        trace.meta.app
+    );
+    println!(
+        "{:>4} {:>10} {:>10} {:>8} {:>8} {:>12}",
+        "iter", "recCPU", "replayCPU", "L1Δ", "wouldVio", "action"
+    );
+    for (d, l) in rerun.divergence.iter().zip(&rerun.result.log) {
+        println!(
+            "{:>4} {:>10.2} {:>10.2} {:>8.2} {:>8} {:>12}",
+            d.iter,
+            d.recorded_total,
+            d.replay_total,
+            d.l1_delta,
+            if d.would_violate { "yes" } else { "-" },
+            l.action
+        );
+    }
+    let s = &rerun.summary;
+    println!(
+        "\ndiverged {}/{} intervals | mean Δtotal {:+.2} cores | max L1 {:.2} | \
+         violations recorded {} vs counterfactual {}",
+        s.diverged_intervals,
+        s.intervals,
+        s.mean_total_delta,
+        s.max_l1,
+        s.recorded_violations,
+        s.would_violations
+    );
+    if flags.contains_key("assert-zero-divergence") {
+        if s.is_zero() {
+            println!("zero divergence: replay tracked the recording exactly");
+        } else {
+            eprintln!("ASSERTION FAILED: replay diverged from the recording");
+            exit(1);
+        }
     }
 }
 

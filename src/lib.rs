@@ -22,6 +22,7 @@
 //! | [`pema_baselines`] | OPTM optimum search, RULE k8s-style scaler |
 //! | [`pema_classifier`] | bottleneck-detection study (paper Table 1) |
 //! | [`pema_metrics`] | histograms, quantiles, counters, windows |
+//! | [`pema_trace`] | trace record/replay: versioned JSONL traces, [`TraceBackend`](pema_trace::TraceBackend) counterfactual replayer |
 //! | `pema-bench` | scenario registry + parallel deterministic executor |
 //!
 //! ## The experiment suite
@@ -72,6 +73,7 @@ pub use pema_control;
 pub use pema_core;
 pub use pema_metrics;
 pub use pema_sim;
+pub use pema_trace;
 pub use pema_workload;
 
 /// Common imports for examples and experiments.
@@ -88,6 +90,10 @@ pub mod prelude {
     };
     pub use pema_sim::{
         Allocation, AppSpec, ClusterSim, Evaluator, FluidEvaluator, SimEvaluator, WindowStats,
+    };
+    pub use pema_trace::{
+        replay, DivergenceSummary, IntervalDivergence, ReadMode, ReplayRun, Trace, TraceBackend,
+        TraceRecorder,
     };
     pub use pema_workload::{
         wikipedia_like_trace, BurstPattern, Constant, DiurnalPattern, StepPattern, TracePattern,

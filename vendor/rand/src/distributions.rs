@@ -71,8 +71,8 @@ macro_rules! uniform_int {
                 hi: Self,
                 inclusive: bool,
             ) -> Self {
-                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64
-                    + if inclusive { 1 } else { 0 };
+                let span = ((hi as $wide).wrapping_sub(lo as $wide) as u64)
+                    .wrapping_add(if inclusive { 1 } else { 0 });
                 if span == 0 {
                     // Only reachable for `lo..=<type max span>`; treat as
                     // a full-width draw.
