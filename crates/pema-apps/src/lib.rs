@@ -135,6 +135,27 @@ pub fn all_apps() -> Vec<AppSpec> {
     vec![trainticket(), sockshop(), hotelreservation()]
 }
 
+/// The `(app, nominal rps)` mix every fleet surface cycles through —
+/// the `fleet_scale` scenario, `pema-cli fleet --app mixed`, and the
+/// `bench perf` fleet throughput benches all share this one list so a
+/// retuned nominal load cannot leave them measuring different
+/// workloads.
+pub fn fleet_mix() -> Vec<(AppSpec, f64)> {
+    vec![
+        (sockshop(), 700.0),
+        (trainticket(), 250.0),
+        (hotelreservation(), 600.0),
+    ]
+}
+
+/// Deterministic per-member load spread for fleet surfaces: ±20%
+/// around `nominal`, keyed only by the member index (`member`) and the
+/// number of app templates being cycled (`n_templates`) — never by
+/// scheduling.
+pub fn fleet_rps(nominal: f64, member: usize, n_templates: usize) -> f64 {
+    nominal * (0.80 + 0.05 * ((member / n_templates.max(1)) % 9) as f64)
+}
+
 /// Looks an application model up by name
 /// (`"trainticket"` / `"sockshop"` / `"hotelreservation"` / `"toy-chain"`).
 pub fn by_name(name: &str) -> Option<AppSpec> {

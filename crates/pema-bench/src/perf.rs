@@ -3,7 +3,8 @@
 //! Runs calibrated micro benches (simulator event throughput, histogram
 //! insert, MMPP stepping — timed through the vendored criterion shim's
 //! [`criterion::time_per_iter`]) and macro benches (full simulated
-//! windows on the three paper applications plus three representative
+//! windows on the three paper applications, concurrent-fleet
+//! throughput in app-intervals/sec, plus three representative
 //! scenarios end-to-end), then writes a machine-readable
 //! `BENCH_<label>.json` capturing events/sec, wall-ms per scenario and
 //! peak RSS. Every PR appends its own `BENCH_*.json` so the repo keeps
@@ -164,6 +165,8 @@ pub fn run_perf(cfg: &PerfConfig) -> io::Result<PerfReport> {
     let micro = run_micro(cfg.smoke);
     println!("perf: macro benches (paper apps, full windows)");
     let mut macro_ = run_macro_sims(cfg.smoke);
+    println!("perf: macro benches (concurrent fleet throughput)");
+    macro_.extend(run_macro_fleet(cfg.smoke));
     println!("perf: macro benches (scenario suite end-to-end, smoke scale)");
     macro_.extend(run_macro_scenarios()?);
 
@@ -337,6 +340,115 @@ fn run_macro_sims(smoke: bool) -> Vec<MacroResult> {
         r
     })
     .collect()
+}
+
+/// Fleet-throughput macro benches: one process multiplexing many
+/// control loops through `pema_control::Fleet` (the non-blocking
+/// backend seam). Two axes, best-of-reps like the sim benches:
+///
+/// * `fleet_fluid_64x40` — 64 mixed-policy fluid-backed apps × 40
+///   intervals: pure scheduler + control-plane cost (the fluid window
+///   evaluation is microseconds, so heap churn, poll dispatch, and
+///   per-interval bookkeeping dominate). The metric is app-intervals
+///   per second, reported through `events`/`events_per_sec`.
+/// * `fleet_sim_8x4` — 8 DES-backed toy-chain apps × 4 intervals with
+///   2 s early checks: the multi-poll interleaving path, where windows
+///   advance one check slice per poll.
+fn run_macro_fleet(smoke: bool) -> Vec<MacroResult> {
+    use pema::prelude::*;
+
+    let reps = if smoke { 2 } else { 5 };
+    let mut out = Vec::new();
+
+    let fluid = |apps: usize, iters: usize| -> (u64, f64) {
+        let templates = pema_apps::fleet_mix();
+        let mut best = f64::INFINITY;
+        let mut intervals = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let mut fleet = Fleet::new();
+            for i in 0..apps {
+                let (app, rps) = &templates[i % templates.len()];
+                let builder = Experiment::builder()
+                    .app(app)
+                    .backend(UseFluid)
+                    .config(HarnessConfig::with_seed(0xF1E + i as u64))
+                    .rps(*rps)
+                    .iters(iters);
+                fleet = match i % 3 {
+                    0 => {
+                        let mut p = PemaParams::defaults(app.slo_ms);
+                        p.seed = i as u64;
+                        fleet.add(builder.policy(Pema(p)))
+                    }
+                    1 => fleet.add(builder.policy(Rule)),
+                    _ => fleet.add(
+                        builder.policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms)),
+                    ),
+                };
+            }
+            let result = fleet.run();
+            let wall = t0.elapsed().as_secs_f64();
+            intervals = result.total_intervals() as u64;
+            best = best.min(wall);
+        }
+        (intervals, best)
+    };
+
+    let sim = |apps: usize, iters: usize| -> (u64, f64) {
+        let app = pema_apps::toy_chain();
+        let mut best = f64::INFINITY;
+        let mut intervals = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let mut fleet = Fleet::new();
+            for i in 0..apps {
+                let mut p = PemaParams::defaults(app.slo_ms);
+                p.seed = i as u64;
+                fleet = fleet.add(
+                    Experiment::builder()
+                        .app(&app)
+                        .policy(Pema(p))
+                        .config(HarnessConfig {
+                            interval_s: 8.0,
+                            warmup_s: 1.0,
+                            seed: 0x51 + i as u64,
+                        })
+                        .early_check(2.0)
+                        .rps(150.0)
+                        .iters(iters),
+                );
+            }
+            let result = fleet.run();
+            let wall = t0.elapsed().as_secs_f64();
+            intervals = result.total_intervals() as u64;
+            best = best.min(wall);
+        }
+        (intervals, best)
+    };
+
+    // Same workloads in smoke and full mode (both finish in tens of
+    // milliseconds) — the names encode the parameters and are the
+    // baseline join keys, so the measured workload must never depend
+    // on the mode; only `reps` shrinks under smoke.
+    let cases: [(&str, (u64, f64)); 2] = [
+        ("fleet_fluid_64x40", fluid(64, 40)),
+        ("fleet_sim_8x4", sim(8, 4)),
+    ];
+    for (name, (intervals, wall_s)) in cases {
+        let r = MacroResult {
+            name: name.to_string(),
+            wall_ms: wall_s * 1e3,
+            events: intervals,
+            events_per_sec: intervals as f64 / wall_s.max(1e-9),
+        };
+        println!(
+            "perf: {name}: {} app-intervals in {:.1} ms ({:.0} intervals/sec)",
+            r.events, r.wall_ms, r.events_per_sec
+        );
+        out.push(r);
+    }
+    out
 }
 
 /// Runs the three representative scenarios end-to-end through the real

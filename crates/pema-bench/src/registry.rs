@@ -25,6 +25,18 @@ pub trait Scenario: Sync {
     /// [`declare_scenario!`]: crate::declare_scenario
     fn outputs(&self) -> &'static [&'static str];
 
+    /// Whether this scenario participates in the `--backend` matrix —
+    /// its closed-loop runs flow through
+    /// [`ExperimentCtx::loop_backend`], so `--backend fluid` /
+    /// `trace:<path>` swap the execution environment under it. The
+    /// [`declare_scenario!`] macro defaults this to `false`; a registry
+    /// test pins the exact participant set, so every new scenario
+    /// forces an explicit decision instead of silently opting out.
+    ///
+    /// [`ExperimentCtx::loop_backend`]: crate::ExperimentCtx::loop_backend
+    /// [`declare_scenario!`]: crate::declare_scenario
+    fn backend_matrix(&self) -> bool;
+
     /// Runs the experiment. All output goes through `ctx`.
     fn run(&self, ctx: &mut ExperimentCtx) -> io::Result<()>;
 }
@@ -34,10 +46,17 @@ pub trait Scenario: Sync {
 #[macro_export]
 macro_rules! declare_scenario {
     ($ty:ident, id: $id:literal, about: $about:literal $(,)?) => {
-        $crate::declare_scenario!($ty, id: $id, about: $about, outputs: [$id]);
+        $crate::declare_scenario!($ty, id: $id, about: $about, outputs: [$id], backend_matrix: false);
+    };
+    ($ty:ident, id: $id:literal, about: $about:literal, backend_matrix: $bm:literal $(,)?) => {
+        $crate::declare_scenario!($ty, id: $id, about: $about, outputs: [$id], backend_matrix: $bm);
     };
     ($ty:ident, id: $id:literal, about: $about:literal,
      outputs: [$($out:literal),+ $(,)?] $(,)?) => {
+        $crate::declare_scenario!($ty, id: $id, about: $about, outputs: [$($out),+], backend_matrix: false);
+    };
+    ($ty:ident, id: $id:literal, about: $about:literal,
+     outputs: [$($out:literal),+ $(,)?], backend_matrix: $bm:literal $(,)?) => {
         /// Registry entry for this scenario (see the module docs).
         pub struct $ty;
 
@@ -52,6 +71,10 @@ macro_rules! declare_scenario {
 
             fn outputs(&self) -> &'static [&'static str] {
                 &[$($out),+]
+            }
+
+            fn backend_matrix(&self) -> bool {
+                $bm
             }
 
             fn run(&self, ctx: &mut $crate::ExperimentCtx) -> ::std::io::Result<()> {
@@ -88,6 +111,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &ablation_early::AblationEarly,
         &cluster_scale::ClusterScale,
         &trace_replay::TraceReplay,
+        &fleet_scale::FleetScale,
     ];
     REGISTRY
 }

@@ -18,6 +18,7 @@ crate::declare_scenario!(
     Fig11,
     id: "fig11",
     about: "PEMA iterative execution on SockShop, high vs low exploration",
+    backend_matrix: true,
 );
 
 fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {

@@ -14,6 +14,7 @@ crate::declare_scenario!(
     Fig12,
     id: "fig12",
     about: "PEMA iterative execution on TrainTicket and HotelReservation",
+    backend_matrix: true,
 );
 
 fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {

@@ -6,6 +6,10 @@
 //! its parent's allocation so it needs only a few iterations to settle.
 //! Output: per-iteration total CPU, response, and the owning range /
 //! PEMA process id.
+//!
+//! Participates in the backend matrix: the closed-loop run goes
+//! through `ctx.loop_backend`, so `--backend fluid` (or
+//! `trace:<path>`) swaps the execution environment.
 
 use crate::ExperimentCtx;
 use pema::prelude::*;
@@ -15,6 +19,7 @@ crate::declare_scenario!(
     Fig13,
     id: "fig13",
     about: "dynamic workload-range splitting on TrainTicket (200-300 rps)",
+    backend_matrix: true,
 );
 
 fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
@@ -33,10 +38,12 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
         250.0 + 50.0 * (phase.sin() * 0.9 + (2.3 * phase).sin() * 0.1)
     };
 
+    let cfg = ctx.harness_cfg(0x13);
     let mut runner = Experiment::builder()
         .app(&app)
         .policy(Managed(params, range_cfg))
-        .config(ctx.harness_cfg(0x13))
+        .backend(ctx.loop_backend(&app, &cfg)?)
+        .config(cfg)
         .build();
     let mut rows = Vec::new();
     let mut splits = Vec::new();

@@ -6,7 +6,8 @@
 //! simulator's measurement window is shorter — statistics converge
 //! faster in simulation). Reports workload, total CPU, and response
 //! (instantaneous + 5-interval moving average) per interval, plus
-//! violation statistics.
+//! violation statistics. Participates in the backend matrix via
+//! `ctx.loop_backend`.
 
 use crate::ExperimentCtx;
 use pema::prelude::*;
@@ -17,6 +18,7 @@ crate::declare_scenario!(
     Fig14,
     id: "fig14",
     about: "36-hour diurnal execution on SockShop (workload-aware manager)",
+    backend_matrix: true,
 );
 
 fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
@@ -48,6 +50,7 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     let mut runner = Experiment::builder()
         .app(&app)
         .policy(Managed(params, range_cfg))
+        .backend(ctx.loop_backend(&app, &cfg)?)
         .config(cfg)
         .build();
     let mut ma = MovingAvg::new(5);

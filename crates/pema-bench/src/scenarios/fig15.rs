@@ -20,6 +20,7 @@ crate::declare_scenario!(
     Fig15,
     id: "fig15",
     about: "efficiency comparison PEMA vs OPTM vs RULE (3 apps x 3 workloads)",
+    backend_matrix: true,
 );
 
 fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {

@@ -4,6 +4,7 @@
 //! ⇒ sub-optimal settling; large α ⇒ premature slow-down ⇒ also
 //! sub-optimal, but with few violations. The U-shape in resource and
 //! the downward slope in violations are the paper's findings.
+//! Participates in the backend matrix via `ctx.loop_backend`.
 
 use crate::ExperimentCtx;
 use pema::prelude::*;
@@ -13,6 +14,7 @@ crate::declare_scenario!(
     Fig16,
     id: "fig16",
     about: "alpha sensitivity sweep (reduction aggressiveness), beta = 0.3",
+    backend_matrix: true,
 );
 
 fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
@@ -35,10 +37,12 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
                 params.alpha = alpha;
                 params.beta = 0.3;
                 params.seed = 0xF116 + rep * 977;
+                let cfg = ctx.harness_cfg(0x16 + rep);
                 let result = Experiment::builder()
                     .app(&app)
                     .policy(Pema(params))
-                    .config(ctx.harness_cfg(0x16 + rep))
+                    .backend(ctx.loop_backend(&app, &cfg)?)
+                    .config(cfg)
                     .rps(rps)
                     .iters(iters)
                     .run();

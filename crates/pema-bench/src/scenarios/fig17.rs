@@ -2,6 +2,7 @@
 //!
 //! Large β ⇒ big per-step cuts ⇒ overshoot, violations, and rollbacks
 //! to inefficient allocations; small β ⇒ slow but safe descent.
+//! Participates in the backend matrix via `ctx.loop_backend`.
 
 use crate::ExperimentCtx;
 use pema::prelude::*;
@@ -11,6 +12,7 @@ crate::declare_scenario!(
     Fig17,
     id: "fig17",
     about: "beta sensitivity sweep (max per-step reduction), alpha = 0.5",
+    backend_matrix: true,
 );
 
 fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
@@ -33,10 +35,12 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
                 params.alpha = 0.5;
                 params.beta = beta;
                 params.seed = 0xF117 + rep * 977;
+                let cfg = ctx.harness_cfg(0x17 + rep);
                 let result = Experiment::builder()
                     .app(&app)
                     .policy(Pema(params))
-                    .config(ctx.harness_cfg(0x17 + rep))
+                    .backend(ctx.loop_backend(&app, &cfg)?)
+                    .config(cfg)
                     .rps(rps)
                     .iters(iters)
                     .run();

@@ -5,7 +5,8 @@
 //! iterations for all workload ranges"), then faces two 10-minute
 //! bursts: 400 → ~750 rps and 400 → ~650 rps. PEMA switches the
 //! allocation to the burst's workload range at the next interval,
-//! keeping response below the SLO.
+//! keeping response below the SLO. Participates in the backend matrix
+//! via `ctx.loop_backend`.
 
 use crate::ExperimentCtx;
 use pema::prelude::*;
@@ -15,6 +16,7 @@ crate::declare_scenario!(
     Fig18,
     id: "fig18",
     about: "bursty-workload handling on SockShop (pre-emptive range switching)",
+    backend_matrix: true,
 );
 
 fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
@@ -35,6 +37,7 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     let mut runner = Experiment::builder()
         .app(&app)
         .policy(Managed(params, range_cfg))
+        .backend(ctx.loop_backend(&app, &cfg)?)
         .config(cfg)
         .build();
 

@@ -5,6 +5,12 @@
 //! allocation each time (rollback absorbs the slowdown, reduction
 //! exploits the speedup). Speed factors here: 1.0 → 0.89 → 1.11
 //! (= 1.6/1.8 and 2.0/1.8).
+//!
+//! Participates in the backend matrix via `ctx.loop_backend`; the
+//! mid-run clock changes go through the trait-level
+//! `ClusterBackend::set_speed`, which the DES and fluid backends model
+//! and a trace replay ignores (a tape cannot re-run the past on
+//! different silicon).
 
 use crate::ExperimentCtx;
 use pema::prelude::*;
@@ -14,6 +20,7 @@ crate::declare_scenario!(
     Fig19,
     id: "fig19",
     about: "adaptability to CPU clock changes (1.8 -> 1.6 -> 2.0 GHz)",
+    backend_matrix: true,
 );
 
 fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
@@ -21,10 +28,12 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     let rps = 700.0;
     let mut params = PemaParams::defaults(app.slo_ms);
     params.seed = 0xF119;
+    let cfg = ctx.harness_cfg(0x19);
     let mut runner = Experiment::builder()
         .app(&app)
         .policy(Pema(params))
-        .config(ctx.harness_cfg(0x19))
+        .backend(ctx.loop_backend(&app, &cfg)?)
+        .config(cfg)
         .build();
 
     // Phase boundaries: clock change at s1 and s2 of n intervals.

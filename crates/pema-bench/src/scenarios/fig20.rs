@@ -7,7 +7,8 @@
 //! wide, so the same experiment runs there with proportionally larger
 //! swings: 250 ms → 120 ms → 400 ms. The claim under test is the
 //! paper's: PEMA re-navigates after an SLO change without retraining —
-//! tighter SLO ⇒ more resources, looser ⇒ fewer.
+//! tighter SLO ⇒ more resources, looser ⇒ fewer. Participates in the
+//! backend matrix via `ctx.loop_backend`.
 
 use crate::ExperimentCtx;
 use pema::prelude::*;
@@ -17,6 +18,7 @@ crate::declare_scenario!(
     Fig20,
     id: "fig20",
     about: "adaptability to dynamic SLO changes (250 -> 120 -> 400 ms)",
+    backend_matrix: true,
 );
 
 fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
@@ -24,10 +26,12 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     let rps = 700.0;
     let mut params = PemaParams::defaults(250.0);
     params.seed = 0xF121;
+    let cfg = ctx.harness_cfg(0x20);
     let mut runner = Experiment::builder()
         .app(&app)
         .policy(Pema(params))
-        .config(ctx.harness_cfg(0x20))
+        .backend(ctx.loop_backend(&app, &cfg)?)
+        .config(cfg)
         .build();
 
     // Phase boundaries: SLO change at s1 and s2 of n intervals.

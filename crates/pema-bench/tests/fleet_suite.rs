@@ -1,0 +1,77 @@
+//! Fleet-scale scenario pinning: the summary and per-interval CSVs of
+//! a smoke `fleet_scale` run are compared byte-for-byte against
+//! committed goldens (`tests/goldens/fleet/`), so neither the fleet
+//! scheduler, the fluid backend, nor the scenario's own aggregation
+//! can drift silently. Scheduling-order invariance is proven at the
+//! `Fleet` level by the property tests in `pema-control`; `--jobs`
+//! invariance of these CSVs is pinned by `registry_suite.rs`.
+
+use pema_bench::{run_suite, Outcome, SuiteConfig};
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pema-fleet-suite-{name}"));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn run_fleet_scale(dir: &Path) {
+    let cfg = SuiteConfig {
+        only: Some(vec!["fleet_scale".to_string()]),
+        smoke: true,
+        force: true,
+        results_dir: Some(dir.to_path_buf()),
+        ..SuiteConfig::default()
+    };
+    let reports = run_suite(&cfg).expect("suite runs");
+    assert!(
+        matches!(reports[0].outcome, Outcome::Completed),
+        "{reports:?}"
+    );
+}
+
+#[test]
+fn fleet_scale_csvs_match_committed_goldens() {
+    let dir = tmp_dir("golden");
+    run_fleet_scale(&dir);
+    let goldens = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+        .join("fleet");
+    let mut compared = 0usize;
+    for entry in std::fs::read_dir(&goldens).expect("fleet goldens exist") {
+        let golden_path = entry.unwrap().path();
+        if golden_path.extension().is_none_or(|x| x != "csv") {
+            continue;
+        }
+        let name = golden_path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        let golden = std::fs::read(&golden_path).unwrap();
+        let fresh = std::fs::read(dir.join(&name))
+            .unwrap_or_else(|e| panic!("fleet_scale did not produce {name}: {e}"));
+        assert_eq!(
+            golden, fresh,
+            "{name} diverged from the committed golden — the fleet scheduler \
+             or fluid backend changed behavior (run `bench run fleet_scale \
+             --smoke --force` and diff against tests/goldens/fleet/)"
+        );
+        compared += 1;
+    }
+    assert_eq!(compared, 2, "expected the summary + per-interval goldens");
+}
+
+#[test]
+fn fleet_scale_is_run_to_run_deterministic() {
+    let d1 = tmp_dir("det-a");
+    let d2 = tmp_dir("det-b");
+    run_fleet_scale(&d1);
+    run_fleet_scale(&d2);
+    for name in ["fleet_scale.csv", "fleet_scale_apps.csv"] {
+        let a = std::fs::read(d1.join(name)).unwrap();
+        let b = std::fs::read(d2.join(name)).unwrap();
+        assert_eq!(a, b, "{name} differs between two identical runs");
+    }
+}

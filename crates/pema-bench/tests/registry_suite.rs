@@ -63,8 +63,57 @@ fn registry_ids_and_outputs_are_unique() {
     }
     assert_eq!(
         registry().len(),
-        22,
-        "expected the 20 paper scenarios + cluster_scale + trace_replay"
+        23,
+        "expected the 20 paper scenarios + cluster_scale + trace_replay + fleet_scale"
+    );
+}
+
+/// Pins exactly which scenarios participate in the `--backend` matrix.
+/// Every registered scenario must appear in one of the two lists, so a
+/// new scenario cannot silently opt out — adding one forces an explicit
+/// decision (and a diff here) either way.
+#[test]
+fn backend_matrix_participation_is_pinned() {
+    let participants: Vec<&str> = registry()
+        .iter()
+        .filter(|s| s.backend_matrix())
+        .map(|s| s.id())
+        .collect();
+    assert_eq!(
+        participants,
+        [
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+            "fig20",
+        ],
+        "the closed-loop paper scenarios drive through ctx.loop_backend"
+    );
+    let opted_out: Vec<&str> = registry()
+        .iter()
+        .filter(|s| !s.backend_matrix())
+        .map(|s| s.id())
+        .collect();
+    assert_eq!(
+        opted_out,
+        [
+            // Open-loop measurement sweeps (one-shot windows through
+            // ctx.measure, no closed loop to re-backend)…
+            "fig05",
+            "fig06",
+            "fig07",
+            "fig08",
+            "table1",
+            // …ablations defined against the DES engine…
+            "ablation_ma",
+            "ablation_explore",
+            "ablation_thresholds",
+            "ablation_fluid",
+            "ablation_early",
+            // …and scenarios whose backend IS the experiment.
+            "cluster_scale",
+            "trace_replay",
+            "fleet_scale",
+        ],
+        "an opted-out scenario must be a deliberate entry in this list"
     );
 }
 
@@ -95,9 +144,17 @@ fn jobs1_and_jobs4_produce_identical_csv_bytes() {
     // A representative subset keeps the double run fast while covering
     // the shared-OPTM-cache path (fig05), a plain controller run
     // (fig11), the workload-aware manager (fig13), the classifier
-    // (table1), and the record→replay stack (trace_replay — an
-    // acceptance criterion pins its CSV as jobs-invariant).
-    let subset = ["fig05", "fig11", "fig13", "table1", "trace_replay"];
+    // (table1), the record→replay stack (trace_replay — an
+    // acceptance criterion pins its CSV as jobs-invariant), and the
+    // concurrent fleet (fleet_scale — likewise pinned jobs-invariant).
+    let subset = [
+        "fig05",
+        "fig11",
+        "fig13",
+        "table1",
+        "trace_replay",
+        "fleet_scale",
+    ];
     let serial_dir = tmp_dir("det-serial");
     let parallel_dir = tmp_dir("det-parallel");
     let serial = run_suite(&smoke_cfg(&serial_dir, 1, Some(&subset))).unwrap();

@@ -26,13 +26,87 @@
 //! [`measure_window`]: ClusterBackend::measure_window
 //! [`apply`]: ClusterBackend::apply
 
-use pema_sim::{Allocation, AppSpec, ClusterSim, Evaluator as _, FluidEvaluator, WindowStats};
+use pema_sim::{
+    Allocation, AppSpec, ClusterSim, Evaluator as _, FluidEvaluator, OpenWindow, WindowStats,
+};
+
+/// The §6 early-check parameters of one monitoring window: the running
+/// p95 is compared against `slo_ms` every `check_s` seconds and the
+/// window aborts on a breach.
+#[derive(Debug, Clone, Copy)]
+pub struct EarlyCheck {
+    /// Check period, seconds.
+    pub check_s: f64,
+    /// SLO the running p95 is checked against, ms.
+    pub slo_ms: f64,
+}
+
+/// Everything one monitoring window needs, as one value — the same
+/// parameters [`ClusterBackend::measure_window`] /
+/// [`measure_window_abortable`](ClusterBackend::measure_window_abortable)
+/// take as separate arguments, bundled so the non-blocking seam
+/// ([`begin_window`](ClusterBackend::begin_window) /
+/// [`poll_window`](ClusterBackend::poll_window)) can stay stateless in
+/// its default implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowRequest {
+    /// Offered load, requests/second.
+    pub rps: f64,
+    /// Settling time before measurement, seconds.
+    pub warmup_s: f64,
+    /// Measured window length, seconds.
+    pub window_s: f64,
+    /// §6 early-check cancellation, when enabled.
+    pub early: Option<EarlyCheck>,
+}
+
+impl WindowRequest {
+    /// A plain full-length window (no early checks).
+    pub fn new(rps: f64, warmup_s: f64, window_s: f64) -> Self {
+        Self {
+            rps,
+            warmup_s,
+            window_s,
+            early: None,
+        }
+    }
+
+    /// Adds §6 early-check cancellation.
+    ///
+    /// # Panics
+    /// Panics unless `check_s` is positive — a zero check period would
+    /// make an incremental backend poll forever without advancing.
+    pub fn with_early_check(mut self, check_s: f64, slo_ms: f64) -> Self {
+        assert!(check_s > 0.0, "check interval must be positive");
+        self.early = Some(EarlyCheck { check_s, slo_ms });
+        self
+    }
+}
+
+/// What polling an in-progress window yields.
+#[derive(Debug, Clone)]
+pub enum WindowPoll {
+    /// Still measuring. `resume_at_s` is the backend virtual time at
+    /// which the next poll is useful — a fleet scheduler services
+    /// whichever loop has the smallest resume time next.
+    Pending {
+        /// Backend virtual time to re-poll at, seconds.
+        resume_at_s: f64,
+    },
+    /// The window completed (or aborted on an early check).
+    Ready {
+        /// The window's observables (shortened when aborted).
+        stats: WindowStats,
+        /// Whether an early check cancelled the window.
+        aborted: bool,
+    },
+}
 
 /// The telemetry-source + actuator pair of Fig. 9, as one object.
 ///
 /// A backend owns a (virtual or real) cluster running one application.
-/// The control loop talks to it in exactly four ways, mirroring the
-/// paper's architecture:
+/// The control loop talks to it through two equivalent seams, mirroring
+/// the paper's architecture:
 ///
 /// | method | Fig. 9 role |
 /// |---|---|
@@ -40,12 +114,19 @@ use pema_sim::{Allocation, AppSpec, ClusterSim, Evaluator as _, FluidEvaluator, 
 /// | [`allocation`](Self::allocation) | Kubernetes: read CPU limits |
 /// | [`measure_window`](Self::measure_window) | Prometheus: scrape one monitoring window |
 /// | [`measure_window_abortable`](Self::measure_window_abortable) | §6 high-resolution monitoring |
+/// | [`begin_window`](Self::begin_window) / [`poll_window`](Self::poll_window) | both of the above, non-blocking |
+///
+/// The blocking seam (`measure_window*`) is what single-loop runs use;
+/// the non-blocking seam is how a [`Fleet`](crate::Fleet) drives many
+/// loops from one process. Default implementations make the
+/// non-blocking seam an exact wrapper of the blocking one, so a
+/// backend only ever implements the blocking methods and gets both.
 ///
 /// Implementations must make `apply` take effect before the next
-/// measurement and must report the *actual* measured duration in
+/// measurement, must report the *actual* measured duration in
 /// [`WindowStats::duration_s`] (shorter than requested when an early
-/// check aborts) — the conformance suite in
-/// `tests/backend_conformance.rs` pins both.
+/// check aborts), and must keep both seams result-identical — the
+/// conformance suite in `tests/backend_conformance.rs` pins all three.
 pub trait ClusterBackend {
     /// Applies an allocation (cores per service) to the cluster. Takes
     /// effect before the next measurement.
@@ -82,6 +163,70 @@ pub trait ClusterBackend {
     /// Current virtual time, seconds. Strictly increases across
     /// measurements.
     fn now_s(&self) -> f64;
+
+    /// Starts the monitoring window described by `req` without blocking
+    /// for it — the non-blocking half of the seam that lets one process
+    /// drive many loops (see [`Fleet`](crate::Fleet)). Poll the result
+    /// out with [`poll_window`](Self::poll_window), passing the *same*
+    /// request.
+    ///
+    /// The default implementation prepares nothing: the default
+    /// [`poll_window`](Self::poll_window) measures the whole window in
+    /// its first poll through the blocking methods, so backends that
+    /// only implement the blocking seam keep working unchanged (and
+    /// behave identically — the conformance suite pins the
+    /// equivalence).
+    fn begin_window(&mut self, req: &WindowRequest) {
+        let _ = req;
+    }
+
+    /// Advances the in-progress window and returns [`WindowPoll::Ready`]
+    /// once it completed (or aborted on an early check). `req` must be
+    /// the request passed to [`begin_window`](Self::begin_window).
+    ///
+    /// The default implementation completes the window in one poll by
+    /// delegating to [`measure_window`](Self::measure_window) (or
+    /// [`measure_window_abortable`](Self::measure_window_abortable)
+    /// when `req.early` is set), so its results are *exactly* the
+    /// blocking seam's. Backends with intra-window visibility (the DES)
+    /// override it to advance one check period per poll, which is what
+    /// replaces the blocking early-check spin: between polls the caller
+    /// is free to service other loops, and a breach cancels the window
+    /// at the next poll boundary.
+    fn poll_window(&mut self, req: &WindowRequest) -> WindowPoll {
+        match req.early {
+            Some(e) => {
+                let (stats, aborted) = self.measure_window_abortable(
+                    req.rps,
+                    req.warmup_s,
+                    req.window_s,
+                    e.check_s,
+                    e.slo_ms,
+                );
+                WindowPoll::Ready { stats, aborted }
+            }
+            None => WindowPoll::Ready {
+                stats: self.measure_window(req.rps, req.warmup_s, req.window_s),
+                aborted: false,
+            },
+        }
+    }
+
+    /// Abandons an in-progress window without producing statistics
+    /// (fleet-level cancellation: a loop being torn down mid-window
+    /// must not poison the backend for later use). The default is a
+    /// no-op — backends whose default [`poll_window`](Self::poll_window)
+    /// measures in one shot never have a window in flight between
+    /// calls.
+    fn cancel_window(&mut self) {}
+
+    /// Changes the modelled CPU speed factor (the Fig. 19 clock-change
+    /// experiments). Backends without a mutable notion of hardware
+    /// speed ignore it — a trace replay cannot re-run the past on
+    /// different silicon.
+    fn set_speed(&mut self, speed: f64) {
+        let _ = speed;
+    }
 }
 
 /// Forwarding impl so `Box<dyn ClusterBackend>` (and boxed concrete
@@ -115,6 +260,22 @@ impl<B: ClusterBackend + ?Sized> ClusterBackend for Box<B> {
     fn now_s(&self) -> f64 {
         (**self).now_s()
     }
+
+    fn begin_window(&mut self, req: &WindowRequest) {
+        (**self).begin_window(req)
+    }
+
+    fn poll_window(&mut self, req: &WindowRequest) -> WindowPoll {
+        (**self).poll_window(req)
+    }
+
+    fn cancel_window(&mut self) {
+        (**self).cancel_window()
+    }
+
+    fn set_speed(&mut self, speed: f64) {
+        (**self).set_speed(speed)
+    }
 }
 
 /// The discrete-event simulator as a backend (full fidelity).
@@ -128,6 +289,9 @@ pub struct SimBackend {
     /// (speed changes, trace sampling, …) that the trait deliberately
     /// does not cover.
     pub sim: ClusterSim,
+    /// The window currently being polled, if any (the non-blocking
+    /// seam's progress state).
+    inflight: Option<OpenWindow>,
 }
 
 impl SimBackend {
@@ -136,21 +300,22 @@ impl SimBackend {
     pub fn new(app: &AppSpec, seed: u64) -> Self {
         let mut sim = ClusterSim::new(app, seed);
         sim.set_request_timeout(Some(app.slo_ms / 1e3 * 8.0));
-        Self { sim }
+        Self::from_sim(sim)
     }
 
     /// Backend without the request timeout — an infinitely patient load
     /// generator. This is what one-shot open-loop measurements (the
     /// `ExperimentCtx::measure` path in `pema-bench`) use.
     pub fn bare(app: &AppSpec, seed: u64) -> Self {
-        Self {
-            sim: ClusterSim::new(app, seed),
-        }
+        Self::from_sim(ClusterSim::new(app, seed))
     }
 
     /// Wraps an already-configured simulator.
     pub fn from_sim(sim: ClusterSim) -> Self {
-        Self { sim }
+        Self {
+            sim,
+            inflight: None,
+        }
     }
 
     /// Changes the cluster's CPU speed factor mid-run (the Fig. 19
@@ -187,6 +352,69 @@ impl ClusterBackend for SimBackend {
 
     fn now_s(&self) -> f64 {
         self.sim.now().as_secs()
+    }
+
+    fn begin_window(&mut self, req: &WindowRequest) {
+        assert!(
+            self.inflight.is_none(),
+            "begin_window while a window is already in flight"
+        );
+        if let Some(e) = req.early {
+            // `EarlyCheck` fields are public; catch a hand-built zero
+            // period here like the blocking path does, instead of
+            // letting poll_window spin at a fixed virtual time.
+            assert!(e.check_s > 0.0, "check interval must be positive");
+        }
+        self.inflight = Some(self.sim.open_window(req.rps, req.warmup_s, req.window_s));
+    }
+
+    /// Incremental override: without early checks the single poll runs
+    /// the window to its end exactly like [`ClusterSim::run_window`];
+    /// with early checks each poll advances one check period and a
+    /// breach cancels the window at that poll boundary, replicating
+    /// [`ClusterSim::run_window_abortable`] slice for slice — so the
+    /// seam is bit-identical to the blocking one (the conformance
+    /// suite and the `pema-bench` goldens pin it) while letting a
+    /// fleet interleave other loops between checks.
+    fn poll_window(&mut self, req: &WindowRequest) -> WindowPoll {
+        let w = self
+            .inflight
+            .take()
+            .expect("poll_window without begin_window");
+        match req.early {
+            None => {
+                self.sim.advance_window(&w, req.window_s);
+                WindowPoll::Ready {
+                    stats: self.sim.close_window(w),
+                    aborted: false,
+                }
+            }
+            Some(e) => {
+                let done = self.sim.advance_window(&w, e.check_s);
+                let breached = self.sim.window_p95_ms().is_some_and(|p95| p95 > e.slo_ms);
+                if breached || done {
+                    WindowPoll::Ready {
+                        stats: self.sim.close_window_measured(w),
+                        aborted: breached,
+                    }
+                } else {
+                    self.inflight = Some(w);
+                    WindowPoll::Pending {
+                        resume_at_s: self.sim.now().as_secs(),
+                    }
+                }
+            }
+        }
+    }
+
+    fn cancel_window(&mut self) {
+        if let Some(w) = self.inflight.take() {
+            self.sim.discard_window(w);
+        }
+    }
+
+    fn set_speed(&mut self, speed: f64) {
+        SimBackend::set_speed(self, speed);
     }
 }
 
@@ -296,5 +524,9 @@ impl ClusterBackend for FluidBackend {
 
     fn now_s(&self) -> f64 {
         self.clock_s
+    }
+
+    fn set_speed(&mut self, speed: f64) {
+        FluidBackend::set_speed(self, speed);
     }
 }

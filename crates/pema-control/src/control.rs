@@ -6,7 +6,7 @@
 //! (Prometheus role), converts it into the policy's view, lets the
 //! policy act, and applies the returned allocation (Kubernetes role).
 
-use crate::backend::{ClusterBackend, SimBackend};
+use crate::backend::{ClusterBackend, SimBackend, WindowPoll, WindowRequest};
 use crate::policy::Policy;
 use pema_sim::{Allocation, AppSpec, WindowStats};
 use pema_workload::Workload;
@@ -178,6 +178,32 @@ pub struct ControlLoop<P: Policy, B: ClusterBackend = SimBackend> {
     iter: usize,
     log: Vec<IterationLog>,
     observers: Vec<Box<dyn Observer>>,
+    /// The interval currently being measured through the non-blocking
+    /// seam, if any (see [`poll_step`](Self::poll_step)).
+    pending: Option<PendingInterval>,
+}
+
+/// Progress state of one interval between [`ControlLoop::poll_step`]
+/// calls: everything `step_once` captured before measuring.
+struct PendingInterval {
+    time_s: f64,
+    total_cpu: f64,
+    slo_ms: f64,
+    req: WindowRequest,
+}
+
+/// What one [`ControlLoop::poll_step`] call did.
+#[derive(Debug, Clone, Copy)]
+pub enum LoopPoll {
+    /// The interval's window is still measuring; poll again when the
+    /// backend's virtual clock reaches `resume_at_s` (a fleet services
+    /// whichever loop is furthest behind in virtual time first).
+    Pending {
+        /// Backend virtual time to re-poll at, seconds.
+        resume_at_s: f64,
+    },
+    /// One full control interval completed and was logged.
+    Logged,
 }
 
 impl<P: Policy> ControlLoop<P, SimBackend> {
@@ -201,6 +227,7 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
             iter: 0,
             log: Vec::new(),
             observers: Vec::new(),
+            pending: None,
         }
     }
 
@@ -229,52 +256,86 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
     }
 
     /// Runs one control interval at offered load `rps` and logs it.
+    ///
+    /// Implemented as [`poll_step`](Self::poll_step) driven to
+    /// completion, so the blocking and non-blocking stepping paths are
+    /// the same code — a [`Fleet`](crate::Fleet) of one is byte-identical
+    /// to a plain run by construction.
     pub fn step_once(&mut self, rps: f64) -> &IterationLog {
-        let time_s = self.backend.now_s();
-        if let Some(pre) = self.policy.pre_interval(rps) {
-            self.backend.apply(&pre);
-        }
-        let alloc_in_force = self.backend.allocation();
-        let slo = self.policy.slo_ms();
-        let (stats, aborted) = match self.early_check_s {
-            Some(check_s) => self.backend.measure_window_abortable(
-                rps,
-                self.cfg.warmup_s,
-                self.cfg.interval_s,
-                check_s,
-                slo,
-            ),
-            None => (
-                self.backend
-                    .measure_window(rps, self.cfg.warmup_s, self.cfg.interval_s),
-                false,
-            ),
-        };
-        let d = self.policy.decide(&stats);
-        self.backend.apply(&Allocation::new(d.alloc.clone()));
-        let entry = IterationLog {
-            iter: self.iter,
-            time_s,
-            rps,
-            total_cpu: alloc_in_force.total(),
-            p95_ms: stats.p95_ms,
-            mean_ms: stats.mean_ms,
-            violated: stats.violates(slo),
-            action: if aborted {
-                format!("early-{}", d.action)
-            } else {
-                d.action
-            },
-            alloc: d.alloc,
-            pema_id: d.pema_id,
-            interval_s: stats.duration_s,
-        };
-        for obs in &mut self.observers {
-            obs.on_interval(&entry, &stats);
-        }
-        self.log.push(entry);
-        self.iter += 1;
+        while !matches!(self.poll_step(rps), LoopPoll::Logged) {}
         self.log.last().unwrap()
+    }
+
+    /// Advances one control interval without blocking for its whole
+    /// monitoring window — the fleet-scheduling entry point.
+    ///
+    /// The first call of an interval does everything `step_once` did
+    /// before measuring (pre-interval allocation switch, capturing the
+    /// allocation in force, starting the window); each call then polls
+    /// the backend's in-progress window and, once it is ready, runs the
+    /// decision/apply/log tail. `rps` is captured when the interval
+    /// starts; later polls of the same interval ignore it.
+    pub fn poll_step(&mut self, rps: f64) -> LoopPoll {
+        if self.pending.is_none() {
+            let time_s = self.backend.now_s();
+            if let Some(pre) = self.policy.pre_interval(rps) {
+                self.backend.apply(&pre);
+            }
+            let total_cpu = self.backend.allocation().total();
+            let slo_ms = self.policy.slo_ms();
+            let mut req = WindowRequest::new(rps, self.cfg.warmup_s, self.cfg.interval_s);
+            if let Some(check_s) = self.early_check_s {
+                req = req.with_early_check(check_s, slo_ms);
+            }
+            self.backend.begin_window(&req);
+            self.pending = Some(PendingInterval {
+                time_s,
+                total_cpu,
+                slo_ms,
+                req,
+            });
+        }
+        let req = self.pending.as_ref().unwrap().req;
+        match self.backend.poll_window(&req) {
+            WindowPoll::Pending { resume_at_s } => LoopPoll::Pending { resume_at_s },
+            WindowPoll::Ready { stats, aborted } => {
+                let p = self.pending.take().unwrap();
+                let d = self.policy.decide(&stats);
+                self.backend.apply(&Allocation::new(d.alloc.clone()));
+                let entry = IterationLog {
+                    iter: self.iter,
+                    time_s: p.time_s,
+                    rps: p.req.rps,
+                    total_cpu: p.total_cpu,
+                    p95_ms: stats.p95_ms,
+                    mean_ms: stats.mean_ms,
+                    violated: stats.violates(p.slo_ms),
+                    action: if aborted {
+                        format!("early-{}", d.action)
+                    } else {
+                        d.action
+                    },
+                    alloc: d.alloc,
+                    pema_id: d.pema_id,
+                    interval_s: stats.duration_s,
+                };
+                for obs in &mut self.observers {
+                    obs.on_interval(&entry, &stats);
+                }
+                self.log.push(entry);
+                self.iter += 1;
+                LoopPoll::Logged
+            }
+        }
+    }
+
+    /// Abandons the interval currently in flight, if any (fleet
+    /// cancellation: tearing a loop down mid-window must leave the
+    /// backend reusable). Completed intervals stay logged.
+    pub fn cancel_interval(&mut self) {
+        if self.pending.take().is_some() {
+            self.backend.cancel_window();
+        }
     }
 
     /// Runs `iters` intervals at constant load.

@@ -50,6 +50,12 @@ use pema_workload::Workload;
 pub struct Experiment;
 
 impl Experiment {
+    /// Starts an empty fleet — many run descriptions driven
+    /// concurrently from one process (see [`Fleet`](crate::Fleet)).
+    pub fn fleet() -> crate::Fleet {
+        crate::Fleet::new()
+    }
+
     /// Starts a run description. Policy slot is empty (filling it is
     /// mandatory); backend slot defaults to the DES ([`UseSim`]).
     pub fn builder() -> ExperimentBuilder<Unset, UseSim> {
@@ -190,7 +196,7 @@ impl<B: ClusterBackend> IntoBackend for B {
     }
 }
 
-enum Load {
+pub(crate) enum Load {
     Const(f64),
     Pattern(Box<dyn Workload>),
 }
@@ -311,7 +317,7 @@ impl<P, B> ExperimentBuilder<P, B> {
 }
 
 impl<P: IntoPolicy, B: IntoBackend> ExperimentBuilder<P, B> {
-    fn into_parts(self) -> (ControlLoop<P::Policy, B::Backend>, Option<Load>, usize) {
+    pub(crate) fn into_parts(self) -> (ControlLoop<P::Policy, B::Backend>, Option<Load>, usize) {
         let app = self
             .app
             .expect("Experiment::builder(): call .app(..) before .build()/.run()");

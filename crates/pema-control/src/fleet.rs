@@ -1,0 +1,372 @@
+//! [`Fleet`] — a cooperative scheduler that drives many control loops
+//! from one process.
+//!
+//! The paper's Fig. 9 loop controls a single application, and the
+//! blocking [`ClusterBackend::measure_window`] seam means one thread
+//! can drive one loop. Production controllers are deployed fleet-wide:
+//! one process watching dozens of applications, each with its own
+//! monitoring windows, policy state, and virtual clock. This module is
+//! that multiplexer, built on the non-blocking
+//! [`begin_window`](ClusterBackend::begin_window) /
+//! [`poll_window`](ClusterBackend::poll_window) seam.
+//!
+//! ## Design: a hand-rolled poll executor, no tokio
+//!
+//! The offline vendor set has no async runtime, and none is needed:
+//! every shipped backend runs on *virtual* time, so "concurrency" means
+//! interleaving loops along the reconstructed shared clock, not real
+//! I/O parallelism. Instead of futures + waker plumbing, each loop is a
+//! plain state machine ([`ControlLoop::poll_step`]) that reports when
+//! it next wants service (`ready-at`, in its backend's virtual
+//! seconds), and [`Fleet::run`] is the `pollster`-style block-on: a
+//! min-heap over `(ready_at, tie_rank)` that services whichever loop is
+//! furthest behind in virtual time until every loop completes. A live
+//! (wall-clock) backend slots into the same API by reporting wall
+//! timestamps from `now_s` — the executor never sleeps, so virtual and
+//! real clocks mix freely.
+//!
+//! ## Determinism
+//!
+//! Fleet members share nothing — each owns its backend, policy, RNG
+//! stream, and observers — so per-member results are independent of
+//! scheduling by construction: any poll order yields bit-identical
+//! [`RunResult`]s per member, and a fleet of one is byte-identical to
+//! the plain [`Experiment::run`](crate::Experiment) path (both are
+//! pinned by tests: property tests permute the tie-break order, and a
+//! golden test byte-compares the single-app fleet against the facade).
+//! [`FleetResult::runs`] reports members in insertion order, never
+//! completion order, so downstream CSVs are scheduling-invariant too.
+//!
+//! ## Cancellation
+//!
+//! Two levels, both poll-boundary, neither spinning:
+//!
+//! * **early-check** — a window begun with an [`EarlyCheck`] aborts at
+//!   the first poll whose running p95 breaches the SLO (§6 semantics,
+//!   previously only available inside the blocking
+//!   `measure_window_abortable` spin);
+//! * **loop teardown** — [`ControlLoop::cancel_interval`] abandons an
+//!   in-flight window via [`ClusterBackend::cancel_window`], leaving
+//!   the backend reusable and completed intervals logged.
+//!
+//! ## Example
+//!
+//! ```
+//! use pema_control::{Experiment, Fleet, HarnessConfig, Pema, UseFluid};
+//! use pema_core::PemaParams;
+//!
+//! let app = pema_apps::toy_chain();
+//! let exp = |seed: u64| {
+//!     Experiment::builder()
+//!         .app(&app)
+//!         .policy(Pema(PemaParams::defaults(app.slo_ms)))
+//!         .backend(UseFluid)
+//!         .config(HarnessConfig::with_seed(seed))
+//!         .rps(150.0)
+//!         .iters(4)
+//! };
+//! let fleet = Fleet::new().add(exp(1)).add(exp(2)).run();
+//! assert_eq!(fleet.runs.len(), 2);
+//! assert!(fleet.runs.iter().all(|r| r.result.log.len() == 4));
+//! ```
+//!
+//! [`EarlyCheck`]: crate::EarlyCheck
+
+use crate::backend::ClusterBackend;
+use crate::control::{ControlLoop, LoopPoll, RunResult};
+use crate::experiment::{ExperimentBuilder, IntoBackend, IntoPolicy, Load};
+use crate::policy::Policy;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Object-safe view of one loop under fleet control: the type-erased
+/// form of `ControlLoop<P, B> + load + iteration budget`.
+trait FleetDriver {
+    /// Services the loop once.
+    fn poll(&mut self) -> DriverPoll;
+
+    /// The loop's backend virtual time, seconds.
+    fn now_s(&self) -> f64;
+
+    /// Finalizes into the run result.
+    fn finish(self: Box<Self>) -> RunResult;
+}
+
+/// What servicing a driver once did.
+enum DriverPoll {
+    /// Mid-window; service again at this backend virtual time.
+    Pending { resume_at_s: f64 },
+    /// Completed one interval; more remain.
+    Logged,
+    /// All intervals done.
+    Done,
+}
+
+/// The concrete driver: decomposes `run_const` / `run_workload` at
+/// window-poll granularity, sampling time-varying workloads at each
+/// interval start (backend virtual time) exactly like the blocking
+/// runner does.
+struct LoopDriver<P: Policy, B: ClusterBackend> {
+    control: ControlLoop<P, B>,
+    load: Load,
+    iters: usize,
+    completed: usize,
+    /// Offered load of the interval in flight (sampled once at its
+    /// start; `None` between intervals).
+    current_rps: Option<f64>,
+}
+
+impl<P: Policy, B: ClusterBackend> FleetDriver for LoopDriver<P, B> {
+    fn poll(&mut self) -> DriverPoll {
+        if self.completed >= self.iters {
+            return DriverPoll::Done;
+        }
+        let rps = *self.current_rps.get_or_insert_with(|| match &self.load {
+            Load::Const(rps) => *rps,
+            Load::Pattern(w) => w.rps_at(self.control.backend.now_s()),
+        });
+        match self.control.poll_step(rps) {
+            LoopPoll::Pending { resume_at_s } => DriverPoll::Pending { resume_at_s },
+            LoopPoll::Logged => {
+                self.completed += 1;
+                self.current_rps = None;
+                if self.completed >= self.iters {
+                    DriverPoll::Done
+                } else {
+                    DriverPoll::Logged
+                }
+            }
+        }
+    }
+
+    fn now_s(&self) -> f64 {
+        self.control.backend.now_s()
+    }
+
+    fn finish(self: Box<Self>) -> RunResult {
+        self.control.into_result()
+    }
+}
+
+/// One member's completed run.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// The member's name (auto-assigned `app<i>` unless
+    /// [`Fleet::add_named`] gave one).
+    pub name: String,
+    /// The member's run, logged like any single-loop run.
+    pub result: RunResult,
+    /// The member's backend virtual time when it finished, seconds.
+    pub end_s: f64,
+}
+
+/// Everything a [`Fleet::run`] produced, members in insertion order
+/// (never completion order — downstream output must not depend on
+/// scheduling).
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-member runs, in the order the members were added.
+    pub runs: Vec<FleetRun>,
+    /// Scheduler services performed (one per poll of any member).
+    pub polls: u64,
+}
+
+impl FleetResult {
+    /// Total control intervals across the fleet.
+    pub fn total_intervals(&self) -> usize {
+        self.runs.iter().map(|r| r.result.log.len()).sum()
+    }
+
+    /// The furthest any member's virtual clock advanced, seconds.
+    pub fn span_s(&self) -> f64 {
+        self.runs.iter().fold(0.0, |m, r| m.max(r.end_s))
+    }
+}
+
+/// A heap slot: the next service time of one member. Min-ordered by
+/// `(ready_at, rank)` — `rank` is the tie-break priority among members
+/// ready at the same virtual instant.
+struct Slot {
+    ready_at: f64,
+    rank: usize,
+    idx: usize,
+}
+
+impl PartialEq for Slot {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Slot {}
+
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest
+        // (ready_at, rank, idx) on top. The final idx key keeps the
+        // schedule fully deterministic even under duplicate ranks.
+        other
+            .ready_at
+            .total_cmp(&self.ready_at)
+            .then_with(|| other.rank.cmp(&self.rank))
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// The fleet under construction — see the module docs. Add fully
+/// described experiments (policy, backend, load, and iteration count
+/// all set), then [`run`](Self::run).
+#[derive(Default)]
+pub struct Fleet {
+    names: Vec<String>,
+    drivers: Vec<Option<Box<dyn FleetDriver>>>,
+    tie_break: Option<Vec<usize>>,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an experiment under an auto-assigned name (`app<i>`).
+    ///
+    /// # Panics
+    /// Panics unless the builder carries a load (`.rps(..)` /
+    /// `.workload(..)`) and a positive `.iters(..)` — the fleet needs
+    /// the complete run description up front.
+    // Not `std::ops::Add`: the operand is a run description, not
+    // another fleet, and `.add(..).add(..)` is the builder grammar.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add<P, B>(self, exp: ExperimentBuilder<P, B>) -> Self
+    where
+        P: IntoPolicy,
+        B: IntoBackend,
+        P::Policy: 'static,
+        B::Backend: 'static,
+    {
+        let name = format!("app{}", self.names.len());
+        self.add_named(name, exp)
+    }
+
+    /// Adds an experiment under an explicit name (the key
+    /// [`FleetResult`] reports it by).
+    pub fn add_named<P, B>(mut self, name: impl Into<String>, exp: ExperimentBuilder<P, B>) -> Self
+    where
+        P: IntoPolicy,
+        B: IntoBackend,
+        P::Policy: 'static,
+        B::Backend: 'static,
+    {
+        let (control, load, iters) = exp.into_parts();
+        assert!(iters > 0, "Fleet: set .iters(..) on every experiment");
+        let load = load.expect("Fleet: set .rps(..) or .workload(..) on every experiment");
+        self.names.push(name.into());
+        self.drivers.push(Some(Box::new(LoopDriver {
+            control,
+            load,
+            iters,
+            completed: 0,
+            current_rps: None,
+        })));
+        self
+    }
+
+    /// Overrides the tie-break priority used when several members are
+    /// ready at the same virtual instant: `order[i]` is member `i`'s
+    /// rank, lower ranks first (default: insertion order). Per-member
+    /// results are scheduling-invariant — this knob exists so the
+    /// property tests can *prove* it, and so experiments can study
+    /// scheduling artifacts if any ever appear.
+    pub fn tie_break(mut self, order: Vec<usize>) -> Self {
+        self.tie_break = Some(order);
+        self
+    }
+
+    /// Number of members added so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no members were added.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Drives every member to completion, interleaved along the shared
+    /// virtual clock (reconstructed from each member's `now_s`): the
+    /// member furthest behind in virtual time is serviced first, ties
+    /// broken by rank. Returns per-member results in insertion order.
+    ///
+    /// # Panics
+    /// Panics if a [`tie_break`](Self::tie_break) order was given with
+    /// the wrong length, or if a backend reports a non-finite time.
+    pub fn run(self) -> FleetResult {
+        let n = self.names.len();
+        let ranks = match self.tie_break {
+            Some(order) => {
+                assert_eq!(
+                    order.len(),
+                    n,
+                    "Fleet::tie_break: order must rank every member"
+                );
+                order
+            }
+            None => (0..n).collect(),
+        };
+        let mut drivers = self.drivers;
+        let mut names: Vec<String> = self.names;
+        let mut results: Vec<Option<FleetRun>> = (0..n).map(|_| None).collect();
+        let mut heap: BinaryHeap<Slot> = BinaryHeap::with_capacity(n);
+        for (idx, d) in drivers.iter().enumerate() {
+            let ready_at = d.as_ref().unwrap().now_s();
+            assert!(ready_at.is_finite(), "member {idx} reports non-finite time");
+            heap.push(Slot {
+                ready_at,
+                rank: ranks[idx],
+                idx,
+            });
+        }
+
+        let mut polls = 0u64;
+        while let Some(slot) = heap.pop() {
+            let idx = slot.idx;
+            let driver = drivers[idx].as_mut().expect("done members leave the heap");
+            polls += 1;
+            let ready_at = match driver.poll() {
+                DriverPoll::Pending { resume_at_s } => resume_at_s,
+                DriverPoll::Logged => driver.now_s(),
+                DriverPoll::Done => {
+                    let driver = drivers[idx].take().unwrap();
+                    let end_s = driver.now_s();
+                    results[idx] = Some(FleetRun {
+                        name: std::mem::take(&mut names[idx]),
+                        result: driver.finish(),
+                        end_s,
+                    });
+                    continue;
+                }
+            };
+            assert!(ready_at.is_finite(), "member {idx} reports non-finite time");
+            heap.push(Slot {
+                ready_at,
+                rank: slot.rank,
+                idx,
+            });
+        }
+
+        FleetResult {
+            runs: results
+                .into_iter()
+                .map(|r| r.expect("every member completes"))
+                .collect(),
+            polls,
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | decision logic | PEMA / manager / baselines | [`Policy`] implementations |
 //! | control cycle | measure → observe → act → apply | [`ControlLoop`] |
 //! | experiment wiring | testbed scripts | [`Experiment`] builder facade |
+//! | fleet-wide deployment | one controller, many apps | [`Fleet`] cooperative scheduler |
 //!
 //! Three [`ClusterBackend`]s ship today: [`SimBackend`] (the
 //! discrete-event simulator — full fidelity, byte-identical to the
@@ -47,7 +48,16 @@
 //!
 //! `.build()` instead of `.run()` returns the [`ControlLoop`] for
 //! stepping runs that script the policy or backend mid-flight (SLO
-//! changes, CPU-clock changes, bursty traces).
+//! changes, CPU-clock changes, bursty traces). Many fully-described
+//! builders can instead be handed to a [`Fleet`]
+//! (`Fleet::new().add(…).add(…).run()`), which drives them all
+//! concurrently from one process over the non-blocking
+//! [`ClusterBackend::begin_window`]/[`poll_window`] seam — a fleet of
+//! one is byte-identical to `.run()`, and per-member results are
+//! scheduling-invariant (see the [`fleet`](Fleet) docs and
+//! `docs/fleet.md`).
+//!
+//! [`poll_window`]: ClusterBackend::poll_window
 //!
 //! ## Migrating from the old root-crate `runner` module
 //!
@@ -71,15 +81,19 @@
 mod backend;
 mod control;
 mod experiment;
+mod fleet;
 mod policy;
 
-pub use backend::{ClusterBackend, FluidBackend, SimBackend};
+pub use backend::{
+    ClusterBackend, EarlyCheck, FluidBackend, SimBackend, WindowPoll, WindowRequest,
+};
 pub use control::{
-    optimum_for, ControlLoop, HarnessConfig, IterationLog, ManagedRunner, Observer, PemaRunner,
-    RuleRunner, RunResult,
+    optimum_for, ControlLoop, HarnessConfig, IterationLog, LoopPoll, ManagedRunner, Observer,
+    PemaRunner, RuleRunner, RunResult,
 };
 pub use experiment::{
     Experiment, ExperimentBuilder, IntoBackend, IntoPolicy, Managed, Pema, Rule, Unset, UseFluid,
     UseSim,
 };
+pub use fleet::{Fleet, FleetResult, FleetRun};
 pub use policy::{stats_to_obs, Decision, HoldPolicy, Policy, RulePolicy};

@@ -13,12 +13,19 @@
 //!   breach and leaves healthy windows untouched;
 //! * violation accounting: a permanently starved run marks every
 //!   interval violated and `violating_time_s` sums the (shortened)
-//!   interval lengths.
+//!   interval lengths;
+//! * the non-blocking seam (`begin_window`/`poll_window`) is
+//!   result-identical to the blocking one — plain windows match
+//!   `measure_window`, early-check cancellation matches
+//!   `measure_window_abortable` — and `now_s` stays monotone while
+//!   windows of several backends are polled interleaved (the fleet
+//!   scheduler's contract).
 
 use pema_control::{
     ClusterBackend, ControlLoop, Experiment, FluidBackend, HarnessConfig, HoldPolicy, SimBackend,
+    WindowPoll, WindowRequest,
 };
-use pema_sim::{Allocation, AppSpec, MIN_ALLOC};
+use pema_sim::{Allocation, AppSpec, WindowStats, MIN_ALLOC};
 use pema_trace::{TraceBackend, TraceRecorder};
 
 /// Records a healthy DES run of `app` to replay in the conformance
@@ -50,6 +57,54 @@ fn each_backend(app: &AppSpec, check: impl Fn(&str, Box<dyn ClusterBackend>)) {
     check("sim", Box::new(SimBackend::new(app, 42)));
     check("fluid", Box::new(FluidBackend::new(app)));
     check("trace", Box::new(TraceBackend::new(conformance_trace(app))));
+}
+
+/// Runs `check` once per shipped backend with *two* identically
+/// constructed instances — for proving two driving styles equivalent.
+fn each_backend_pair(
+    app: &AppSpec,
+    check: impl Fn(&str, Box<dyn ClusterBackend>, Box<dyn ClusterBackend>),
+) {
+    check(
+        "sim",
+        Box::new(SimBackend::new(app, 42)),
+        Box::new(SimBackend::new(app, 42)),
+    );
+    check(
+        "fluid",
+        Box::new(FluidBackend::new(app)),
+        Box::new(FluidBackend::new(app)),
+    );
+    let tape = conformance_trace(app);
+    check(
+        "trace",
+        Box::new(TraceBackend::new(tape.clone())),
+        Box::new(TraceBackend::new(tape)),
+    );
+}
+
+/// Drives one window through the non-blocking seam to completion,
+/// asserting `now_s` never moves backwards between polls. Returns the
+/// stats, the abort flag, and how many `Pending` polls occurred.
+fn poll_to_ready(b: &mut dyn ClusterBackend, req: &WindowRequest) -> (WindowStats, bool, usize) {
+    b.begin_window(req);
+    let mut last_now = b.now_s();
+    let mut pendings = 0usize;
+    loop {
+        match b.poll_window(req) {
+            WindowPoll::Pending { resume_at_s } => {
+                pendings += 1;
+                assert!(resume_at_s.is_finite(), "resume_at_s must be finite");
+                let now = b.now_s();
+                assert!(
+                    now >= last_now,
+                    "now_s moved backwards mid-window: {last_now} → {now}"
+                );
+                last_now = now;
+            }
+            WindowPoll::Ready { stats, aborted } => return (stats, aborted, pendings),
+        }
+    }
 }
 
 fn app() -> AppSpec {
@@ -156,6 +211,122 @@ fn loop_applies_pre_interval_allocation_before_measuring() {
                 log.total_cpu
             );
         }
+    });
+}
+
+#[test]
+fn nonblocking_seam_matches_measure_window() {
+    // Three consecutive plain windows driven through begin/poll must be
+    // result-identical to the blocking measure_window path, interval by
+    // interval, with the same virtual timeline — the fleet scheduler
+    // changes nothing about what a window measures.
+    let app = app();
+    each_backend_pair(&app, |name, mut blocking, mut polled| {
+        for i in 0..3 {
+            let req = WindowRequest::new(120.0, 1.0, 5.0);
+            let want = blocking.measure_window(req.rps, req.warmup_s, req.window_s);
+            let (got, aborted, _) = poll_to_ready(&mut *polled, &req);
+            assert!(!aborted, "{name}: plain window {i} must not abort");
+            assert_eq!(
+                want, got,
+                "{name}: window {i} differs between the blocking and non-blocking seams"
+            );
+            assert_eq!(
+                blocking.now_s().to_bits(),
+                polled.now_s().to_bits(),
+                "{name}: virtual clocks diverged after window {i}"
+            );
+        }
+    });
+}
+
+#[test]
+fn nonblocking_cancellation_matches_measure_window_abortable() {
+    let app = app();
+    each_backend_pair(&app, |name, mut blocking, mut polled| {
+        // Healthy window under early checks: no cancellation, and for
+        // backends with intra-window visibility (the DES) the window
+        // must actually be served in several polls — that is what lets
+        // a fleet interleave other loops between checks instead of
+        // spinning inside measure_window_abortable.
+        let req = WindowRequest::new(120.0, 1.0, 8.0).with_early_check(2.0, app.slo_ms);
+        let (want, want_abort) =
+            blocking.measure_window_abortable(120.0, 1.0, 8.0, 2.0, app.slo_ms);
+        let (got, got_abort, pendings) = poll_to_ready(&mut *polled, &req);
+        assert!(!want_abort && !got_abort, "{name}: healthy window aborted");
+        assert_eq!(want, got, "{name}: healthy early-check window differs");
+        if name == "sim" {
+            assert!(
+                pendings >= 2,
+                "{name}: an 8 s window at 2 s checks must take several polls, got {pendings}"
+            );
+        }
+
+        // Starved window: the breach must cancel it at a check boundary
+        // with exactly the stats the blocking abortable path reports.
+        blocking.apply(&starved(&app));
+        polled.apply(&starved(&app));
+        let req = WindowRequest::new(150.0, 1.0, 8.0).with_early_check(2.0, app.slo_ms);
+        let (want, want_abort) =
+            blocking.measure_window_abortable(150.0, 1.0, 8.0, 2.0, app.slo_ms);
+        let (got, got_abort, _) = poll_to_ready(&mut *polled, &req);
+        assert!(want_abort, "{name}: starved window must abort (blocking)");
+        assert!(got_abort, "{name}: starved window must abort (polled)");
+        assert_eq!(
+            want, got,
+            "{name}: cancelled window differs between the seams"
+        );
+        assert_eq!(
+            blocking.now_s().to_bits(),
+            polled.now_s().to_bits(),
+            "{name}: virtual clocks diverged after the cancelled window"
+        );
+    });
+}
+
+#[test]
+fn now_s_monotone_across_interleaved_windows() {
+    // The fleet scheduler polls many backends' windows interleaved;
+    // each backend's clock must advance monotonically regardless of
+    // what happens to the others between its polls.
+    let app = app();
+    each_backend_pair(&app, |name, mut a, mut b| {
+        let req = WindowRequest::new(120.0, 1.0, 8.0).with_early_check(2.0, app.slo_ms);
+        let t0a = a.now_s();
+        let t0b = b.now_s();
+        a.begin_window(&req);
+        b.begin_window(&req);
+        let (mut last_a, mut last_b) = (a.now_s(), b.now_s());
+        assert!(
+            last_a >= t0a && last_b >= t0b,
+            "{name}: begin went backwards"
+        );
+        let (mut done_a, mut done_b) = (false, false);
+        while !(done_a && done_b) {
+            if !done_a {
+                done_a = matches!(a.poll_window(&req), WindowPoll::Ready { .. });
+                let now = a.now_s();
+                assert!(now >= last_a, "{name}: a went {last_a} → {now}");
+                last_a = now;
+            }
+            if !done_b {
+                done_b = matches!(b.poll_window(&req), WindowPoll::Ready { .. });
+                let now = b.now_s();
+                assert!(now >= last_b, "{name}: b went {last_b} → {now}");
+                last_b = now;
+            }
+        }
+        assert!(
+            last_a > t0a && last_b > t0b,
+            "{name}: a completed window must advance the clock"
+        );
+        // A subsequent window keeps advancing strictly.
+        let next = WindowRequest::new(120.0, 1.0, 4.0);
+        let (_, _, _) = poll_to_ready(&mut *a, &next);
+        assert!(
+            a.now_s() > last_a,
+            "{name}: the next window must advance the clock further"
+        );
     });
 }
 

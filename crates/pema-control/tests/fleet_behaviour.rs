@@ -1,0 +1,174 @@
+//! Fleet behaviour: the headline guarantee — a [`Fleet`] of one is
+//! **bit-identical** to the plain [`Experiment::run`] path — plus the
+//! mixed-fleet semantics the scheduler promises (insertion-order
+//! results, virtual-span accounting, mid-window teardown).
+
+use pema_control::{
+    ClusterBackend, ControlLoop, Experiment, ExperimentBuilder, Fleet, HarnessConfig, HoldPolicy,
+    LoopPoll, Pema, Rule, RunResult, SimBackend, UseFluid, UseSim,
+};
+use pema_core::PemaParams;
+use pema_sim::AppSpec;
+use pema_workload::StepPattern;
+
+/// Bit-faithful rendering of a run: f64 `Debug` is shortest-roundtrip,
+/// so two runs render identically iff every logged float is
+/// bit-identical (modulo sign of zero, which the loop never produces).
+fn render(r: &RunResult) -> String {
+    let final_bits: Vec<u64> = r.final_alloc.0.iter().map(|x| x.to_bits()).collect();
+    format!(
+        "{:?} | final={final_bits:?} | slo={}",
+        r.log,
+        r.slo_ms.to_bits()
+    )
+}
+
+fn pema_exp(app: &AppSpec, early: bool) -> ExperimentBuilder<Pema, UseSim> {
+    let mut params = PemaParams::defaults(app.slo_ms);
+    params.seed = 0xAB;
+    let mut b = Experiment::builder()
+        .app(app)
+        .policy(Pema(params))
+        .config(HarnessConfig {
+            interval_s: 8.0,
+            warmup_s: 1.0,
+            seed: 7,
+        })
+        .rps(150.0)
+        .iters(8);
+    if early {
+        b = b.early_check(2.0);
+    }
+    b
+}
+
+#[test]
+fn fleet_of_one_is_bit_identical_to_experiment_run() {
+    let app = pema_apps::toy_chain();
+    for early in [false, true] {
+        let solo = pema_exp(&app, early).run();
+        let fleet = Fleet::new().add(pema_exp(&app, early)).run();
+        assert_eq!(fleet.runs.len(), 1);
+        assert_eq!(
+            render(&solo),
+            render(&fleet.runs[0].result),
+            "fleet-of-one diverged from the single-loop path (early_check={early})"
+        );
+    }
+}
+
+#[test]
+fn fleet_of_one_matches_run_workload_sampling() {
+    // Time-varying load: the fleet driver must sample the workload at
+    // each interval start (backend virtual time) exactly like
+    // `run_workload` does.
+    let app = pema_apps::toy_chain();
+    let pattern = || StepPattern::new(vec![(0.0, 120.0), (20.0, 180.0), (40.0, 90.0)]);
+    let build = || {
+        let mut params = PemaParams::defaults(app.slo_ms);
+        params.seed = 0xCD;
+        Experiment::builder()
+            .app(&app)
+            .policy(Pema(params))
+            .config(HarnessConfig {
+                interval_s: 6.0,
+                warmup_s: 1.0,
+                seed: 11,
+            })
+            .workload(pattern())
+            .iters(6)
+    };
+    let solo = build().run();
+    let fleet = Fleet::new().add(build()).run();
+    assert_eq!(render(&solo), render(&fleet.runs[0].result));
+    // The pattern actually exercised more than one level.
+    let mut loads: Vec<u64> = solo.log.iter().map(|l| l.rps.to_bits()).collect();
+    loads.dedup();
+    assert!(loads.len() > 1, "step pattern never changed the load");
+}
+
+#[test]
+fn mixed_fleet_reports_members_in_insertion_order() {
+    let app = pema_apps::toy_chain();
+    let fleet = Fleet::new()
+        .add_named(
+            "des-pema",
+            pema_exp(&app, true), // DES member, early checks on
+        )
+        .add_named(
+            "fluid-rule",
+            Experiment::builder()
+                .app(&app)
+                .policy(Rule)
+                .backend(UseFluid)
+                .config(HarnessConfig::with_seed(3))
+                .rps(140.0)
+                .iters(12),
+        )
+        .add_named(
+            "fluid-hold",
+            Experiment::builder()
+                .app(&app)
+                .policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))
+                .backend(UseFluid)
+                .config(HarnessConfig::with_seed(4))
+                .rps(100.0)
+                .iters(3),
+        )
+        .run();
+    let names: Vec<&str> = fleet.runs.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, ["des-pema", "fluid-rule", "fluid-hold"]);
+    assert_eq!(fleet.runs[0].result.log.len(), 8);
+    assert_eq!(fleet.runs[1].result.log.len(), 12);
+    assert_eq!(fleet.runs[2].result.log.len(), 3);
+    assert_eq!(fleet.total_intervals(), 23);
+    assert!(fleet.polls >= 23, "each interval needs at least one poll");
+    let span = fleet.span_s();
+    for r in &fleet.runs {
+        assert!(
+            r.end_s > 0.0 && r.end_s <= span,
+            "span must cover {}",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn cancel_interval_mid_window_leaves_the_loop_reusable() {
+    // Tear a loop down mid-window (fleet cancellation) and keep using
+    // its backend: completed intervals stay logged, the clock stays
+    // monotone, and the next interval measures cleanly.
+    let app = pema_apps::toy_chain();
+    let mut control = ControlLoop::new(
+        SimBackend::new(&app, 5),
+        HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms),
+        HarnessConfig {
+            interval_s: 8.0,
+            warmup_s: 1.0,
+            seed: 5,
+        },
+    )
+    .with_early_check(2.0);
+    control.step_once(120.0);
+    let t_logged = control.backend.now_s();
+
+    // Start the next interval but abandon it mid-window.
+    assert!(matches!(control.poll_step(120.0), LoopPoll::Pending { .. }));
+    control.cancel_interval();
+    let t_cancelled = control.backend.now_s();
+    assert!(t_cancelled >= t_logged, "cancellation must not rewind time");
+
+    // The loop keeps working after the cancellation.
+    control.step_once(120.0);
+    assert_eq!(control.log().len(), 2, "cancelled interval must not log");
+    assert!(control.backend.now_s() > t_cancelled);
+}
+
+#[test]
+fn empty_fleet_completes_trivially() {
+    let fleet = Fleet::new().run();
+    assert!(fleet.runs.is_empty());
+    assert_eq!(fleet.polls, 0);
+    assert_eq!(fleet.total_intervals(), 0);
+    assert_eq!(fleet.span_s(), 0.0);
+}

@@ -1,0 +1,174 @@
+//! Property tests for the fleet scheduler — the fleet analogue of the
+//! suite-level `--jobs` invariance guarantee: for arbitrary member
+//! counts, harness timings, loads, and ready-order (tie-break)
+//! permutations, every member's [`RunResult`] is bit-identical to its
+//! solo [`Experiment::run`], and therefore identical across any two
+//! schedules.
+//!
+//! Members deliberately mix backends (DES and fluid), policies (PEMA /
+//! RULE / HOLD), and early-check modes, so the interleaving covers
+//! multi-poll windows (DES early checks), one-poll windows (default
+//! seam), and mid-schedule member completion (unequal `iters`).
+
+use pema_control::{
+    Experiment, ExperimentBuilder, Fleet, HarnessConfig, HoldPolicy, IntoBackend, IntoPolicy, Pema,
+    Rule, RunResult,
+};
+use pema_core::PemaParams;
+use pema_sim::AppSpec;
+use proptest::prelude::*;
+
+/// Bit-faithful rendering (see `fleet_behaviour.rs`): f64 `Debug` is
+/// shortest-roundtrip, so equal strings ⇔ bit-equal runs.
+fn render(r: &RunResult) -> String {
+    let final_bits: Vec<u64> = r.final_alloc.0.iter().map(|x| x.to_bits()).collect();
+    format!("{:?} | final={final_bits:?}", r.log)
+}
+
+/// One generated member: everything needed to build the same
+/// experiment any number of times.
+#[derive(Debug, Clone, Copy)]
+struct MemberSpec {
+    kind: usize,
+    interval_s: f64,
+    rps: f64,
+    iters: usize,
+    early: bool,
+}
+
+impl MemberSpec {
+    /// Builds the member's experiment description. `i` salts the seeds
+    /// so no two members share an RNG stream.
+    fn build(&self, app: &AppSpec, i: usize) -> FleetPiece {
+        let cfg = HarnessConfig {
+            interval_s: self.interval_s,
+            warmup_s: 1.0,
+            seed: 0x5EED + i as u64,
+        };
+        let base = |b: ExperimentBuilder<pema_control::Unset, pema_control::UseSim>| {
+            let b = b.app(app).config(cfg).rps(self.rps).iters(self.iters);
+            if self.early {
+                b.early_check(2.0)
+            } else {
+                b
+            }
+        };
+        match self.kind % 5 {
+            // DES members (the multi-poll path when early checks are on).
+            0 => {
+                let mut p = PemaParams::defaults(app.slo_ms);
+                p.seed = 0xF0 + i as u64;
+                FleetPiece::SimPema(base(Experiment::builder()).policy(Pema(p)))
+            }
+            1 => FleetPiece::SimRule(base(Experiment::builder()).policy(Rule)),
+            // Fluid members (the default one-poll seam).
+            2 => {
+                let mut p = PemaParams::defaults(app.slo_ms);
+                p.seed = 0xF0 + i as u64;
+                FleetPiece::FluidPema(
+                    base(Experiment::builder())
+                        .policy(Pema(p))
+                        .backend(pema_control::UseFluid),
+                )
+            }
+            3 => FleetPiece::FluidRule(
+                base(Experiment::builder())
+                    .policy(Rule)
+                    .backend(pema_control::UseFluid),
+            ),
+            _ => FleetPiece::FluidHold(
+                base(Experiment::builder())
+                    .policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))
+                    .backend(pema_control::UseFluid),
+            ),
+        }
+    }
+}
+
+/// A fully-typed experiment description (the builder is generic, so
+/// each policy/backend combination is its own type).
+enum FleetPiece {
+    SimPema(ExperimentBuilder<Pema, pema_control::UseSim>),
+    SimRule(ExperimentBuilder<Rule, pema_control::UseSim>),
+    FluidPema(ExperimentBuilder<Pema, pema_control::UseFluid>),
+    FluidRule(ExperimentBuilder<Rule, pema_control::UseFluid>),
+    FluidHold(ExperimentBuilder<HoldPolicy, pema_control::UseFluid>),
+}
+
+impl FleetPiece {
+    fn solo(self) -> RunResult {
+        fn go<P: IntoPolicy, B: IntoBackend>(b: ExperimentBuilder<P, B>) -> RunResult {
+            b.run()
+        }
+        match self {
+            FleetPiece::SimPema(b) => go(b),
+            FleetPiece::SimRule(b) => go(b),
+            FleetPiece::FluidPema(b) => go(b),
+            FleetPiece::FluidRule(b) => go(b),
+            FleetPiece::FluidHold(b) => go(b),
+        }
+    }
+
+    fn add_to(self, fleet: Fleet) -> Fleet {
+        match self {
+            FleetPiece::SimPema(b) => fleet.add(b),
+            FleetPiece::SimRule(b) => fleet.add(b),
+            FleetPiece::FluidPema(b) => fleet.add(b),
+            FleetPiece::FluidRule(b) => fleet.add(b),
+            FleetPiece::FluidHold(b) => fleet.add(b),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn fleet_results_are_invariant_to_member_count_timing_and_schedule(
+        n in 1usize..6,
+        kinds in proptest::collection::vec(0usize..5, 6),
+        intervals in proptest::collection::vec(4.0f64..9.0, 6),
+        rates in proptest::collection::vec(90.0f64..180.0, 6),
+        iter_counts in proptest::collection::vec(1usize..5, 6),
+        earlies in proptest::collection::vec(0usize..2, 6),
+        ranks_a in proptest::collection::vec(0usize..1000, 6),
+        ranks_b in proptest::collection::vec(0usize..1000, 6),
+    ) {
+        let app = pema_apps::toy_chain();
+        let specs: Vec<MemberSpec> = (0..n)
+            .map(|i| MemberSpec {
+                kind: kinds[i],
+                interval_s: intervals[i],
+                rps: rates[i],
+                iters: iter_counts[i],
+                early: earlies[i] == 1,
+            })
+            .collect();
+
+        // Ground truth: each member run solo through Experiment::run.
+        let solo: Vec<String> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| render(&s.build(&app, i).solo()))
+            .collect();
+
+        // The same members fleet-scheduled under two arbitrary
+        // tie-break permutations.
+        for ranks in [&ranks_a, &ranks_b] {
+            let mut fleet = Fleet::new();
+            for (i, s) in specs.iter().enumerate() {
+                fleet = s.build(&app, i).add_to(fleet);
+            }
+            let result = fleet.tie_break(ranks[..n].to_vec()).run();
+            prop_assert_eq!(result.runs.len(), n);
+            for (i, run) in result.runs.iter().enumerate() {
+                let rendered = render(&run.result);
+                prop_assert!(
+                    rendered == solo[i],
+                    "member {} diverged from its solo run under schedule {:?}",
+                    i,
+                    &ranks[..n]
+                );
+            }
+        }
+    }
+}

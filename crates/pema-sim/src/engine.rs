@@ -166,6 +166,31 @@ struct TraceBuilder {
     start: SimTime,
 }
 
+/// A measurement window opened by [`ClusterSim::open_window`] and not
+/// yet closed — the incremental counterpart of [`ClusterSim::run_window`].
+///
+/// Holding this handle does not borrow the simulator; it only carries
+/// the window boundaries, so a fleet scheduler can keep many simulators
+/// mid-window at once and advance each in turn.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenWindow {
+    start: SimTime,
+    end: SimTime,
+    window_s: f64,
+}
+
+impl OpenWindow {
+    /// Virtual time the window ends at, seconds.
+    pub fn end_s(&self) -> f64 {
+        self.end.as_secs()
+    }
+
+    /// The requested window length, seconds.
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+}
+
 impl ClusterSim {
     /// Builds a simulator for a validated application spec.
     ///
@@ -364,11 +389,9 @@ impl ClusterSim {
     /// `window_s` at the given offered load, returning the window's
     /// statistics. Queues persist across calls.
     pub fn run_window(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> WindowStats {
-        self.set_arrival_rate(rps);
-        self.run_until(self.now.plus_secs(warmup_s));
-        self.begin_window(window_s);
-        self.run_until(self.now.plus_secs(window_s));
-        self.end_window(window_s)
+        let w = self.open_window(rps, warmup_s, window_s);
+        self.advance_window(&w, window_s);
+        self.close_window(w)
     }
 
     /// Like [`Self::run_window`], but checks the accumulated p95 every
@@ -386,27 +409,83 @@ impl ClusterSim {
         abort_p95_ms: f64,
     ) -> (WindowStats, bool) {
         assert!(check_every_s > 0.0, "check interval must be positive");
+        let w = self.open_window(rps, warmup_s, window_s);
+        let mut aborted = false;
+        loop {
+            let done = self.advance_window(&w, check_every_s);
+            if self.window_p95_ms().is_some_and(|p95| p95 > abort_p95_ms) {
+                aborted = true;
+                break;
+            }
+            if done {
+                break;
+            }
+        }
+        (self.close_window_measured(w), aborted)
+    }
+
+    /// Sets the offered load, runs the settling time, and opens a
+    /// measured window — the first half of [`Self::run_window`], split
+    /// out so callers can advance the window in slices (and interleave
+    /// other work, e.g. other simulators, between slices).
+    ///
+    /// The returned handle must be closed with [`Self::close_window`]
+    /// or [`Self::close_window_measured`] (or dropped via
+    /// [`Self::discard_window`]) before the next window opens.
+    pub fn open_window(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> OpenWindow {
         self.set_arrival_rate(rps);
         self.run_until(self.now.plus_secs(warmup_s));
         self.begin_window(window_s);
-        let start = self.now;
-        let end = self.now.plus_secs(window_s);
-        let mut aborted = false;
-        while self.now < end {
-            let next = self.now.plus_secs(check_every_s).min(end);
-            self.run_until(next);
-            // Require a minimal sample before trusting the estimate.
-            if self.hist.count() >= 50 {
-                if let Some(p95) = self.hist.quantile(0.95) {
-                    if p95 * 1e3 > abort_p95_ms {
-                        aborted = true;
-                        break;
-                    }
-                }
-            }
+        OpenWindow {
+            start: self.now,
+            end: self.now.plus_secs(window_s),
+            window_s,
         }
-        let measured = self.now.secs_since(start);
-        (self.end_window(measured.max(1e-9)), aborted)
+    }
+
+    /// Advances an open window by at most `dt_s` simulated seconds
+    /// (capped at the window end) and reports whether the end was
+    /// reached. Slicing a window into several `advance_window` calls
+    /// dispatches exactly the same event sequence as one
+    /// [`Self::run_until`] to the end — the golden-snapshot tests in
+    /// `pema-bench` pin this bit-identity.
+    pub fn advance_window(&mut self, w: &OpenWindow, dt_s: f64) -> bool {
+        let next = self.now.plus_secs(dt_s).min(w.end);
+        self.run_until(next);
+        self.now >= w.end
+    }
+
+    /// The running p95 of the open window, ms — `None` until a minimal
+    /// sample (50 completions) has accumulated, matching the guard the
+    /// abortable path has always used before trusting the estimate.
+    pub fn window_p95_ms(&self) -> Option<f64> {
+        if self.hist.count() >= 50 {
+            self.hist.quantile(0.95).map(|p95| p95 * 1e3)
+        } else {
+            None
+        }
+    }
+
+    /// Closes a fully-run window, reporting the *requested* length as
+    /// its duration — what [`Self::run_window`] has always done.
+    pub fn close_window(&mut self, w: OpenWindow) -> WindowStats {
+        self.end_window(w.window_s)
+    }
+
+    /// Closes a (possibly partial) window, reporting the *measured*
+    /// length as its duration — what [`Self::run_window_abortable`]
+    /// has always done, whether or not it aborted.
+    pub fn close_window_measured(&mut self, w: OpenWindow) -> WindowStats {
+        let measured = self.now.secs_since(w.start);
+        self.end_window(measured.max(1e-9))
+    }
+
+    /// Abandons an open window without collecting statistics
+    /// (cancellation): recording stops, queues and the clock stay
+    /// where they are, and the next window opens cleanly.
+    pub fn discard_window(&mut self, w: OpenWindow) {
+        let _ = w;
+        self.recording = false;
     }
 
     /// Advances the simulation, processing all events up to `t_end`:

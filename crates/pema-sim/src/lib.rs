@@ -88,7 +88,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
-pub use engine::ClusterSim;
+pub use engine::{ClusterSim, OpenWindow};
 pub use evaluator::{Evaluator, SimEvaluator};
 pub use fluid::{FluidEvaluator, BURST_P90_DEFAULT};
 pub use queue::CalendarQueue;

@@ -12,6 +12,9 @@
 //! pema-cli record   --app sockshop --rps 700 --out run.jsonl [--iters N]
 //! pema-cli replay   --trace run.jsonl [--policy pema|rule|hold]
 //!                   [--lenient] [--assert-zero-divergence]
+//! pema-cli fleet    --count 16 [--app sockshop|mixed] [--rps R] [--iters N]
+//!                   [--backend sim|fluid] [--policy pema|rule|hold|mixed]
+//!                   [--interval S] [--seed K]
 //!
 //! pema-cli list                              list experiment scenarios
 //! pema-cli all  [--jobs N] [--smoke] [--force]    run the whole suite
@@ -51,6 +54,7 @@ fn main() {
         "trace" => cmd_trace(&parse_flags(&args[1..])),
         "record" => cmd_record(&parse_flags(&args[1..])),
         "replay" => cmd_replay(&parse_flags(&args[1..])),
+        "fleet" => cmd_fleet(&parse_flags(&args[1..])),
         "list" => delegate_bench("list", &args[1..]),
         "all" => delegate_bench("all", &args[1..]),
         "perf" => delegate_bench("perf", &args[1..]),
@@ -81,6 +85,11 @@ fn usage() {
          \x20          --warmup S --early-check S --policy pema|rule]  record a DES run\n\
          \x20 replay   --trace F.jsonl [--policy pema|rule|hold] [--lenient]\n\
          \x20          [--assert-zero-divergence]     replay it under another policy\n\
+         \n\
+         concurrent fleet (many apps, one process):\n\
+         \x20 fleet    --count N [--app A|mixed] [--rps R] [--iters N] [--seed K]\n\
+         \x20          [--backend sim|fluid] [--policy pema|rule|hold|mixed]\n\
+         \x20          [--interval S]                 drive N control loops concurrently\n\
          \n\
          experiment-suite commands (scenario registry; delegate to `bench`):\n\
          \x20 list                                 list registered scenarios\n\
@@ -471,6 +480,133 @@ fn cmd_replay(flags: &HashMap<String, String>) {
             exit(1);
         }
     }
+}
+
+/// Drives `--count` control loops concurrently from this one process
+/// (`pema-cli fleet`): the CLI face of `pema_control::Fleet`. Apps,
+/// policies, and loads cycle deterministically when `mixed`.
+fn cmd_fleet(flags: &HashMap<String, String>) {
+    let count = get_f64(flags, "count", 8.0) as usize;
+    if count == 0 {
+        eprintln!("--count must be at least 1");
+        exit(2);
+    }
+    let iters = get_f64(flags, "iters", 10.0) as usize;
+    if iters == 0 {
+        eprintln!("--iters must be at least 1");
+        exit(2);
+    }
+    let interval_s = get_f64(flags, "interval", 40.0);
+    let seed0 = get_f64(flags, "seed", 7.0) as u64;
+    let app_sel = flags.get("app").map(String::as_str).unwrap_or("mixed");
+    let policy_sel = flags.get("policy").map(String::as_str).unwrap_or("mixed");
+    let backend_sel = flags.get("backend").map(String::as_str).unwrap_or("fluid");
+    if !matches!(backend_sel, "sim" | "fluid") {
+        eprintln!("--backend must be sim or fluid, got '{backend_sel}'");
+        exit(2);
+    }
+
+    // (app, nominal rps) templates the members cycle through.
+    let templates: Vec<(AppSpec, f64)> = match app_sel {
+        "mixed" => pema::pema_apps::fleet_mix(),
+        name => {
+            let app = pema::pema_apps::by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown app '{name}' (try `pema-cli apps`, or 'mixed')");
+                exit(2);
+            });
+            let rps = get_f64(flags, "rps", 0.0);
+            if rps <= 0.0 {
+                eprintln!("--rps is required with a single --app");
+                exit(2);
+            }
+            vec![(app, rps)]
+        }
+    };
+    let rps_override = flags.get("rps").map(|_| get_f64(flags, "rps", 0.0));
+    let policies = ["pema", "rule", "hold"];
+
+    let mut fleet = Fleet::new();
+    let mut labels = Vec::new();
+    for i in 0..count {
+        let (app, nominal) = &templates[i % templates.len()];
+        let rps = rps_override
+            .unwrap_or_else(|| pema::pema_apps::fleet_rps(*nominal, i, templates.len()));
+        let policy = match policy_sel {
+            "mixed" => policies[i % policies.len()],
+            p if policies.contains(&p) => p,
+            other => {
+                eprintln!("unknown --policy '{other}' (pema, rule, hold, mixed)");
+                exit(2);
+            }
+        };
+        let cfg = HarnessConfig {
+            interval_s,
+            warmup_s: 4.0,
+            seed: seed0.wrapping_add(i as u64),
+        };
+        let name = format!("{}-{i}", app.name);
+        let builder = Experiment::builder()
+            .app(app)
+            .config(cfg)
+            .rps(rps)
+            .iters(iters);
+        // The backend × policy grid, spelled out: the builder is
+        // generic over both slots, so each combination is its own type.
+        fleet = match (backend_sel, policy) {
+            ("fluid", "pema") => {
+                let mut p = PemaParams::defaults(app.slo_ms);
+                p.seed = seed0 ^ i as u64;
+                fleet.add_named(name, builder.backend(UseFluid).policy(Pema(p)))
+            }
+            ("fluid", "rule") => fleet.add_named(name, builder.backend(UseFluid).policy(Rule)),
+            ("fluid", _) => fleet.add_named(
+                name,
+                builder
+                    .backend(UseFluid)
+                    .policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms)),
+            ),
+            (_, "pema") => {
+                let mut p = PemaParams::defaults(app.slo_ms);
+                p.seed = seed0 ^ i as u64;
+                fleet.add_named(name, builder.policy(Pema(p)))
+            }
+            (_, "rule") => fleet.add_named(name, builder.policy(Rule)),
+            _ => fleet.add_named(
+                name,
+                builder.policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms)),
+            ),
+        };
+        labels.push((policy, rps));
+    }
+
+    println!(
+        "fleet: {count} loops × {iters} intervals on one process ({backend_sel} backend, {policy_sel} policies)"
+    );
+    let t0 = std::time::Instant::now();
+    let result = fleet.run();
+    let wall = t0.elapsed();
+    println!(
+        "{:<22} {:>6} {:>7} {:>10} {:>6} {:>9}",
+        "member", "policy", "rps", "settledCPU", "viol", "end(s)"
+    );
+    for (run, (policy, rps)) in result.runs.iter().zip(&labels) {
+        println!(
+            "{:<22} {:>6} {:>7.0} {:>10.2} {:>6} {:>9.0}",
+            run.name,
+            policy,
+            rps,
+            run.result.settled_total(8),
+            run.result.violations(),
+            run.end_s
+        );
+    }
+    println!(
+        "\nfleet done in {wall:.2?}: {} app-intervals ({:.0}/sec), {} scheduler polls, virtual span {:.0} s",
+        result.total_intervals(),
+        result.total_intervals() as f64 / wall.as_secs_f64().max(1e-9),
+        result.polls,
+        result.span_s()
+    );
 }
 
 fn cmd_trace(flags: &HashMap<String, String>) {
