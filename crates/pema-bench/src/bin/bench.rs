@@ -43,6 +43,9 @@ fn usage(unknown: Option<&str>) -> ! {
          \x20      --backend sim|fluid|trace:<path> backend for participating\n\
          \x20                                       closed-loop scenarios (default sim;\n\
          \x20                                       DES goldens stay authoritative)\n\
+         \x20      --fleet-threads N                shard fleet scenarios across N\n\
+         \x20                                       workers (0 = auto; CSVs identical\n\
+         \x20                                       for every value)\n\
          \x20 perf [--smoke] [--label L] [--out F] [--check BASELINE.json]\n\
          \x20                                       perf harness → benchmarks/BENCH_<L>.json;\n\
          \x20                                       --check fails on >25% macro regression\n\
@@ -134,6 +137,16 @@ fn cmd_run(args: &[String], all: bool) {
             }
             "--smoke" => cfg.smoke = true,
             "--force" => cfg.force = true,
+            "--fleet-threads" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--fleet-threads needs a value (0 = auto)");
+                    exit(2);
+                });
+                cfg.fleet_threads = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--fleet-threads must be a number, got '{v}'");
+                    exit(2);
+                });
+            }
             "--backend" => {
                 let v = it.next().unwrap_or_else(|| {
                     eprintln!("--backend needs a value (sim, fluid, or trace:<path>)");

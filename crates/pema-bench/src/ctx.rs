@@ -16,8 +16,7 @@ use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Default results directory: `$PEMA_RESULTS_DIR` or `./results`.
 /// Nothing is created until a scenario writes.
@@ -50,6 +49,7 @@ pub struct ExperimentCtx {
     out: String,
     optm: Arc<OptmCache>,
     backend: BackendSel,
+    fleet_threads: usize,
     /// Parsed once per context for `BackendSel::Trace` — scenarios
     /// build several backends per run and must not re-read the file
     /// each time.
@@ -63,6 +63,7 @@ impl ExperimentCtx {
         results_dir: PathBuf,
         optm: Arc<OptmCache>,
         backend: BackendSel,
+        fleet_threads: usize,
     ) -> Self {
         Self {
             id,
@@ -72,6 +73,7 @@ impl ExperimentCtx {
             out: String::new(),
             optm,
             backend,
+            fleet_threads,
             trace: RefCell::new(None),
         }
     }
@@ -90,6 +92,14 @@ impl ExperimentCtx {
     /// The directory this scenario's CSVs land in.
     pub fn results_dir(&self) -> &Path {
         &self.results_dir
+    }
+
+    /// Worker threads fleet scenarios shard their members across
+    /// (`--fleet-threads`; 0 = one per core, default 1). Output is
+    /// byte-identical for every value — the knob exists so CI can prove
+    /// it by diffing sharded runs against the single-threaded goldens.
+    pub fn fleet_threads(&self) -> usize {
+        self.fleet_threads
     }
 
     // ---- human output (buffered; the executor prints it whole) ----
@@ -256,8 +266,8 @@ impl ExperimentCtx {
     /// no counterpart on a recorded tape.
     pub fn measure(&self, app: &AppSpec, alloc: &Allocation, rps: f64, seed: u64) -> WindowStats {
         let (warmup, window) = self.window(4.0, 20.0);
-        let captured: Rc<RefCell<Option<WindowStats>>> = Rc::new(RefCell::new(None));
-        let sink = Rc::clone(&captured);
+        let captured: Arc<Mutex<Option<WindowStats>>> = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&captured);
         let backend: Box<dyn ClusterBackend> = match self.backend {
             BackendSel::Fluid => Box::new(FluidBackend::new(app)),
             _ => Box::new(SimBackend::bare(app, seed)),
@@ -274,10 +284,10 @@ impl ExperimentCtx {
             .rps(rps)
             .iters(1)
             .observer(move |_log: &IterationLog, stats: &WindowStats| {
-                *sink.borrow_mut() = Some(stats.clone());
+                *sink.lock().unwrap() = Some(stats.clone());
             })
             .run();
-        let stats = captured.borrow_mut().take();
+        let stats = captured.lock().unwrap().take();
         stats.expect("one-interval run must observe exactly one window")
     }
 
@@ -325,6 +335,7 @@ mod tests {
             dir.to_path_buf(),
             Arc::new(OptmCache::new(dir.to_path_buf(), true)),
             BackendSel::default(),
+            1,
         )
     }
 

@@ -87,6 +87,10 @@ pub struct SuiteConfig {
     /// Backend the participating scenarios drive closed-loop runs
     /// against (DES by default).
     pub backend: BackendSel,
+    /// Worker threads fleet scenarios shard their members across
+    /// (`--fleet-threads`; 0 → one per core). Output is byte-identical
+    /// for every value.
+    pub fleet_threads: usize,
 }
 
 impl Default for SuiteConfig {
@@ -98,6 +102,7 @@ impl Default for SuiteConfig {
             force: false,
             results_dir: None,
             backend: BackendSel::default(),
+            fleet_threads: 1,
         }
     }
 }
@@ -160,11 +165,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> io::Result<Vec<ScenarioReport>> {
     let selected = resolve(cfg)?;
     let results_dir = cfg.results_dir.clone().unwrap_or_else(default_results_dir);
     let optm = Arc::new(OptmCache::new(results_dir.clone(), cfg.smoke));
-    let jobs = match cfg.jobs {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        n => n,
-    }
-    .min(selected.len().max(1));
+    let jobs = pema::prelude::resolve_threads(cfg.jobs).min(selected.len().max(1));
 
     let queue: Mutex<VecDeque<&'static dyn Scenario>> =
         Mutex::new(selected.iter().copied().collect());
@@ -219,6 +220,7 @@ fn run_one(
         results_dir.to_path_buf(),
         Arc::clone(optm),
         cfg.backend.clone(),
+        cfg.fleet_threads,
     );
     let t0 = Instant::now();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run(&mut ctx)));

@@ -114,6 +114,12 @@ pub struct MacroResult {
     pub events: u64,
     /// Events per wall second (0 when `events` is 0).
     pub events_per_sec: f64,
+    /// Peak process RSS (VmHWM) sampled right after the bench, bytes.
+    /// Tracked for the fleet entries, whose memory footprint is part
+    /// of the scaling story; 0 when not tracked. VmHWM is process-wide
+    /// and monotone, so this is an upper bound including everything
+    /// the harness ran before this entry.
+    pub rss_bytes: u64,
 }
 
 /// Everything one `bench perf` run measured.
@@ -332,6 +338,7 @@ fn run_macro_sims(smoke: bool) -> Vec<MacroResult> {
             wall_ms: wall_s * 1e3,
             events,
             events_per_sec: events as f64 / wall_s.max(1e-9),
+            rss_bytes: 0,
         };
         println!(
             "perf: {name}: {} events in {:.1} ms ({:.0} events/sec)",
@@ -342,51 +349,88 @@ fn run_macro_sims(smoke: bool) -> Vec<MacroResult> {
     .collect()
 }
 
+/// Builds the standard mixed fluid fleet the macro benches drive:
+/// the three paper apps cycled, PEMA/RULE/HOLD policies cycled,
+/// sharded across `threads` workers (0 = auto).
+fn build_fluid_fleet(apps: usize, iters: usize, threads: usize) -> pema::prelude::Fleet {
+    use pema::prelude::*;
+    let templates = pema_apps::fleet_mix();
+    let mut fleet = Fleet::new().threads(threads);
+    for i in 0..apps {
+        let (app, rps) = &templates[i % templates.len()];
+        let builder = Experiment::builder()
+            .app(app)
+            .backend(UseFluid)
+            .config(HarnessConfig::with_seed(0xF1E + i as u64))
+            .rps(*rps)
+            .iters(iters);
+        fleet = match i % 3 {
+            0 => {
+                let mut p = PemaParams::defaults(app.slo_ms);
+                p.seed = i as u64;
+                fleet.add(builder.policy(Pema(p)))
+            }
+            1 => fleet.add(builder.policy(Rule)),
+            _ => fleet.add(builder.policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))),
+        };
+    }
+    fleet
+}
+
 /// Fleet-throughput macro benches: one process multiplexing many
 /// control loops through `pema_control::Fleet` (the non-blocking
-/// backend seam). Two axes, best-of-reps like the sim benches:
+/// backend seam). Best-of-reps like the sim benches:
 ///
 /// * `fleet_fluid_64x40` — 64 mixed-policy fluid-backed apps × 40
 ///   intervals: pure scheduler + control-plane cost (the fluid window
 ///   evaluation is microseconds, so heap churn, poll dispatch, and
 ///   per-interval bookkeeping dominate). The metric is app-intervals
-///   per second, reported through `events`/`events_per_sec`.
+///   per second, reported through `events`/`events_per_sec`. Timed
+///   including fleet construction (the historical definition — this
+///   name is a baseline join key).
 /// * `fleet_sim_8x4` — 8 DES-backed toy-chain apps × 4 intervals with
 ///   2 s early checks: the multi-poll interleaving path, where windows
-///   advance one check slice per poll.
+///   advance one check slice per poll. Also construction-inclusive.
+/// * `fleet_fluid_10k` — the ROADMAP scale point: 10,000 fluid-backed
+///   apps × 10 intervals in one process, sharded across all cores
+///   (`threads = auto`). Times `Fleet::run` only (construction
+///   excluded), and records peak RSS so the per-app memory footprint
+///   is tracked alongside throughput.
+/// * `fleet_threads_scaling_t{1,2,4,8}` — a fixed 2048-app × 10-interval
+///   fleet at pinned thread counts: the sharding speedup curve.
+///   App-intervals/sec at t8 vs t1 is the headline scaling number
+///   (meaningful only on multi-core hosts; single-core machines
+///   record a flat curve, which is itself the honest datum).
 fn run_macro_fleet(smoke: bool) -> Vec<MacroResult> {
     use pema::prelude::*;
 
     let reps = if smoke { 2 } else { 5 };
     let mut out = Vec::new();
 
+    // Construction-inclusive timing: the historical definition for the
+    // baseline-joined entries.
     let fluid = |apps: usize, iters: usize| -> (u64, f64) {
-        let templates = pema_apps::fleet_mix();
         let mut best = f64::INFINITY;
         let mut intervals = 0u64;
         for _ in 0..reps {
             let t0 = Instant::now();
-            let mut fleet = Fleet::new();
-            for i in 0..apps {
-                let (app, rps) = &templates[i % templates.len()];
-                let builder = Experiment::builder()
-                    .app(app)
-                    .backend(UseFluid)
-                    .config(HarnessConfig::with_seed(0xF1E + i as u64))
-                    .rps(*rps)
-                    .iters(iters);
-                fleet = match i % 3 {
-                    0 => {
-                        let mut p = PemaParams::defaults(app.slo_ms);
-                        p.seed = i as u64;
-                        fleet.add(builder.policy(Pema(p)))
-                    }
-                    1 => fleet.add(builder.policy(Rule)),
-                    _ => fleet.add(
-                        builder.policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms)),
-                    ),
-                };
-            }
+            let result = build_fluid_fleet(apps, iters, 1).run();
+            let wall = t0.elapsed().as_secs_f64();
+            intervals = result.total_intervals() as u64;
+            best = best.min(wall);
+        }
+        (intervals, best)
+    };
+
+    // Run-only timing for the scaling entries: construction is
+    // single-threaded by design, so including it would understate the
+    // scheduler speedup being measured.
+    let fluid_run_only = |apps: usize, iters: usize, threads: usize, reps: usize| -> (u64, f64) {
+        let mut best = f64::INFINITY;
+        let mut intervals = 0u64;
+        for _ in 0..reps {
+            let fleet = build_fluid_fleet(apps, iters, threads);
+            let t0 = Instant::now();
             let result = fleet.run();
             let wall = t0.elapsed().as_secs_f64();
             intervals = result.total_intervals() as u64;
@@ -427,26 +471,49 @@ fn run_macro_fleet(smoke: bool) -> Vec<MacroResult> {
         (intervals, best)
     };
 
-    // Same workloads in smoke and full mode (both finish in tens of
-    // milliseconds) — the names encode the parameters and are the
-    // baseline join keys, so the measured workload must never depend
-    // on the mode; only `reps` shrinks under smoke.
-    let cases: [(&str, (u64, f64)); 2] = [
-        ("fleet_fluid_64x40", fluid(64, 40)),
-        ("fleet_sim_8x4", sim(8, 4)),
-    ];
-    for (name, (intervals, wall_s)) in cases {
+    // RSS is sampled immediately after each bench completes, so an
+    // entry's footprint reflects the fleets run up to and including it
+    // (VmHWM is monotone — later entries can only read equal or
+    // higher).
+    let mut push = |name: String, (intervals, wall_s): (u64, f64)| {
         let r = MacroResult {
-            name: name.to_string(),
+            name,
             wall_ms: wall_s * 1e3,
             events: intervals,
             events_per_sec: intervals as f64 / wall_s.max(1e-9),
+            rss_bytes: peak_rss_bytes(),
         };
         println!(
-            "perf: {name}: {} app-intervals in {:.1} ms ({:.0} intervals/sec)",
-            r.events, r.wall_ms, r.events_per_sec
+            "perf: {}: {} app-intervals in {:.1} ms ({:.0} intervals/sec, peak rss {:.0} MiB)",
+            r.name,
+            r.events,
+            r.wall_ms,
+            r.events_per_sec,
+            r.rss_bytes as f64 / (1024.0 * 1024.0)
         );
         out.push(r);
+    };
+
+    // Same workloads in smoke and full mode (both finish quickly) —
+    // the names encode the parameters and are the baseline join keys,
+    // so the measured workload must never depend on the mode; only
+    // `reps` shrinks under smoke.
+    push("fleet_fluid_64x40".to_string(), fluid(64, 40));
+    push("fleet_sim_8x4".to_string(), sim(8, 4));
+
+    // The sharding axes: bigger fleets, fewer reps. fleet_fluid_10k
+    // runs before the scaling curve so its RSS sample is the clean
+    // 10k-app footprint.
+    let scale_reps = if smoke { 1 } else { 2 };
+    push(
+        "fleet_fluid_10k".to_string(),
+        fluid_run_only(10_000, 10, 0, scale_reps),
+    );
+    for threads in [1usize, 2, 4, 8] {
+        push(
+            format!("fleet_threads_scaling_t{threads}"),
+            fluid_run_only(2048, 10, threads, scale_reps),
+        );
     }
     out
 }
@@ -478,6 +545,7 @@ fn run_macro_scenarios() -> io::Result<Vec<MacroResult>> {
             wall_ms: r.wall.as_secs_f64() * 1e3,
             events: 0,
             events_per_sec: 0.0,
+            rss_bytes: 0,
         });
     }
     Ok(out)
@@ -665,9 +733,16 @@ impl PerfReport {
         s.push_str("  ],\n");
         s.push_str("  \"macro\": [\n");
         for (i, m) in self.macro_.iter().enumerate() {
+            // rss_bytes is additive (absent ⇔ 0) so older readers and
+            // baselines parse entries with or without it.
+            let rss = if m.rss_bytes > 0 {
+                format!(", \"rss_bytes\": {}", m.rss_bytes)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 s,
-                "    {{\"name\": {}, \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}}}{}",
+                "    {{\"name\": {}, \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}{rss}}}{}",
                 json::quote(&m.name),
                 m.wall_ms,
                 m.events,
@@ -967,6 +1042,7 @@ mod tests {
                 wall_ms: 100.0,
                 events: 5000,
                 events_per_sec: 50_000.0,
+                rss_bytes: 7_000_000,
             }],
             baseline: None,
         };
@@ -1015,12 +1091,14 @@ mod tests {
                 wall_ms: 100.0,
                 events: 10,
                 events_per_sec: 500.0, // halved throughput → regression
+                rss_bytes: 0,
             },
             MacroResult {
                 name: "scenario_y".to_string(),
                 wall_ms: 40.0, // faster → fine
                 events: 0,
                 events_per_sec: 0.0,
+                rss_bytes: 0,
             },
         ];
         let cmp = compare_against(&path, &current, false, 0.0).unwrap();
@@ -1033,12 +1111,14 @@ mod tests {
                 wall_ms: 50.0,
                 events: 10,
                 events_per_sec: 2000.0,
+                rss_bytes: 0,
             },
             MacroResult {
                 name: "scenario_y".to_string(),
                 wall_ms: 49.0,
                 events: 0,
                 events_per_sec: 0.0,
+                rss_bytes: 0,
             },
         ];
         let cmp = compare_against(&path, &improved, false, 0.0).unwrap();

@@ -24,9 +24,8 @@
 
 use crate::ExperimentCtx;
 use pema::prelude::*;
-use std::cell::RefCell;
 use std::io;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 crate::declare_scenario!(
     FleetScale,
@@ -42,19 +41,20 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     let policy_names = ["pema", "rule", "hold"];
 
     // Per-app interval rows, indexed by member — the observers append
-    // as the scheduler interleaves, but each member writes only its own
-    // bucket, so the concatenation below is scheduling-invariant.
-    let interval_rows: Rc<RefCell<Vec<Vec<String>>>> =
-        Rc::new(RefCell::new(vec![Vec::new(); n_apps]));
+    // as the scheduler (possibly across shard threads) interleaves, but
+    // each member writes only its own bucket, so the concatenation
+    // below is scheduling- and thread-count-invariant.
+    let interval_rows: Arc<Mutex<Vec<Vec<String>>>> =
+        Arc::new(Mutex::new(vec![Vec::new(); n_apps]));
 
-    let mut fleet = Fleet::new();
+    let mut fleet = Fleet::new().threads(ctx.fleet_threads());
     let mut labels: Vec<(String, String, f64)> = Vec::new(); // (app, policy, rps)
     for i in 0..n_apps {
         let (app, base_rps) = &templates[i % templates.len()];
         let rps = pema_apps::fleet_rps(*base_rps, i, templates.len());
         let policy = policy_names[i % policy_names.len()];
         let cfg = ctx.harness_cfg(0xF1EE7 + i as u64);
-        let sink = Rc::clone(&interval_rows);
+        let sink = Arc::clone(&interval_rows);
         let app_name = app.name.clone();
         let builder = Experiment::builder()
             .app(app)
@@ -63,7 +63,7 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             .rps(rps)
             .iters(iters)
             .observer(move |log: &IterationLog, _stats: &WindowStats| {
-                sink.borrow_mut()[i].push(format!(
+                sink.lock().unwrap()[i].push(format!(
                     "{i},{app_name},{},{:.0},{:.3},{:.2},{},{}",
                     log.iter, log.rps, log.total_cpu, log.p95_ms, log.violated as u8, log.action
                 ));
@@ -134,7 +134,13 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
         &tbl,
     );
 
-    let apps_rows: Vec<String> = interval_rows.borrow().iter().flatten().cloned().collect();
+    let apps_rows: Vec<String> = interval_rows
+        .lock()
+        .unwrap()
+        .iter()
+        .flatten()
+        .cloned()
+        .collect();
     ctx.write_csv(
         "fleet_scale_apps",
         "app_idx,app,iter,rps,total_cpu,p95_ms,violated,action",

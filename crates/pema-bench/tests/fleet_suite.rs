@@ -4,7 +4,9 @@
 //! scheduler, the fluid backend, nor the scenario's own aggregation
 //! can drift silently. Scheduling-order invariance is proven at the
 //! `Fleet` level by the property tests in `pema-control`; `--jobs`
-//! invariance of these CSVs is pinned by `registry_suite.rs`.
+//! invariance of these CSVs is pinned by `registry_suite.rs`; and
+//! `--fleet-threads` invariance (sharded scheduler, same bytes) is
+//! pinned here against the single-threaded run.
 
 use pema_bench::{run_suite, Outcome, SuiteConfig};
 use std::path::{Path, PathBuf};
@@ -15,12 +17,13 @@ fn tmp_dir(name: &str) -> PathBuf {
     d
 }
 
-fn run_fleet_scale(dir: &Path) {
+fn run_fleet_scale_threaded(dir: &Path, fleet_threads: usize) {
     let cfg = SuiteConfig {
         only: Some(vec!["fleet_scale".to_string()]),
         smoke: true,
         force: true,
         results_dir: Some(dir.to_path_buf()),
+        fleet_threads,
         ..SuiteConfig::default()
     };
     let reports = run_suite(&cfg).expect("suite runs");
@@ -28,6 +31,10 @@ fn run_fleet_scale(dir: &Path) {
         matches!(reports[0].outcome, Outcome::Completed),
         "{reports:?}"
     );
+}
+
+fn run_fleet_scale(dir: &Path) {
+    run_fleet_scale_threaded(dir, 1);
 }
 
 #[test]
@@ -61,6 +68,29 @@ fn fleet_scale_csvs_match_committed_goldens() {
         compared += 1;
     }
     assert_eq!(compared, 2, "expected the summary + per-interval goldens");
+}
+
+#[test]
+fn fleet_scale_csvs_are_invariant_to_fleet_threads() {
+    // The scenario-level face of the sharding guarantee: the exact
+    // bytes the suite writes — including the per-interval rows the
+    // observers emit from shard worker threads — match the
+    // single-threaded (and hence golden) output at 2, 7, and auto
+    // worker threads.
+    let base = tmp_dir("threads-1");
+    run_fleet_scale_threaded(&base, 1);
+    for threads in [2usize, 7, 0] {
+        let dir = tmp_dir(&format!("threads-{threads}"));
+        run_fleet_scale_threaded(&dir, threads);
+        for name in ["fleet_scale.csv", "fleet_scale_apps.csv"] {
+            let a = std::fs::read(base.join(name)).unwrap();
+            let b = std::fs::read(dir.join(name)).unwrap();
+            assert_eq!(
+                a, b,
+                "{name} differs between --fleet-threads 1 and {threads}"
+            );
+        }
+    }
 }
 
 #[test]

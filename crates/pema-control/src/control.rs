@@ -140,9 +140,9 @@ impl RunResult {
 /// full [`WindowStats`] it was derived from (per-service utilizations,
 /// throttle times, …), so CSV emitters need no side channel into the
 /// backend. Any `FnMut(&IterationLog, &WindowStats)` closure is an
-/// observer; share state with the caller through `Rc<RefCell<…>>` when
+/// observer; share state with the caller through `Arc<Mutex<…>>` when
 /// the run is built through the [`Experiment`](crate::Experiment)
-/// facade.
+/// facade (`Send` so fleet members can run on worker threads).
 pub trait Observer {
     /// Called once per control interval, after the decision was applied
     /// and the interval logged.
@@ -177,7 +177,7 @@ pub struct ControlLoop<P: Policy, B: ClusterBackend = SimBackend> {
     early_check_s: Option<f64>,
     iter: usize,
     log: Vec<IterationLog>,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
     /// The interval currently being measured through the non-blocking
     /// seam, if any (see [`poll_step`](Self::poll_step)).
     pending: Option<PendingInterval>,
@@ -240,13 +240,14 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
         self
     }
 
-    /// Registers a per-interval observer.
-    pub fn observe(mut self, obs: impl Observer + 'static) -> Self {
+    /// Registers a per-interval observer (`Send`, so the loop can run
+    /// as a fleet member on a worker thread).
+    pub fn observe(mut self, obs: impl Observer + Send + 'static) -> Self {
         self.observers.push(Box::new(obs));
         self
     }
 
-    pub(crate) fn push_observer(&mut self, obs: Box<dyn Observer>) {
+    pub(crate) fn push_observer(&mut self, obs: Box<dyn Observer + Send>) {
         self.observers.push(obs);
     }
 

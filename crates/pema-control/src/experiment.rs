@@ -198,7 +198,7 @@ impl<B: ClusterBackend> IntoBackend for B {
 
 pub(crate) enum Load {
     Const(f64),
-    Pattern(Box<dyn Workload>),
+    Pattern(Box<dyn Workload + Send>),
 }
 
 /// The run description — see [`Experiment::builder`] for the grammar
@@ -212,7 +212,7 @@ pub struct ExperimentBuilder<P = Unset, B = UseSim> {
     early_check_s: Option<f64>,
     load: Option<Load>,
     iters: usize,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
 }
 
 impl<P, B> ExperimentBuilder<P, B> {
@@ -265,8 +265,9 @@ impl<P, B> ExperimentBuilder<P, B> {
     }
 
     /// Time-varying offered load for [`run`](Self::run), sampled at
-    /// each interval start (backend virtual time).
-    pub fn workload(mut self, w: impl Workload + 'static) -> Self {
+    /// each interval start (backend virtual time). `Send` so the run
+    /// can join a sharded [`Fleet`](crate::Fleet).
+    pub fn workload(mut self, w: impl Workload + Send + 'static) -> Self {
         self.load = Some(Load::Pattern(Box::new(w)));
         self
     }
@@ -278,8 +279,10 @@ impl<P, B> ExperimentBuilder<P, B> {
     }
 
     /// Registers a per-interval observer (any
-    /// `FnMut(&IterationLog, &WindowStats)` closure qualifies).
-    pub fn observer(mut self, obs: impl Observer + 'static) -> Self {
+    /// `FnMut(&IterationLog, &WindowStats)` closure qualifies; `Send`
+    /// so the run can join a sharded [`Fleet`](crate::Fleet) — share
+    /// state through `Arc<Mutex<…>>`).
+    pub fn observer(mut self, obs: impl Observer + Send + 'static) -> Self {
         self.observers.push(Box::new(obs));
         self
     }

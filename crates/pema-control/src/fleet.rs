@@ -1,16 +1,16 @@
-//! [`Fleet`] — a cooperative scheduler that drives many control loops
+//! [`Fleet`] — a sharded scheduler that drives many control loops
 //! from one process.
 //!
 //! The paper's Fig. 9 loop controls a single application, and the
 //! blocking [`ClusterBackend::measure_window`] seam means one thread
 //! can drive one loop. Production controllers are deployed fleet-wide:
-//! one process watching dozens of applications, each with its own
+//! one process watching thousands of applications, each with its own
 //! monitoring windows, policy state, and virtual clock. This module is
 //! that multiplexer, built on the non-blocking
 //! [`begin_window`](ClusterBackend::begin_window) /
 //! [`poll_window`](ClusterBackend::poll_window) seam.
 //!
-//! ## Design: a hand-rolled poll executor, no tokio
+//! ## Design: sharded poll executors, no tokio
 //!
 //! The offline vendor set has no async runtime, and none is needed:
 //! every shipped backend runs on *virtual* time, so "concurrency" means
@@ -18,12 +18,17 @@
 //! I/O parallelism. Instead of futures + waker plumbing, each loop is a
 //! plain state machine ([`ControlLoop::poll_step`]) that reports when
 //! it next wants service (`ready-at`, in its backend's virtual
-//! seconds), and [`Fleet::run`] is the `pollster`-style block-on: a
-//! min-heap over `(ready_at, tie_rank)` that services whichever loop is
-//! furthest behind in virtual time until every loop completes. A live
-//! (wall-clock) backend slots into the same API by reporting wall
-//! timestamps from `now_s` — the executor never sleeps, so virtual and
-//! real clocks mix freely.
+//! seconds), and [`Fleet::run`] partitions members **by member id**
+//! (`id % threads`) into shards, each shard a `pollster`-style
+//! block-on: a min-heap over `(ready_at, tie_rank)` that services
+//! whichever of its loops is furthest behind in virtual time until
+//! every loop completes. One core caps a single cooperative scheduler
+//! at a few hundred thousand app-intervals/sec; with
+//! [`threads`](Fleet::threads) the shards run on `std::thread::scope`
+//! workers and the ceiling scales with cores. A live (wall-clock)
+//! backend slots into the same API by reporting wall timestamps from
+//! `now_s` — the executor never sleeps, so virtual and real clocks mix
+//! freely.
 //!
 //! ## Determinism
 //!
@@ -32,10 +37,16 @@
 //! scheduling by construction: any poll order yields bit-identical
 //! [`RunResult`]s per member, and a fleet of one is byte-identical to
 //! the plain [`Experiment::run`](crate::Experiment) path (both are
-//! pinned by tests: property tests permute the tie-break order, and a
-//! golden test byte-compares the single-app fleet against the facade).
-//! [`FleetResult::runs`] reports members in insertion order, never
-//! completion order, so downstream CSVs are scheduling-invariant too.
+//! pinned by tests: property tests permute the tie-break order *and*
+//! the thread count, and a golden test byte-compares the single-app
+//! fleet against the facade). Sharding inherits the guarantee: the
+//! partition depends only on member ids and the resolved thread count,
+//! each shard is itself a deterministic cooperative scheduler, and
+//! [`FleetResult::runs`] reports members in insertion order (never
+//! completion order), merged across shards, so downstream CSVs are
+//! byte-identical for **any** `threads` value. [`FleetResult::polls`]
+//! is the sum of per-member poll counts, which scheduling cannot
+//! change either.
 //!
 //! ## Cancellation
 //!
@@ -44,7 +55,10 @@
 //! * **early-check** — a window begun with an [`EarlyCheck`] aborts at
 //!   the first poll whose running p95 breaches the SLO (§6 semantics,
 //!   previously only available inside the blocking
-//!   `measure_window_abortable` spin);
+//!   `measure_window_abortable` spin). Per-shard heaps preserve this:
+//!   the abort decision is a function of the member's own window state
+//!   alone, so it fires at the same virtual poll boundary no matter
+//!   which shard (or how many) the member runs in;
 //! * **loop teardown** — [`ControlLoop::cancel_interval`] abandons an
 //!   in-flight window via [`ClusterBackend::cancel_window`], leaving
 //!   the backend reusable and completed intervals logged.
@@ -65,7 +79,9 @@
 //!         .rps(150.0)
 //!         .iters(4)
 //! };
-//! let fleet = Fleet::new().add(exp(1)).add(exp(2)).run();
+//! // threads(0) = one shard per available core; output is
+//! // byte-identical for any thread count.
+//! let fleet = Fleet::new().threads(0).add(exp(1)).add(exp(2)).run();
 //! assert_eq!(fleet.runs.len(), 2);
 //! assert!(fleet.runs.iter().all(|r| r.result.log.len() == 4));
 //! ```
@@ -79,9 +95,25 @@ use crate::policy::Policy;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Resolves a worker-thread knob: `0` means "one per available core"
+/// (falling back to 1 when parallelism cannot be queried), any other
+/// value is taken literally.
+///
+/// The single source of truth for every `--jobs` / `--threads` flag in
+/// the workspace (the scenario executor, [`Fleet::threads`], and the
+/// CLI all call this), so the `0 → auto` convention cannot drift
+/// between surfaces.
+pub fn resolve_threads(requested: usize) -> usize {
+    match requested {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
 /// Object-safe view of one loop under fleet control: the type-erased
-/// form of `ControlLoop<P, B> + load + iteration budget`.
-trait FleetDriver {
+/// form of `ControlLoop<P, B> + load + iteration budget`. `Send` so
+/// shards can run on scoped worker threads.
+trait FleetDriver: Send {
     /// Services the loop once.
     fn poll(&mut self) -> DriverPoll;
 
@@ -116,7 +148,7 @@ struct LoopDriver<P: Policy, B: ClusterBackend> {
     current_rps: Option<f64>,
 }
 
-impl<P: Policy, B: ClusterBackend> FleetDriver for LoopDriver<P, B> {
+impl<P: Policy + Send, B: ClusterBackend + Send> FleetDriver for LoopDriver<P, B> {
     fn poll(&mut self) -> DriverPoll {
         if self.completed >= self.iters {
             return DriverPoll::Done;
@@ -162,12 +194,14 @@ pub struct FleetRun {
 
 /// Everything a [`Fleet::run`] produced, members in insertion order
 /// (never completion order — downstream output must not depend on
-/// scheduling).
+/// scheduling or the thread count).
 #[derive(Debug, Clone)]
 pub struct FleetResult {
     /// Per-member runs, in the order the members were added.
     pub runs: Vec<FleetRun>,
     /// Scheduler services performed (one per poll of any member).
+    /// A per-member quantity summed across shards, so it is identical
+    /// for every thread count.
     pub polls: u64,
 }
 
@@ -219,20 +253,38 @@ impl Ord for Slot {
     }
 }
 
+/// One member handed to a shard: the driver plus everything needed to
+/// report it back under its original insertion index.
+struct Member {
+    /// Insertion index in the fleet (the member id the partition and
+    /// the result merge key on).
+    idx: usize,
+    /// Tie-break rank among same-instant members of the same shard.
+    rank: usize,
+    name: String,
+    driver: Box<dyn FleetDriver>,
+}
+
 /// The fleet under construction — see the module docs. Add fully
 /// described experiments (policy, backend, load, and iteration count
 /// all set), then [`run`](Self::run).
 #[derive(Default)]
 pub struct Fleet {
-    names: Vec<String>,
-    drivers: Vec<Option<Box<dyn FleetDriver>>>,
+    members: Vec<Option<(String, Box<dyn FleetDriver>)>>,
     tie_break: Option<Vec<usize>>,
+    /// Worker threads for [`run`](Self::run); 0 = one per core.
+    /// Defaults to 1 (the PR 5 single-threaded cooperative scheduler).
+    threads: usize,
 }
 
 impl Fleet {
     /// An empty fleet.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            members: Vec::new(),
+            tie_break: None,
+            threads: 1,
+        }
     }
 
     /// Adds an experiment under an auto-assigned name (`app<i>`).
@@ -248,67 +300,87 @@ impl Fleet {
     where
         P: IntoPolicy,
         B: IntoBackend,
-        P::Policy: 'static,
-        B::Backend: 'static,
+        P::Policy: Send + 'static,
+        B::Backend: Send + 'static,
     {
-        let name = format!("app{}", self.names.len());
+        let name = format!("app{}", self.members.len());
         self.add_named(name, exp)
     }
 
     /// Adds an experiment under an explicit name (the key
-    /// [`FleetResult`] reports it by).
+    /// [`FleetResult`] reports it by). Members must be `Send` — every
+    /// shipped policy and backend is, and observers/workloads share
+    /// state through `Arc<Mutex<…>>` — so shards can run on worker
+    /// threads.
     pub fn add_named<P, B>(mut self, name: impl Into<String>, exp: ExperimentBuilder<P, B>) -> Self
     where
         P: IntoPolicy,
         B: IntoBackend,
-        P::Policy: 'static,
-        B::Backend: 'static,
+        P::Policy: Send + 'static,
+        B::Backend: Send + 'static,
     {
         let (control, load, iters) = exp.into_parts();
         assert!(iters > 0, "Fleet: set .iters(..) on every experiment");
         let load = load.expect("Fleet: set .rps(..) or .workload(..) on every experiment");
-        self.names.push(name.into());
-        self.drivers.push(Some(Box::new(LoopDriver {
-            control,
-            load,
-            iters,
-            completed: 0,
-            current_rps: None,
-        })));
+        self.members.push(Some((
+            name.into(),
+            Box::new(LoopDriver {
+                control,
+                load,
+                iters,
+                completed: 0,
+                current_rps: None,
+            }),
+        )));
         self
     }
 
-    /// Overrides the tie-break priority used when several members are
-    /// ready at the same virtual instant: `order[i]` is member `i`'s
-    /// rank, lower ranks first (default: insertion order). Per-member
-    /// results are scheduling-invariant — this knob exists so the
-    /// property tests can *prove* it, and so experiments can study
-    /// scheduling artifacts if any ever appear.
+    /// Overrides the tie-break priority used when several members of
+    /// the same shard are ready at the same virtual instant: `order[i]`
+    /// is member `i`'s rank, lower ranks first (default: insertion
+    /// order). Per-member results are scheduling-invariant — this knob
+    /// exists so the property tests can *prove* it, and so experiments
+    /// can study scheduling artifacts if any ever appear.
     pub fn tie_break(mut self, order: Vec<usize>) -> Self {
         self.tie_break = Some(order);
         self
     }
 
+    /// Sets the worker-thread count [`run`](Self::run) shards members
+    /// across: members are partitioned by member id (`id % threads`),
+    /// each shard runs its own ready-at min-heap, and the merged
+    /// output is byte-identical for every value of this knob. `0`
+    /// means one thread per available core ([`resolve_threads`]);
+    /// the default is 1 (fully cooperative, no threads spawned).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Number of members added so far.
     pub fn len(&self) -> usize {
-        self.names.len()
+        self.members.len()
     }
 
     /// True when no members were added.
     pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
+        self.members.is_empty()
     }
 
     /// Drives every member to completion, interleaved along the shared
-    /// virtual clock (reconstructed from each member's `now_s`): the
-    /// member furthest behind in virtual time is serviced first, ties
-    /// broken by rank. Returns per-member results in insertion order.
+    /// virtual clock (reconstructed from each member's `now_s`): within
+    /// each shard the member furthest behind in virtual time is
+    /// serviced first, ties broken by rank. With
+    /// [`threads`](Self::threads) > 1 the shards run concurrently on
+    /// `std::thread::scope` workers; results are merged back in
+    /// insertion order, so the output is identical for any thread
+    /// count.
     ///
     /// # Panics
     /// Panics if a [`tie_break`](Self::tie_break) order was given with
     /// the wrong length, or if a backend reports a non-finite time.
     pub fn run(self) -> FleetResult {
-        let n = self.names.len();
+        let n = self.members.len();
         let ranks = match self.tie_break {
             Some(order) => {
                 assert_eq!(
@@ -320,45 +392,52 @@ impl Fleet {
             }
             None => (0..n).collect(),
         };
-        let mut drivers = self.drivers;
-        let mut names: Vec<String> = self.names;
-        let mut results: Vec<Option<FleetRun>> = (0..n).map(|_| None).collect();
-        let mut heap: BinaryHeap<Slot> = BinaryHeap::with_capacity(n);
-        for (idx, d) in drivers.iter().enumerate() {
-            let ready_at = d.as_ref().unwrap().now_s();
-            assert!(ready_at.is_finite(), "member {idx} reports non-finite time");
-            heap.push(Slot {
-                ready_at,
-                rank: ranks[idx],
+        let shards_n = resolve_threads(self.threads).min(n.max(1));
+
+        // Partition by member id: shard k owns members i ≡ k (mod
+        // shards_n). The partition depends only on ids and the resolved
+        // thread count — never on timing — and members are independent,
+        // so any partition yields the same per-member results.
+        let mut shards: Vec<Vec<Member>> = (0..shards_n).map(|_| Vec::new()).collect();
+        for (idx, slot) in self.members.into_iter().enumerate() {
+            let (name, driver) = slot.expect("members are present until run");
+            shards[idx % shards_n].push(Member {
                 idx,
+                rank: ranks[idx],
+                name,
+                driver,
             });
         }
 
+        let mut results: Vec<Option<FleetRun>> = (0..n).map(|_| None).collect();
         let mut polls = 0u64;
-        while let Some(slot) = heap.pop() {
-            let idx = slot.idx;
-            let driver = drivers[idx].as_mut().expect("done members leave the heap");
-            polls += 1;
-            let ready_at = match driver.poll() {
-                DriverPoll::Pending { resume_at_s } => resume_at_s,
-                DriverPoll::Logged => driver.now_s(),
-                DriverPoll::Done => {
-                    let driver = drivers[idx].take().unwrap();
-                    let end_s = driver.now_s();
-                    results[idx] = Some(FleetRun {
-                        name: std::mem::take(&mut names[idx]),
-                        result: driver.finish(),
-                        end_s,
-                    });
-                    continue;
+        if shards_n <= 1 {
+            // Single-threaded: run the one shard inline (the PR 5
+            // cooperative scheduler, unchanged semantics).
+            for shard in shards {
+                let (runs, shard_polls) = run_shard(shard);
+                polls += shard_polls;
+                for (idx, run) in runs {
+                    results[idx] = Some(run);
                 }
-            };
-            assert!(ready_at.is_finite(), "member {idx} reports non-finite time");
-            heap.push(Slot {
-                ready_at,
-                rank: slot.rank,
-                idx,
+            }
+        } else {
+            let outcomes = std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| scope.spawn(move || run_shard(shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fleet shard worker panicked"))
+                    .collect::<Vec<_>>()
             });
+            for (runs, shard_polls) in outcomes {
+                polls += shard_polls;
+                for (idx, run) in runs {
+                    results[idx] = Some(run);
+                }
+            }
         }
 
         FleetResult {
@@ -368,5 +447,90 @@ impl Fleet {
                 .collect(),
             polls,
         }
+    }
+}
+
+/// Drives one shard's members to completion over its own ready-at
+/// min-heap. Returns each member's run keyed by its fleet-wide
+/// insertion index, plus the shard's poll count.
+fn run_shard(members: Vec<Member>) -> (Vec<(usize, FleetRun)>, u64) {
+    let n = members.len();
+    let mut names: Vec<String> = Vec::with_capacity(n);
+    let mut drivers: Vec<Option<Box<dyn FleetDriver>>> = Vec::with_capacity(n);
+    let mut fleet_idx: Vec<usize> = Vec::with_capacity(n);
+    let mut heap: BinaryHeap<Slot> = BinaryHeap::with_capacity(n);
+    for (local, m) in members.into_iter().enumerate() {
+        let ready_at = m.driver.now_s();
+        assert!(
+            ready_at.is_finite(),
+            "member {} reports non-finite time",
+            m.idx
+        );
+        heap.push(Slot {
+            ready_at,
+            rank: m.rank,
+            idx: local,
+        });
+        names.push(m.name);
+        drivers.push(Some(m.driver));
+        fleet_idx.push(m.idx);
+    }
+
+    let mut polls = 0u64;
+    let mut out: Vec<(usize, FleetRun)> = Vec::with_capacity(n);
+    while let Some(slot) = heap.pop() {
+        let local = slot.idx;
+        let driver = drivers[local]
+            .as_mut()
+            .expect("done members leave the heap");
+        polls += 1;
+        let ready_at = match driver.poll() {
+            DriverPoll::Pending { resume_at_s } => resume_at_s,
+            DriverPoll::Logged => driver.now_s(),
+            DriverPoll::Done => {
+                let driver = drivers[local].take().unwrap();
+                let end_s = driver.now_s();
+                out.push((
+                    fleet_idx[local],
+                    FleetRun {
+                        name: std::mem::take(&mut names[local]),
+                        result: driver.finish(),
+                        end_s,
+                    },
+                ));
+                continue;
+            }
+        };
+        assert!(
+            ready_at.is_finite(),
+            "member {} reports non-finite time",
+            fleet_idx[local]
+        );
+        heap.push(Slot {
+            ready_at,
+            rank: slot.rank,
+            idx: local,
+        });
+    }
+    (out, polls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::resolve_threads;
+
+    #[test]
+    fn explicit_thread_counts_pass_through() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert_eq!(resolve_threads(64), 64);
+    }
+
+    #[test]
+    fn zero_resolves_to_available_parallelism() {
+        let auto = resolve_threads(0);
+        assert!(auto >= 1);
+        let expected = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(auto, expected);
     }
 }

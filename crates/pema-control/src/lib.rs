@@ -95,5 +95,5 @@ pub use experiment::{
     Experiment, ExperimentBuilder, IntoBackend, IntoPolicy, Managed, Pema, Rule, Unset, UseFluid,
     UseSim,
 };
-pub use fleet::{Fleet, FleetResult, FleetRun};
+pub use fleet::{resolve_threads, Fleet, FleetResult, FleetRun};
 pub use policy::{stats_to_obs, Decision, HoldPolicy, Policy, RulePolicy};

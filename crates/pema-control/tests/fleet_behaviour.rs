@@ -165,6 +165,56 @@ fn cancel_interval_mid_window_leaves_the_loop_reusable() {
 }
 
 #[test]
+fn sharded_fleet_matches_single_threaded_run() {
+    // The deterministic (non-proptest) face of the thread-invariance
+    // wall: a mixed fleet — DES with early checks, fluid RULE/HOLD,
+    // unequal iteration counts — rendered bit-for-bit identical when
+    // sharded across 3 workers, when over-sharded (more threads than
+    // members), and under auto thread count.
+    let app = pema_apps::toy_chain();
+    let build = || {
+        Fleet::new()
+            .add_named("des-pema", pema_exp(&app, true))
+            .add_named(
+                "fluid-rule",
+                Experiment::builder()
+                    .app(&app)
+                    .policy(Rule)
+                    .backend(UseFluid)
+                    .config(HarnessConfig::with_seed(3))
+                    .rps(140.0)
+                    .iters(12),
+            )
+            .add_named(
+                "fluid-hold",
+                Experiment::builder()
+                    .app(&app)
+                    .policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))
+                    .backend(UseFluid)
+                    .config(HarnessConfig::with_seed(4))
+                    .rps(100.0)
+                    .iters(3),
+            )
+    };
+    let single = build().threads(1).run();
+    for threads in [3usize, 16, 0] {
+        let sharded = build().threads(threads).run();
+        assert_eq!(sharded.polls, single.polls, "polls diverged at {threads}");
+        assert_eq!(sharded.runs.len(), single.runs.len());
+        for (s, o) in sharded.runs.iter().zip(&single.runs) {
+            assert_eq!(s.name, o.name, "order diverged at threads={threads}");
+            assert_eq!(s.end_s.to_bits(), o.end_s.to_bits());
+            assert_eq!(
+                render(&s.result),
+                render(&o.result),
+                "member {} diverged at threads={threads}",
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
 fn empty_fleet_completes_trivially() {
     let fleet = Fleet::new().run();
     assert!(fleet.runs.is_empty());

@@ -9,6 +9,10 @@
 //! RULE / HOLD), and early-check modes, so the interleaving covers
 //! multi-poll windows (DES early checks), one-poll windows (default
 //! seam), and mid-schedule member completion (unequal `iters`).
+//!
+//! A second property pins the sharded executor: the entire rendered
+//! fleet output is byte-identical at `threads` ∈ {1, 2, 7, auto},
+//! under adversarial tie-break permutations.
 
 use pema_control::{
     Experiment, ExperimentBuilder, Fleet, HarnessConfig, HoldPolicy, IntoBackend, IntoPolicy, Pema,
@@ -120,6 +124,24 @@ impl FleetPiece {
     }
 }
 
+/// Bit-faithful rendering of a whole fleet result: member names and
+/// runs in report order plus the poll count — everything scheduling
+/// could conceivably leak into.
+fn render_fleet(result: &pema_control::FleetResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("polls={}\n", result.polls);
+    for run in &result.runs {
+        let _ = writeln!(
+            s,
+            "{} end={:?} :: {}",
+            run.name,
+            run.end_s.to_bits(),
+            render(&run.result)
+        );
+    }
+    s
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
     #[test]
@@ -169,6 +191,53 @@ proptest! {
                     &ranks[..n]
                 );
             }
+        }
+    }
+
+    /// The sharding analogue: the *entire* rendered fleet output —
+    /// member names, per-member logs, end times, and the poll count —
+    /// is byte-identical at every thread count (1, 2, 7, and
+    /// 0 = one-per-core auto), including under an adversarial
+    /// tie-break permutation. 7 exceeds the member cap, so the
+    /// shards-capped-at-member-count path is exercised too.
+    #[test]
+    fn fleet_output_is_invariant_to_thread_count(
+        n in 1usize..6,
+        kinds in proptest::collection::vec(0usize..5, 6),
+        intervals in proptest::collection::vec(4.0f64..9.0, 6),
+        rates in proptest::collection::vec(90.0f64..180.0, 6),
+        iter_counts in proptest::collection::vec(1usize..5, 6),
+        earlies in proptest::collection::vec(0usize..2, 6),
+        ranks in proptest::collection::vec(0usize..1000, 6),
+    ) {
+        let app = pema_apps::toy_chain();
+        let specs: Vec<MemberSpec> = (0..n)
+            .map(|i| MemberSpec {
+                kind: kinds[i],
+                interval_s: intervals[i],
+                rps: rates[i],
+                iters: iter_counts[i],
+                early: earlies[i] == 1,
+            })
+            .collect();
+
+        let run_at = |threads: usize| {
+            let mut fleet = Fleet::new().threads(threads);
+            for (i, s) in specs.iter().enumerate() {
+                fleet = s.build(&app, i).add_to(fleet);
+            }
+            render_fleet(&fleet.tie_break(ranks[..n].to_vec()).run())
+        };
+
+        let single = run_at(1);
+        for threads in [2usize, 7, 0] {
+            let sharded = run_at(threads);
+            prop_assert!(
+                sharded == single,
+                "fleet output diverged at threads={} (n={})",
+                threads,
+                n
+            );
         }
     }
 }

@@ -9,8 +9,7 @@ use pema_control::{
 };
 use pema_core::PemaParams;
 use pema_sim::{Allocation, ClusterSim, WindowStats};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 #[test]
 fn pema_reduces_toy_chain_through_the_facade() {
@@ -131,8 +130,8 @@ fn managed_policy_pre_switches_allocation() {
 #[test]
 fn observers_see_every_interval_with_full_stats() {
     let app = pema_apps::toy_chain();
-    let seen: Rc<RefCell<Vec<(usize, f64)>>> = Rc::default();
-    let sink = Rc::clone(&seen);
+    let seen: Arc<Mutex<Vec<(usize, f64)>>> = Arc::default();
+    let sink = Arc::clone(&seen);
     let result = Experiment::builder()
         .app(&app)
         .policy(Pema(PemaParams::defaults(app.slo_ms)))
@@ -148,10 +147,10 @@ fn observers_see_every_interval_with_full_stats() {
             // per-service breakdown the CSV emitters need.
             assert_eq!(stats.per_service.len(), 3);
             assert_eq!(log.p95_ms.to_bits(), stats.p95_ms.to_bits());
-            sink.borrow_mut().push((log.iter, log.total_cpu));
+            sink.lock().unwrap().push((log.iter, log.total_cpu));
         })
         .run();
-    let seen = seen.borrow();
+    let seen = seen.lock().unwrap();
     assert_eq!(seen.len(), 5);
     for (i, ((iter, total), l)) in seen.iter().zip(&result.log).enumerate() {
         assert_eq!(*iter, i);
@@ -175,8 +174,8 @@ fn facade_one_shot_is_bit_identical_to_raw_cluster_sim() {
     let want = sim.run_window(rps, warmup, window);
 
     // The facade path (what `ExperimentCtx::measure` runs today).
-    let captured: Rc<RefCell<Option<WindowStats>>> = Rc::default();
-    let sink = Rc::clone(&captured);
+    let captured: Arc<Mutex<Option<WindowStats>>> = Arc::default();
+    let sink = Arc::clone(&captured);
     Experiment::builder()
         .app(&app)
         .policy(HoldPolicy::new(alloc.0.clone(), app.slo_ms))
@@ -189,10 +188,14 @@ fn facade_one_shot_is_bit_identical_to_raw_cluster_sim() {
         .rps(rps)
         .iters(1)
         .observer(move |_log: &IterationLog, stats: &WindowStats| {
-            *sink.borrow_mut() = Some(stats.clone());
+            *sink.lock().unwrap() = Some(stats.clone());
         })
         .run();
-    let got = captured.borrow_mut().take().expect("one window observed");
+    let got = captured
+        .lock()
+        .unwrap()
+        .take()
+        .expect("one window observed");
 
     let bits = |x: f64| x.to_bits();
     assert_eq!(bits(got.p95_ms), bits(want.p95_ms), "p95 diverged");

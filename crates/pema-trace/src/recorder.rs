@@ -34,18 +34,17 @@
 use crate::format::{Trace, TraceMeta, TraceRecord};
 use pema_control::{HarnessConfig, IterationLog, Observer};
 use pema_sim::{Allocation, AppSpec, WindowStats};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Shared handle to a trace being (or finished being) recorded.
 #[derive(Debug, Clone)]
-pub struct TraceHandle(Rc<RefCell<Trace>>);
+pub struct TraceHandle(Arc<Mutex<Trace>>);
 
 impl TraceHandle {
     /// Takes the recorded trace out of the handle, leaving an empty
     /// record list behind. Call after the observed run completed.
     pub fn take(&self) -> Trace {
-        let mut inner = self.0.borrow_mut();
+        let mut inner = self.0.lock().unwrap();
         Trace {
             meta: inner.meta.clone(),
             records: std::mem::take(&mut inner.records),
@@ -54,12 +53,12 @@ impl TraceHandle {
 
     /// A copy of the trace as recorded so far (mid-run snapshots).
     pub fn snapshot(&self) -> Trace {
-        self.0.borrow().clone()
+        self.0.lock().unwrap().clone()
     }
 
     /// Number of intervals recorded so far.
     pub fn len(&self) -> usize {
-        self.0.borrow().records.len()
+        self.0.lock().unwrap().records.len()
     }
 
     /// True when nothing has been recorded yet.
@@ -70,7 +69,7 @@ impl TraceHandle {
 
 /// The recording observer. See the module docs for the wiring pattern.
 pub struct TraceRecorder {
-    inner: Rc<RefCell<Trace>>,
+    inner: Arc<Mutex<Trace>>,
 }
 
 impl TraceRecorder {
@@ -104,7 +103,7 @@ impl TraceRecorder {
             initial_alloc: Vec::new(),
         };
         Self {
-            inner: Rc::new(RefCell::new(Trace {
+            inner: Arc::new(Mutex::new(Trace {
                 meta,
                 records: Vec::new(),
             })),
@@ -114,26 +113,26 @@ impl TraceRecorder {
     /// Records a builder-level SLO override (the SLO the run's policy
     /// actually targets, when it is not the app's own).
     pub fn with_slo_ms(self, slo_ms: f64) -> Self {
-        self.inner.borrow_mut().meta.slo_ms = slo_ms;
+        self.inner.lock().unwrap().meta.slo_ms = slo_ms;
         self
     }
 
     /// Records that the observed run uses §6 early violation checks
     /// every `check_s` seconds, so replays re-enable the same mode.
     pub fn with_early_check(self, check_s: f64) -> Self {
-        self.inner.borrow_mut().meta.early_check_s = Some(check_s);
+        self.inner.lock().unwrap().meta.early_check_s = Some(check_s);
         self
     }
 
     /// The shared handle the finished trace is taken from.
     pub fn handle(&self) -> TraceHandle {
-        TraceHandle(Rc::clone(&self.inner))
+        TraceHandle(Arc::clone(&self.inner))
     }
 }
 
 impl Observer for TraceRecorder {
     fn on_interval(&mut self, log: &IterationLog, stats: &WindowStats) {
-        let mut trace = self.inner.borrow_mut();
+        let mut trace = self.inner.lock().unwrap();
         if trace.records.is_empty() {
             // The allocation in force during the first window is the
             // run's starting allocation — exactly what a replay must

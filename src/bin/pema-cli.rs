@@ -14,7 +14,7 @@
 //!                   [--lenient] [--assert-zero-divergence]
 //! pema-cli fleet    --count 16 [--app sockshop|mixed] [--rps R] [--iters N]
 //!                   [--backend sim|fluid] [--policy pema|rule|hold|mixed]
-//!                   [--interval S] [--seed K]
+//!                   [--interval S] [--seed K] [--threads T]
 //!
 //! pema-cli list                              list experiment scenarios
 //! pema-cli all  [--jobs N] [--smoke] [--force]    run the whole suite
@@ -89,7 +89,9 @@ fn usage() {
          concurrent fleet (many apps, one process):\n\
          \x20 fleet    --count N [--app A|mixed] [--rps R] [--iters N] [--seed K]\n\
          \x20          [--backend sim|fluid] [--policy pema|rule|hold|mixed]\n\
-         \x20          [--interval S]                 drive N control loops concurrently\n\
+         \x20          [--interval S] [--threads T]   drive N control loops concurrently\n\
+         \x20                                         (T shard workers, 0 = auto; output\n\
+         \x20                                         identical for every T)\n\
          \n\
          experiment-suite commands (scenario registry; delegate to `bench`):\n\
          \x20 list                                 list registered scenarios\n\
@@ -505,6 +507,8 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
         eprintln!("--backend must be sim or fluid, got '{backend_sel}'");
         exit(2);
     }
+    // 0 = one shard per core; output is byte-identical for any value.
+    let threads = get_f64(flags, "threads", 1.0) as usize;
 
     // (app, nominal rps) templates the members cycle through.
     let templates: Vec<(AppSpec, f64)> = match app_sel {
@@ -525,7 +529,7 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
     let rps_override = flags.get("rps").map(|_| get_f64(flags, "rps", 0.0));
     let policies = ["pema", "rule", "hold"];
 
-    let mut fleet = Fleet::new();
+    let mut fleet = Fleet::new().threads(threads);
     let mut labels = Vec::new();
     for i in 0..count {
         let (app, nominal) = &templates[i % templates.len()];
@@ -580,7 +584,9 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
     }
 
     println!(
-        "fleet: {count} loops × {iters} intervals on one process ({backend_sel} backend, {policy_sel} policies)"
+        "fleet: {count} loops × {iters} intervals on one process \
+         ({backend_sel} backend, {policy_sel} policies, {} worker thread(s))",
+        resolve_threads(threads).min(count)
     );
     let t0 = std::time::Instant::now();
     let result = fleet.run();

@@ -80,10 +80,11 @@ pub use pema_workload;
 pub mod prelude {
     pub use pema_baselines::{find_optimum, OptmConfig, RuleScaler};
     pub use pema_control::{
-        optimum_for, stats_to_obs, ClusterBackend, ControlLoop, Decision, EarlyCheck, Experiment,
-        ExperimentBuilder, Fleet, FleetResult, FleetRun, FluidBackend, HarnessConfig, HoldPolicy,
-        IterationLog, LoopPoll, Managed, ManagedRunner, Observer, Pema, PemaRunner, Policy, Rule,
-        RulePolicy, RuleRunner, RunResult, SimBackend, UseFluid, UseSim, WindowPoll, WindowRequest,
+        optimum_for, resolve_threads, stats_to_obs, ClusterBackend, ControlLoop, Decision,
+        EarlyCheck, Experiment, ExperimentBuilder, Fleet, FleetResult, FleetRun, FluidBackend,
+        HarnessConfig, HoldPolicy, IterationLog, LoopPoll, Managed, ManagedRunner, Observer, Pema,
+        PemaRunner, Policy, Rule, RulePolicy, RuleRunner, RunResult, SimBackend, UseFluid, UseSim,
+        WindowPoll, WindowRequest,
     };
     pub use pema_core::{
         Action, Observation, PemaController, PemaParams, RangeConfig, ServiceObs, WorkloadAwarePema,
