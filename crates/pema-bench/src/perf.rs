@@ -368,10 +368,11 @@ fn build_fluid_fleet(apps: usize, iters: usize, threads: usize) -> pema::prelude
             0 => {
                 let mut p = PemaParams::defaults(app.slo_ms);
                 p.seed = i as u64;
-                fleet.add(builder.policy(Pema(p)))
+                fleet.member(builder.policy(Pema(p)))
             }
-            1 => fleet.add(builder.policy(Rule)),
-            _ => fleet.add(builder.policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))),
+            1 => fleet.member(builder.policy(Rule)),
+            _ => fleet
+                .member(builder.policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))),
         };
     }
     fleet
@@ -388,6 +389,10 @@ fn build_fluid_fleet(apps: usize, iters: usize, threads: usize) -> pema::prelude
 ///   per second, reported through `events`/`events_per_sec`. Timed
 ///   including fleet construction (the historical definition — this
 ///   name is a baseline join key).
+/// * `fleet_arbitration_64x40` — the same fleet under a tight
+///   fair-share CPU budget: every window rendezvouses at the
+///   arbitration barrier, so the delta vs `fleet_fluid_64x40` is the
+///   collect/grant overhead.
 /// * `fleet_sim_8x4` — 8 DES-backed toy-chain apps × 4 intervals with
 ///   2 s early checks: the multi-poll interleaving path, where windows
 ///   advance one check slice per poll. Also construction-inclusive.
@@ -449,7 +454,7 @@ fn run_macro_fleet(smoke: bool) -> Vec<MacroResult> {
             for i in 0..apps {
                 let mut p = PemaParams::defaults(app.slo_ms);
                 p.seed = i as u64;
-                fleet = fleet.add(
+                fleet = fleet.member(
                     Experiment::builder()
                         .app(&app)
                         .policy(Pema(p))
@@ -499,6 +504,29 @@ fn run_macro_fleet(smoke: bool) -> Vec<MacroResult> {
     // so the measured workload must never depend on the mode; only
     // `reps` shrinks under smoke.
     push("fleet_fluid_64x40".to_string(), fluid(64, 40));
+
+    // The arbitrated twin of fleet_fluid_64x40: the same fleet under a
+    // deliberately tight fair-share budget, so every window crosses
+    // the two-phase collect/grant barrier and most rounds squeeze.
+    // The delta against fleet_fluid_64x40 is the arbitration cost.
+    let fluid_arbitrated = |apps: usize, iters: usize| -> (u64, f64) {
+        let mut best = f64::INFINITY;
+        let mut intervals = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let result = build_fluid_fleet(apps, iters, 1)
+                .arbitration(apps as f64 * 5.0, WeightedFairShare::new())
+                .run();
+            let wall = t0.elapsed().as_secs_f64();
+            intervals = result.total_intervals() as u64;
+            best = best.min(wall);
+        }
+        (intervals, best)
+    };
+    push(
+        "fleet_arbitration_64x40".to_string(),
+        fluid_arbitrated(64, 40),
+    );
     push("fleet_sim_8x4".to_string(), sim(8, 4));
 
     // The sharding axes: bigger fleets, fewer reps. fleet_fluid_10k

@@ -112,6 +112,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &cluster_scale::ClusterScale,
         &trace_replay::TraceReplay,
         &fleet_scale::FleetScale,
+        &fleet_contention::FleetContention,
     ];
     REGISTRY
 }

@@ -69,17 +69,16 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
                 ));
             });
         let name = format!("{}-{i}", app.name);
+        let builder = MemberSpec::from(builder).name(name);
         fleet = match policy {
             "pema" => {
                 let mut params = PemaParams::defaults(app.slo_ms);
                 params.seed = 0xF1EE7 ^ i as u64;
-                fleet.add_named(name, builder.policy(Pema(params)))
+                fleet.member(builder.policy(Pema(params)))
             }
-            "rule" => fleet.add_named(name, builder.policy(Rule)),
-            _ => fleet.add_named(
-                name,
-                builder.policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms)),
-            ),
+            "rule" => fleet.member(builder.policy(Rule)),
+            _ => fleet
+                .member(builder.policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))),
         };
         labels.push((app.name.clone(), policy.to_string(), rps));
     }

@@ -26,6 +26,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod fig20;
+pub mod fleet_contention;
 pub mod fleet_scale;
 pub mod table1;
 pub mod trace_replay;

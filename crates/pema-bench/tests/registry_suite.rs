@@ -63,8 +63,9 @@ fn registry_ids_and_outputs_are_unique() {
     }
     assert_eq!(
         registry().len(),
-        23,
-        "expected the 20 paper scenarios + cluster_scale + trace_replay + fleet_scale"
+        24,
+        "expected the 20 paper scenarios + cluster_scale + trace_replay + fleet_scale \
+         + fleet_contention"
     );
 }
 
@@ -112,6 +113,7 @@ fn backend_matrix_participation_is_pinned() {
             "cluster_scale",
             "trace_replay",
             "fleet_scale",
+            "fleet_contention",
         ],
         "an opted-out scenario must be a deliberate entry in this list"
     );

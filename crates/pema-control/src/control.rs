@@ -6,8 +6,9 @@
 //! (Prometheus role), converts it into the policy's view, lets the
 //! policy act, and applies the returned allocation (Kubernetes role).
 
+use crate::arbitration::ArbitrationEvent;
 use crate::backend::{ClusterBackend, SimBackend, WindowPoll, WindowRequest};
-use crate::policy::Policy;
+use crate::policy::{Decision, Policy};
 use pema_sim::{Allocation, AppSpec, WindowStats};
 use pema_workload::Workload;
 
@@ -147,6 +148,15 @@ pub trait Observer {
     /// Called once per control interval, after the decision was applied
     /// and the interval logged.
     fn on_interval(&mut self, log: &IterationLog, stats: &WindowStats);
+
+    /// Called when a fleet arbitration round granted (or cut) this
+    /// loop's proposed allocation, just before the
+    /// [`on_interval`](Self::on_interval) call for the same interval.
+    /// Default no-op, so plain (non-arbitrated) runs and existing
+    /// observers are unaffected.
+    fn on_arbitration(&mut self, event: &ArbitrationEvent) {
+        let _ = event;
+    }
 }
 
 impl<F: FnMut(&IterationLog, &WindowStats)> Observer for F {
@@ -181,6 +191,18 @@ pub struct ControlLoop<P: Policy, B: ClusterBackend = SimBackend> {
     /// The interval currently being measured through the non-blocking
     /// seam, if any (see [`poll_step`](Self::poll_step)).
     pending: Option<PendingInterval>,
+    /// When true (fleet arbitration), [`poll_step`](Self::poll_step)
+    /// stages the decision instead of applying it and returns
+    /// [`LoopPoll::Proposed`]; the fleet commits it via
+    /// [`commit_granted`](Self::commit_granted) once the arbitration
+    /// round resolves.
+    propose_mode: bool,
+    /// The decided-but-not-yet-applied interval awaiting its grant.
+    staged: Option<StagedInterval>,
+    /// Granted/proposed ratio of the most recent arbitration round;
+    /// exactly 1.0 when nothing was ever cut, in which case no
+    /// allocation is ever rescaled (slack budgets stay bit-identical).
+    grant_scale: f64,
 }
 
 /// Progress state of one interval between [`ControlLoop::poll_step`]
@@ -190,6 +212,18 @@ struct PendingInterval {
     total_cpu: f64,
     slo_ms: f64,
     req: WindowRequest,
+}
+
+/// A measured interval whose decision is staged for arbitration:
+/// everything needed to apply/log it once the grant arrives.
+struct StagedInterval {
+    time_s: f64,
+    total_cpu: f64,
+    slo_ms: f64,
+    rps: f64,
+    stats: WindowStats,
+    aborted: bool,
+    decision: Decision,
 }
 
 /// What one [`ControlLoop::poll_step`] call did.
@@ -204,6 +238,12 @@ pub enum LoopPoll {
     },
     /// One full control interval completed and was logged.
     Logged,
+    /// (Fleet arbitration only.) The interval's window finished and the
+    /// policy decided, but the allocation is *staged*, not applied: the
+    /// loop is parked at the arbitration barrier until the fleet
+    /// commits a grant. Never returned outside a fleet running under
+    /// [`Fleet::arbitration`](crate::Fleet::arbitration).
+    Proposed,
 }
 
 impl<P: Policy> ControlLoop<P, SimBackend> {
@@ -228,6 +268,9 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
             log: Vec::new(),
             observers: Vec::new(),
             pending: None,
+            propose_mode: false,
+            staged: None,
+            grant_scale: 1.0,
         }
     }
 
@@ -280,7 +323,17 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
         if self.pending.is_none() {
             let time_s = self.backend.now_s();
             if let Some(pre) = self.policy.pre_interval(rps) {
-                self.backend.apply(&pre);
+                // Under an arbitration cut, the grant stays in force
+                // until the next round — a pre-interval reapply must
+                // not quietly overshoot it. grant_scale is exactly 1.0
+                // unless a round actually cut this member, so the
+                // rescale branch never runs on slack budgets.
+                if self.grant_scale < 1.0 {
+                    let scaled: Vec<f64> = pre.0.iter().map(|a| a * self.grant_scale).collect();
+                    self.backend.apply(&Allocation::new(scaled));
+                } else {
+                    self.backend.apply(&pre);
+                }
             }
             let total_cpu = self.backend.allocation().total();
             let slo_ms = self.policy.slo_ms();
@@ -301,33 +354,105 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
             WindowPoll::Pending { resume_at_s } => LoopPoll::Pending { resume_at_s },
             WindowPoll::Ready { stats, aborted } => {
                 let p = self.pending.take().unwrap();
-                let d = self.policy.decide(&stats);
-                self.backend.apply(&Allocation::new(d.alloc.clone()));
-                let entry = IterationLog {
-                    iter: self.iter,
+                let decision = self.policy.decide(&stats);
+                let staged = StagedInterval {
                     time_s: p.time_s,
-                    rps: p.req.rps,
                     total_cpu: p.total_cpu,
-                    p95_ms: stats.p95_ms,
-                    mean_ms: stats.mean_ms,
-                    violated: stats.violates(p.slo_ms),
-                    action: if aborted {
-                        format!("early-{}", d.action)
-                    } else {
-                        d.action
-                    },
-                    alloc: d.alloc,
-                    pema_id: d.pema_id,
-                    interval_s: stats.duration_s,
+                    slo_ms: p.slo_ms,
+                    rps: p.req.rps,
+                    stats,
+                    aborted,
+                    decision,
                 };
-                for obs in &mut self.observers {
-                    obs.on_interval(&entry, &stats);
+                if self.propose_mode {
+                    self.staged = Some(staged);
+                    LoopPoll::Proposed
+                } else {
+                    self.commit(staged, None);
+                    LoopPoll::Logged
                 }
-                self.log.push(entry);
-                self.iter += 1;
-                LoopPoll::Logged
             }
         }
+    }
+
+    /// Puts the loop in fleet-arbitration mode: `poll_step` stages
+    /// decisions ([`LoopPoll::Proposed`]) instead of applying them.
+    pub(crate) fn set_propose_mode(&mut self) {
+        self.propose_mode = true;
+    }
+
+    /// Total cores of the staged (proposed) allocation, if an interval
+    /// is parked at the arbitration barrier.
+    pub(crate) fn staged_proposed_total(&self) -> Option<f64> {
+        self.staged.as_ref().map(|s| s.decision.alloc.iter().sum())
+    }
+
+    /// Commits the staged interval under an arbitration grant: applies
+    /// the (possibly scaled-down) allocation, fires observers, and
+    /// logs. Must follow a [`LoopPoll::Proposed`].
+    pub(crate) fn commit_granted(&mut self, granted: f64, event: &ArbitrationEvent) {
+        let staged = self
+            .staged
+            .take()
+            .expect("commit_granted follows LoopPoll::Proposed");
+        self.commit(staged, Some((granted, event)));
+    }
+
+    /// The one decision-application path, shared by plain stepping
+    /// (`grant` = `None`: apply the decided allocation verbatim — the
+    /// pre-arbitration behaviour, bit for bit) and arbitrated fleets
+    /// (scale the allocation down when the grant is below the
+    /// proposal).
+    fn commit(&mut self, staged: StagedInterval, grant: Option<(f64, &ArbitrationEvent)>) {
+        let StagedInterval {
+            time_s,
+            total_cpu,
+            slo_ms,
+            rps,
+            stats,
+            aborted,
+            decision: d,
+        } = staged;
+        let mut alloc = d.alloc;
+        if let Some((granted, _)) = grant {
+            let proposed: f64 = alloc.iter().sum();
+            if granted < proposed && proposed > 0.0 {
+                self.grant_scale = granted / proposed;
+                for a in alloc.iter_mut() {
+                    *a *= self.grant_scale;
+                }
+            } else {
+                self.grant_scale = 1.0;
+            }
+        }
+        self.backend.apply(&Allocation::new(alloc.clone()));
+        let entry = IterationLog {
+            iter: self.iter,
+            time_s,
+            rps,
+            total_cpu,
+            p95_ms: stats.p95_ms,
+            mean_ms: stats.mean_ms,
+            violated: stats.violates(slo_ms),
+            action: if aborted {
+                format!("early-{}", d.action)
+            } else {
+                d.action
+            },
+            alloc,
+            pema_id: d.pema_id,
+            interval_s: stats.duration_s,
+        };
+        if let Some((_, event)) = grant {
+            for obs in &mut self.observers {
+                obs.on_arbitration(event);
+            }
+        }
+        for obs in &mut self.observers {
+            obs.on_interval(&entry, &stats);
+        }
+        self.log.push(entry);
+        self.iter += 1;
     }
 
     /// Abandons the interval currently in flight, if any (fleet
@@ -337,6 +462,9 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
         if self.pending.take().is_some() {
             self.backend.cancel_window();
         }
+        // A decision staged for arbitration is dropped unapplied: the
+        // window already closed, so the backend needs no cancel.
+        self.staged = None;
     }
 
     /// Runs `iters` intervals at constant load.

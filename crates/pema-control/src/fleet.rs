@@ -1,5 +1,6 @@
 //! [`Fleet`] — a sharded scheduler that drives many control loops
-//! from one process.
+//! from one process, optionally arbitrating a shared CPU budget
+//! across them.
 //!
 //! The paper's Fig. 9 loop controls a single application, and the
 //! blocking [`ClusterBackend::measure_window`] seam means one thread
@@ -48,6 +49,39 @@
 //! is the sum of per-member poll counts, which scheduling cannot
 //! change either.
 //!
+//! ## Arbitration: one CPU budget across the fleet
+//!
+//! [`Fleet::arbitration`] deliberately breaks member independence: a
+//! real cluster has a finite CPU pool, and co-located applications
+//! contend for it. The mechanism is a deterministic **two-phase
+//! collect/grant barrier** at window boundaries:
+//!
+//! 1. **collect** — each member's loop runs in *propose* mode: when its
+//!    window closes and its policy decides, the allocation is staged
+//!    (not applied) and the member parks. A shard drives its heap until
+//!    every member is parked or finished, then rendezvouses with the
+//!    other shards; the last shard to arrive assembles every parked
+//!    member's [`ArbitrationRequest`] **in fleet insertion order** and
+//!    invokes the [`FleetPolicy`] once;
+//! 2. **grant** — every shard wakes, reads its members' grants, commits
+//!    them (an under-grant scales the member's per-service allocation
+//!    proportionally), and resumes polling.
+//!
+//! Arbitration round `k` therefore sees exactly the `k`-th proposal of
+//! every member that still has intervals left — a pure function of the
+//! fleet description. Which shard happens to *run* the policy is
+//! scheduling-dependent, but the `(round, requests)` sequence it
+//! observes is not, so stateful policies (AIMD) evolve identically at
+//! every thread count and tie-break permutation. With a slack budget
+//! every shipped policy passes proposals through verbatim, grants never
+//! rescale anything, and the run is bit-identical to an unarbitrated
+//! fleet — the degenerate case the property tests pin.
+//!
+//! Per-member metadata for the arbiter (priority class, weight, floor)
+//! rides on [`MemberSpec`]; grant/deny telemetry comes back on
+//! [`FleetResult::arbitration`] and through the
+//! [`Observer::on_arbitration`](crate::Observer::on_arbitration) hook.
+//!
 //! ## Cancellation
 //!
 //! Two levels, both poll-boundary, neither spinning:
@@ -66,12 +100,14 @@
 //! ## Example
 //!
 //! ```
-//! use pema_control::{Experiment, Fleet, HarnessConfig, Pema, UseFluid};
+//! use pema_control::{
+//!     Experiment, Fleet, HarnessConfig, MemberSpec, Pema, UseFluid, WeightedFairShare,
+//! };
 //! use pema_core::PemaParams;
 //!
 //! let app = pema_apps::toy_chain();
-//! let exp = |seed: u64| {
-//!     Experiment::builder()
+//! let member = |seed: u64| {
+//!     MemberSpec::new()
 //!         .app(&app)
 //!         .policy(Pema(PemaParams::defaults(app.slo_ms)))
 //!         .backend(UseFluid)
@@ -80,20 +116,37 @@
 //!         .iters(4)
 //! };
 //! // threads(0) = one shard per available core; output is
-//! // byte-identical for any thread count.
-//! let fleet = Fleet::new().threads(0).add(exp(1)).add(exp(2)).run();
+//! // byte-identical for any thread count. Members share a 3-core
+//! // budget; the high-priority member is served first under
+//! // contention.
+//! let fleet = Fleet::new()
+//!     .threads(0)
+//!     .member(member(1).priority(1).floor(0.5))
+//!     .member(member(2).weight(2.0))
+//!     .arbitration(3.0, WeightedFairShare::new())
+//!     .run();
 //! assert_eq!(fleet.runs.len(), 2);
 //! assert!(fleet.runs.iter().all(|r| r.result.log.len() == 4));
+//! let arb = fleet.arbitration.expect("budget was set");
+//! assert_eq!(arb.rounds, 4);
 //! ```
 //!
 //! [`EarlyCheck`]: crate::EarlyCheck
 
+use crate::arbitration::{
+    ArbitrationEvent, ArbitrationRequest, FleetArbitration, FleetPolicy, MemberArbitration,
+};
 use crate::backend::ClusterBackend;
-use crate::control::{ControlLoop, LoopPoll, RunResult};
-use crate::experiment::{ExperimentBuilder, IntoBackend, IntoPolicy, Load};
+use crate::control::{ControlLoop, HarnessConfig, LoopPoll, Observer, RunResult};
+use crate::experiment::{
+    Experiment, ExperimentBuilder, IntoBackend, IntoPolicy, Load, Unset, UseSim,
+};
 use crate::policy::Policy;
+use pema_sim::AppSpec;
+use pema_workload::Workload;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
 
 /// Resolves a worker-thread knob: `0` means "one per available core"
 /// (falling back to 1 when parallelism cannot be queried), any other
@@ -120,6 +173,20 @@ trait FleetDriver: Send {
     /// The loop's backend virtual time, seconds.
     fn now_s(&self) -> f64;
 
+    /// Switches the loop into propose mode (fleet arbitration): polls
+    /// park at window close instead of applying the decision. Must be
+    /// called before the first poll.
+    fn set_propose_mode(&mut self);
+
+    /// Total cores of the staged proposal. Only valid while parked
+    /// (after a [`DriverPoll::Proposed`], before the commit).
+    fn proposed_total(&self) -> f64;
+
+    /// Applies an arbitration grant to the staged interval and logs
+    /// it. Returns `true` when the member has completed all its
+    /// intervals.
+    fn commit_granted(&mut self, granted: f64, event: &ArbitrationEvent) -> bool;
+
     /// Finalizes into the run result.
     fn finish(self: Box<Self>) -> RunResult;
 }
@@ -130,6 +197,9 @@ enum DriverPoll {
     Pending { resume_at_s: f64 },
     /// Completed one interval; more remain.
     Logged,
+    /// (Propose mode.) Window closed, decision staged; the member is
+    /// parked at the arbitration barrier awaiting its grant.
+    Proposed,
     /// All intervals done.
     Done,
 }
@@ -159,6 +229,7 @@ impl<P: Policy + Send, B: ClusterBackend + Send> FleetDriver for LoopDriver<P, B
         });
         match self.control.poll_step(rps) {
             LoopPoll::Pending { resume_at_s } => DriverPoll::Pending { resume_at_s },
+            LoopPoll::Proposed => DriverPoll::Proposed,
             LoopPoll::Logged => {
                 self.completed += 1;
                 self.current_rps = None;
@@ -175,6 +246,23 @@ impl<P: Policy + Send, B: ClusterBackend + Send> FleetDriver for LoopDriver<P, B
         self.control.backend.now_s()
     }
 
+    fn set_propose_mode(&mut self) {
+        self.control.set_propose_mode();
+    }
+
+    fn proposed_total(&self) -> f64 {
+        self.control
+            .staged_proposed_total()
+            .expect("proposed_total: member is parked with a staged decision")
+    }
+
+    fn commit_granted(&mut self, granted: f64, event: &ArbitrationEvent) -> bool {
+        self.control.commit_granted(granted, event);
+        self.completed += 1;
+        self.current_rps = None;
+        self.completed >= self.iters
+    }
+
     fn finish(self: Box<Self>) -> RunResult {
         self.control.into_result()
     }
@@ -184,7 +272,7 @@ impl<P: Policy + Send, B: ClusterBackend + Send> FleetDriver for LoopDriver<P, B
 #[derive(Debug, Clone)]
 pub struct FleetRun {
     /// The member's name (auto-assigned `app<i>` unless
-    /// [`Fleet::add_named`] gave one).
+    /// [`MemberSpec::name`] gave one).
     pub name: String,
     /// The member's run, logged like any single-loop run.
     pub result: RunResult,
@@ -199,10 +287,14 @@ pub struct FleetRun {
 pub struct FleetResult {
     /// Per-member runs, in the order the members were added.
     pub runs: Vec<FleetRun>,
-    /// Scheduler services performed (one per poll of any member).
-    /// A per-member quantity summed across shards, so it is identical
-    /// for every thread count.
+    /// Scheduler services performed (one per poll of any member;
+    /// arbitration commits are not polls). A per-member quantity
+    /// summed across shards, so it is identical for every thread
+    /// count.
     pub polls: u64,
+    /// Grant/deny telemetry when the fleet ran under
+    /// [`Fleet::arbitration`]; `None` for independent-member fleets.
+    pub arbitration: Option<FleetArbitration>,
 }
 
 impl FleetResult {
@@ -265,16 +357,205 @@ struct Member {
     driver: Box<dyn FleetDriver>,
 }
 
+/// Arbitration metadata of one member, captured from its
+/// [`MemberSpec`] at insertion.
+struct ArbMeta {
+    priority: i32,
+    weight: f64,
+    floor: f64,
+}
+
+/// One fleet member under construction: a full run description (the
+/// same grammar as [`Experiment::builder`]) plus fleet-level metadata —
+/// the member's [`name`](Self::name) and its arbitration attributes
+/// ([`priority`](Self::priority) class, fair-share
+/// [`weight`](Self::weight), guaranteed [`floor`](Self::floor)).
+///
+/// Built either from scratch (`MemberSpec::new()`) or from an existing
+/// [`ExperimentBuilder`] via `From`/`Into` — `fleet.member(builder)`
+/// accepts both. Hand it to [`Fleet::member`].
+pub struct MemberSpec<P = Unset, B = UseSim> {
+    exp: ExperimentBuilder<P, B>,
+    name: Option<String>,
+    priority: i32,
+    weight: f64,
+    floor: f64,
+}
+
+impl MemberSpec {
+    /// Starts an empty member description (policy slot unset, DES
+    /// backend) — the fleet-member twin of [`Experiment::builder`].
+    pub fn new() -> Self {
+        Experiment::builder().into()
+    }
+}
+
+impl Default for MemberSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P, B> From<ExperimentBuilder<P, B>> for MemberSpec<P, B> {
+    fn from(exp: ExperimentBuilder<P, B>) -> Self {
+        Self {
+            exp,
+            name: None,
+            priority: 0,
+            weight: 1.0,
+            floor: 0.0,
+        }
+    }
+}
+
+impl<P, B> MemberSpec<P, B> {
+    /// The name [`FleetResult`] reports this member by (default
+    /// `app<i>` by insertion index).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Arbitration priority class — higher classes are served first
+    /// under contention (default 0).
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Weighted-fair-share weight under contention (default 1.0).
+    ///
+    /// # Panics
+    /// Panics unless the weight is finite and non-negative.
+    pub fn weight(mut self, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "MemberSpec::weight: must be finite and non-negative"
+        );
+        self.weight = weight;
+        self
+    }
+
+    /// Guaranteed minimum total cores under contention (default 0.0;
+    /// a member is never forced above its own proposal — the effective
+    /// floor is `min(floor, proposed)`).
+    ///
+    /// # Panics
+    /// Panics unless the floor is finite and non-negative.
+    pub fn floor(mut self, floor: f64) -> Self {
+        assert!(
+            floor.is_finite() && floor >= 0.0,
+            "MemberSpec::floor: must be finite and non-negative"
+        );
+        self.floor = floor;
+        self
+    }
+
+    /// The application under test (required).
+    pub fn app(mut self, app: &AppSpec) -> Self {
+        self.exp = self.exp.app(app);
+        self
+    }
+
+    /// Full harness timing configuration (interval, warmup, seed).
+    pub fn config(mut self, cfg: HarnessConfig) -> Self {
+        self.exp = self.exp.config(cfg);
+        self
+    }
+
+    /// Backend seed, keeping the current interval/warmup.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.exp = self.exp.seed(seed);
+        self
+    }
+
+    /// Monitoring window per control interval, seconds.
+    pub fn interval_s(mut self, interval_s: f64) -> Self {
+        self.exp = self.exp.interval_s(interval_s);
+        self
+    }
+
+    /// Settling time before each measurement, seconds.
+    pub fn warmup_s(mut self, warmup_s: f64) -> Self {
+        self.exp = self.exp.warmup_s(warmup_s);
+        self
+    }
+
+    /// Overrides the SLO the policy targets (marker policies only).
+    pub fn slo_ms(mut self, slo_ms: f64) -> Self {
+        self.exp = self.exp.slo_ms(slo_ms);
+        self
+    }
+
+    /// Enables §6 early violation checks every `check_s` seconds.
+    pub fn early_check(mut self, check_s: f64) -> Self {
+        self.exp = self.exp.early_check(check_s);
+        self
+    }
+
+    /// Constant offered load (required unless
+    /// [`workload`](Self::workload) is set).
+    pub fn rps(mut self, rps: f64) -> Self {
+        self.exp = self.exp.rps(rps);
+        self
+    }
+
+    /// Time-varying offered load, sampled at each interval start.
+    pub fn workload(mut self, w: impl Workload + Send + 'static) -> Self {
+        self.exp = self.exp.workload(w);
+        self
+    }
+
+    /// Number of control intervals the member runs (required).
+    pub fn iters(mut self, iters: usize) -> Self {
+        self.exp = self.exp.iters(iters);
+        self
+    }
+
+    /// Registers a per-interval observer on the member's loop.
+    pub fn observer(mut self, obs: impl Observer + Send + 'static) -> Self {
+        self.exp = self.exp.observer(obs);
+        self
+    }
+
+    /// Fills the policy slot (marker or explicit
+    /// [`Policy`](crate::Policy) instance).
+    pub fn policy<Q>(self, policy: Q) -> MemberSpec<Q, B> {
+        MemberSpec {
+            exp: self.exp.policy(policy),
+            name: self.name,
+            priority: self.priority,
+            weight: self.weight,
+            floor: self.floor,
+        }
+    }
+
+    /// Fills the backend slot (marker or explicit
+    /// [`ClusterBackend`] instance).
+    pub fn backend<C>(self, backend: C) -> MemberSpec<P, C> {
+        MemberSpec {
+            exp: self.exp.backend(backend),
+            name: self.name,
+            priority: self.priority,
+            weight: self.weight,
+            floor: self.floor,
+        }
+    }
+}
+
 /// The fleet under construction — see the module docs. Add fully
-/// described experiments (policy, backend, load, and iteration count
-/// all set), then [`run`](Self::run).
+/// described members (policy, backend, load, and iteration count all
+/// set), optionally an [`arbitration`](Self::arbitration) budget, then
+/// [`run`](Self::run).
 #[derive(Default)]
 pub struct Fleet {
     members: Vec<Option<(String, Box<dyn FleetDriver>)>>,
+    meta: Vec<ArbMeta>,
     tie_break: Option<Vec<usize>>,
     /// Worker threads for [`run`](Self::run); 0 = one per core.
     /// Defaults to 1 (the PR 5 single-threaded cooperative scheduler).
     threads: usize,
+    arbitration: Option<(f64, Box<dyn FleetPolicy>)>,
 }
 
 impl Fleet {
@@ -282,48 +563,44 @@ impl Fleet {
     pub fn new() -> Self {
         Self {
             members: Vec::new(),
+            meta: Vec::new(),
             tie_break: None,
             threads: 1,
+            arbitration: None,
         }
     }
 
-    /// Adds an experiment under an auto-assigned name (`app<i>`).
+    /// Adds a member. Accepts a [`MemberSpec`] or (via `Into`) a bare
+    /// [`ExperimentBuilder`]; unnamed members are auto-named `app<i>`.
+    /// Members must be `Send` — every shipped policy and backend is,
+    /// and observers/workloads share state through `Arc<Mutex<…>>` —
+    /// so shards can run on worker threads.
     ///
     /// # Panics
-    /// Panics unless the builder carries a load (`.rps(..)` /
+    /// Panics unless the spec carries a load (`.rps(..)` /
     /// `.workload(..)`) and a positive `.iters(..)` — the fleet needs
     /// the complete run description up front.
-    // Not `std::ops::Add`: the operand is a run description, not
-    // another fleet, and `.add(..).add(..)` is the builder grammar.
-    #[allow(clippy::should_implement_trait)]
-    pub fn add<P, B>(self, exp: ExperimentBuilder<P, B>) -> Self
+    pub fn member<P, B>(mut self, spec: impl Into<MemberSpec<P, B>>) -> Self
     where
         P: IntoPolicy,
         B: IntoBackend,
         P::Policy: Send + 'static,
         B::Backend: Send + 'static,
     {
-        let name = format!("app{}", self.members.len());
-        self.add_named(name, exp)
-    }
-
-    /// Adds an experiment under an explicit name (the key
-    /// [`FleetResult`] reports it by). Members must be `Send` — every
-    /// shipped policy and backend is, and observers/workloads share
-    /// state through `Arc<Mutex<…>>` — so shards can run on worker
-    /// threads.
-    pub fn add_named<P, B>(mut self, name: impl Into<String>, exp: ExperimentBuilder<P, B>) -> Self
-    where
-        P: IntoPolicy,
-        B: IntoBackend,
-        P::Policy: Send + 'static,
-        B::Backend: Send + 'static,
-    {
-        let (control, load, iters) = exp.into_parts();
-        assert!(iters > 0, "Fleet: set .iters(..) on every experiment");
-        let load = load.expect("Fleet: set .rps(..) or .workload(..) on every experiment");
+        let spec = spec.into();
+        let name = spec
+            .name
+            .unwrap_or_else(|| format!("app{}", self.members.len()));
+        let (control, load, iters) = spec.exp.into_parts();
+        assert!(iters > 0, "Fleet: set .iters(..) on every member");
+        let load = load.expect("Fleet: set .rps(..) or .workload(..) on every member");
+        self.meta.push(ArbMeta {
+            priority: spec.priority,
+            weight: spec.weight,
+            floor: spec.floor,
+        });
         self.members.push(Some((
-            name.into(),
+            name,
             Box::new(LoopDriver {
                 control,
                 load,
@@ -332,6 +609,45 @@ impl Fleet {
                 current_rps: None,
             }),
         )));
+        self
+    }
+
+    /// Adds an experiment under an auto-assigned name (`app<i>`).
+    #[deprecated(note = "use `Fleet::member(..)` with a `MemberSpec` (or a bare builder)")]
+    // Not `std::ops::Add`: the operand is a run description, not
+    // another fleet, and `.member(..)` is the builder grammar.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add<P, B>(self, exp: ExperimentBuilder<P, B>) -> Self
+    where
+        P: IntoPolicy,
+        B: IntoBackend,
+        P::Policy: Send + 'static,
+        B::Backend: Send + 'static,
+    {
+        self.member(exp)
+    }
+
+    /// Adds an experiment under an explicit name.
+    #[deprecated(note = "use `Fleet::member(..)` with `MemberSpec::name(..)`")]
+    pub fn add_named<P, B>(self, name: impl Into<String>, exp: ExperimentBuilder<P, B>) -> Self
+    where
+        P: IntoPolicy,
+        B: IntoBackend,
+        P::Policy: Send + 'static,
+        B::Backend: Send + 'static,
+    {
+        self.member(MemberSpec::from(exp).name(name))
+    }
+
+    /// Shares one CPU budget (total cores) across all members,
+    /// arbitrated by `policy` at every window-boundary round — see the
+    /// module docs for barrier semantics and the determinism argument.
+    /// Shipped policies: [`Unlimited`](crate::Unlimited) (pass-through),
+    /// [`WeightedFairShare`](crate::WeightedFairShare), and
+    /// [`AimdBackoff`](crate::AimdBackoff). Use `f64::INFINITY` for an
+    /// explicitly slack budget.
+    pub fn arbitration(mut self, budget: f64, policy: impl FleetPolicy + 'static) -> Self {
+        self.arbitration = Some((budget, Box::new(policy)));
         self
     }
 
@@ -374,11 +690,16 @@ impl Fleet {
     /// [`threads`](Self::threads) > 1 the shards run concurrently on
     /// `std::thread::scope` workers; results are merged back in
     /// insertion order, so the output is identical for any thread
-    /// count.
+    /// count. Under [`arbitration`](Self::arbitration), shards
+    /// additionally rendezvous at every window-boundary round (module
+    /// docs).
     ///
     /// # Panics
     /// Panics if a [`tie_break`](Self::tie_break) order was given with
-    /// the wrong length, or if a backend reports a non-finite time.
+    /// the wrong length, if a backend reports a non-finite time, or if
+    /// an arbitration budget is non-positive, smaller than the sum of
+    /// member floors (the invariants would be unsatisfiable), or a
+    /// [`FleetPolicy`] returns invalid grants.
     pub fn run(self) -> FleetResult {
         let n = self.members.len();
         let ranks = match self.tie_break {
@@ -394,13 +715,48 @@ impl Fleet {
         };
         let shards_n = resolve_threads(self.threads).min(n.max(1));
 
+        let meta = self.meta;
+        let arb = self.arbitration.map(|(budget, policy)| {
+            assert!(budget > 0.0, "Fleet::arbitration: budget must be positive");
+            let floors: f64 = meta.iter().map(|m| m.floor).sum();
+            assert!(
+                floors <= budget,
+                "Fleet::arbitration: member floors sum to {floors} cores, exceeding the \
+                 {budget}-core budget — the floor and budget invariants would be unsatisfiable"
+            );
+            ArbShared {
+                budget,
+                meta,
+                state: Mutex::new(ArbState {
+                    telemetry: FleetArbitration {
+                        policy: policy.name().to_string(),
+                        budget,
+                        rounds: 0,
+                        contended_rounds: 0,
+                        members: vec![MemberArbitration::default(); n],
+                    },
+                    policy,
+                    live_shards: shards_n,
+                    waiting: 0,
+                    generation: 0,
+                    round: 0,
+                    proposals: vec![None; n],
+                    events: vec![None; n],
+                }),
+                cv: Condvar::new(),
+            }
+        });
+
         // Partition by member id: shard k owns members i ≡ k (mod
         // shards_n). The partition depends only on ids and the resolved
-        // thread count — never on timing — and members are independent,
-        // so any partition yields the same per-member results.
+        // thread count — never on timing — and per-member results are
+        // schedule-invariant, so any partition yields the same output.
         let mut shards: Vec<Vec<Member>> = (0..shards_n).map(|_| Vec::new()).collect();
         for (idx, slot) in self.members.into_iter().enumerate() {
-            let (name, driver) = slot.expect("members are present until run");
+            let (name, mut driver) = slot.expect("members are present until run");
+            if arb.is_some() {
+                driver.set_propose_mode();
+            }
             shards[idx % shards_n].push(Member {
                 idx,
                 rank: ranks[idx],
@@ -411,11 +767,12 @@ impl Fleet {
 
         let mut results: Vec<Option<FleetRun>> = (0..n).map(|_| None).collect();
         let mut polls = 0u64;
+        let arb_ref = arb.as_ref();
         if shards_n <= 1 {
-            // Single-threaded: run the one shard inline (the PR 5
-            // cooperative scheduler, unchanged semantics).
+            // Single-threaded: run the one shard inline (the barrier
+            // degenerates to "every arrival is the leader").
             for shard in shards {
-                let (runs, shard_polls) = run_shard(shard);
+                let (runs, shard_polls) = run_shard(shard, arb_ref);
                 polls += shard_polls;
                 for (idx, run) in runs {
                     results[idx] = Some(run);
@@ -425,7 +782,7 @@ impl Fleet {
             let outcomes = std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .into_iter()
-                    .map(|shard| scope.spawn(move || run_shard(shard)))
+                    .map(|shard| scope.spawn(move || run_shard(shard, arb_ref)))
                     .collect();
                 handles
                     .into_iter()
@@ -446,18 +803,187 @@ impl Fleet {
                 .map(|r| r.expect("every member completes"))
                 .collect(),
             polls,
+            arbitration: arb.map(|shared| {
+                shared
+                    .state
+                    .into_inner()
+                    .expect("arbitration state poisoned")
+                    .telemetry
+            }),
         }
     }
 }
 
+/// Everything the arbitration barrier shares across shards. Borrowed
+/// (not `Arc`ed) into the scoped workers.
+struct ArbShared {
+    budget: f64,
+    /// Per-member arbitration metadata, fleet insertion order.
+    meta: Vec<ArbMeta>,
+    state: Mutex<ArbState>,
+    cv: Condvar,
+}
+
+/// The mutable barrier state, guarded by [`ArbShared::state`].
+struct ArbState {
+    policy: Box<dyn FleetPolicy>,
+    /// Shards still participating (a shard deregisters when all its
+    /// members finished).
+    live_shards: usize,
+    /// Shards that have arrived at the current round's barrier.
+    waiting: usize,
+    /// Bumped once per completed round; sleeping shards wake on it.
+    generation: u64,
+    /// Next round index.
+    round: usize,
+    /// This round's proposed totals, fleet-idx indexed (`None` =
+    /// member finished, not proposing).
+    proposals: Vec<Option<f64>>,
+    /// This round's grants, fleet-idx indexed; each shard `take`s its
+    /// own members' events under the lock before resuming.
+    events: Vec<Option<ArbitrationEvent>>,
+    telemetry: FleetArbitration,
+}
+
+/// Leader duty: assembles this round's requests in pinned fleet order,
+/// runs the policy, validates and records the grants. Caller holds the
+/// state lock and is responsible for waking the other shards.
+fn run_round(state: &mut ArbState, budget: f64, meta: &[ArbMeta]) {
+    let requests: Vec<ArbitrationRequest> = state
+        .proposals
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            p.map(|proposed| ArbitrationRequest {
+                member: i,
+                priority: meta[i].priority,
+                weight: meta[i].weight,
+                floor: meta[i].floor,
+                proposed,
+            })
+        })
+        .collect();
+    let mut grants = state.policy.arbitrate(budget, &requests);
+    assert_eq!(
+        grants.len(),
+        requests.len(),
+        "FleetPolicy `{}`: must return one grant per request",
+        state.policy.name()
+    );
+    let fleet_demand: f64 = requests.iter().map(|r| r.proposed).sum();
+    for (g, r) in grants.iter_mut().zip(&requests) {
+        assert!(
+            g.is_finite(),
+            "FleetPolicy `{}`: non-finite grant for member {}",
+            state.policy.name(),
+            r.member
+        );
+        // Granting more than proposed is meaningless; clamp rather
+        // than burden every policy with the check.
+        *g = g.min(r.proposed);
+        assert!(
+            *g >= r.effective_floor() - 1e-9,
+            "FleetPolicy `{}`: member {} granted {} below its effective floor {}",
+            state.policy.name(),
+            r.member,
+            g,
+            r.effective_floor()
+        );
+    }
+    let fleet_granted: f64 = grants.iter().sum();
+    if state.policy.enforces_budget() {
+        assert!(
+            fleet_granted <= budget + 1e-9,
+            "FleetPolicy `{}`: granted {fleet_granted} cores exceeds the {budget}-core budget",
+            state.policy.name()
+        );
+    }
+    let mut contended = false;
+    for (g, r) in grants.iter().zip(&requests) {
+        let ev = ArbitrationEvent {
+            round: state.round,
+            budget,
+            proposed: r.proposed,
+            granted: *g,
+            fleet_demand,
+            fleet_granted,
+        };
+        contended |= ev.cut();
+        let m = &mut state.telemetry.members[r.member];
+        m.rounds += 1;
+        m.cuts += ev.cut() as usize;
+        m.proposed_sum += r.proposed;
+        m.granted_sum += *g;
+        state.events[r.member] = Some(ev);
+    }
+    state.telemetry.rounds += 1;
+    state.telemetry.contended_rounds += contended as usize;
+    state.round += 1;
+    for p in state.proposals.iter_mut() {
+        *p = None;
+    }
+}
+
+/// Two-phase collect/grant rendezvous: deposits this shard's proposals
+/// (`(fleet_idx, proposed_total)` pairs), blocks until the round
+/// resolves (the last shard to arrive is the leader and runs
+/// [`run_round`]), and returns this shard's grants in proposal order.
+fn rendezvous(shared: &ArbShared, proposals: &[(usize, f64)]) -> Vec<ArbitrationEvent> {
+    let mut state = shared.state.lock().expect("arbitration state poisoned");
+    for &(idx, p) in proposals {
+        state.proposals[idx] = Some(p);
+    }
+    state.waiting += 1;
+    if state.waiting == state.live_shards {
+        run_round(&mut state, shared.budget, &shared.meta);
+        state.waiting = 0;
+        state.generation += 1;
+        shared.cv.notify_all();
+    } else {
+        let gen = state.generation;
+        while state.generation == gen {
+            state = shared.cv.wait(state).expect("arbitration state poisoned");
+        }
+    }
+    // Read own grants under the same lock acquisition that observed
+    // the new generation — no shard can start (and overwrite) the next
+    // round before every waiter has collected its events, because the
+    // next leader needs `waiting == live_shards` again.
+    proposals
+        .iter()
+        .map(|&(idx, _)| {
+            state.events[idx]
+                .take()
+                .expect("arbitration round granted every proposer")
+        })
+        .collect()
+}
+
+/// Removes a finished shard from the barrier. If the remaining shards
+/// are all already waiting, the departing shard runs the round on
+/// their behalf (they can no longer be joined by anyone else).
+fn deregister(shared: &ArbShared) {
+    let mut state = shared.state.lock().expect("arbitration state poisoned");
+    state.live_shards -= 1;
+    if state.live_shards > 0 && state.waiting == state.live_shards {
+        run_round(&mut state, shared.budget, &shared.meta);
+        state.waiting = 0;
+        state.generation += 1;
+        shared.cv.notify_all();
+    }
+}
+
 /// Drives one shard's members to completion over its own ready-at
-/// min-heap. Returns each member's run keyed by its fleet-wide
-/// insertion index, plus the shard's poll count.
-fn run_shard(members: Vec<Member>) -> (Vec<(usize, FleetRun)>, u64) {
+/// min-heap; under arbitration (`arb` set) the shard parks proposing
+/// members and rendezvouses with the other shards at every round.
+/// Returns each member's run keyed by its fleet-wide insertion index,
+/// plus the shard's poll count.
+fn run_shard(members: Vec<Member>, arb: Option<&ArbShared>) -> (Vec<(usize, FleetRun)>, u64) {
     let n = members.len();
     let mut names: Vec<String> = Vec::with_capacity(n);
     let mut drivers: Vec<Option<Box<dyn FleetDriver>>> = Vec::with_capacity(n);
     let mut fleet_idx: Vec<usize> = Vec::with_capacity(n);
+    let mut ranks: Vec<usize> = Vec::with_capacity(n);
     let mut heap: BinaryHeap<Slot> = BinaryHeap::with_capacity(n);
     for (local, m) in members.into_iter().enumerate() {
         let ready_at = m.driver.now_s();
@@ -474,20 +1000,70 @@ fn run_shard(members: Vec<Member>) -> (Vec<(usize, FleetRun)>, u64) {
         names.push(m.name);
         drivers.push(Some(m.driver));
         fleet_idx.push(m.idx);
+        ranks.push(m.rank);
     }
 
     let mut polls = 0u64;
     let mut out: Vec<(usize, FleetRun)> = Vec::with_capacity(n);
-    while let Some(slot) = heap.pop() {
-        let local = slot.idx;
-        let driver = drivers[local]
-            .as_mut()
-            .expect("done members leave the heap");
-        polls += 1;
-        let ready_at = match driver.poll() {
-            DriverPoll::Pending { resume_at_s } => resume_at_s,
-            DriverPoll::Logged => driver.now_s(),
-            DriverPoll::Done => {
+    // Members parked at the barrier (local indices), in park order.
+    let mut parked: Vec<usize> = Vec::new();
+    loop {
+        while let Some(slot) = heap.pop() {
+            let local = slot.idx;
+            let driver = drivers[local]
+                .as_mut()
+                .expect("done members leave the heap");
+            polls += 1;
+            let ready_at = match driver.poll() {
+                DriverPoll::Pending { resume_at_s } => resume_at_s,
+                DriverPoll::Logged => driver.now_s(),
+                DriverPoll::Proposed => {
+                    assert!(arb.is_some(), "member proposed without arbitration");
+                    parked.push(local);
+                    continue;
+                }
+                DriverPoll::Done => {
+                    let driver = drivers[local].take().unwrap();
+                    let end_s = driver.now_s();
+                    out.push((
+                        fleet_idx[local],
+                        FleetRun {
+                            name: std::mem::take(&mut names[local]),
+                            result: driver.finish(),
+                            end_s,
+                        },
+                    ));
+                    continue;
+                }
+            };
+            assert!(
+                ready_at.is_finite(),
+                "member {} reports non-finite time",
+                fleet_idx[local]
+            );
+            heap.push(Slot {
+                ready_at,
+                rank: slot.rank,
+                idx: local,
+            });
+        }
+        // Heap drained: every member is parked or finished.
+        let Some(shared) = arb else { break };
+        if parked.is_empty() {
+            deregister(shared);
+            break;
+        }
+        let proposals: Vec<(usize, f64)> = parked
+            .iter()
+            .map(|&l| (fleet_idx[l], drivers[l].as_ref().unwrap().proposed_total()))
+            .collect();
+        let events = rendezvous(shared, &proposals);
+        for (&local, ev) in parked.iter().zip(&events) {
+            let done = drivers[local]
+                .as_mut()
+                .unwrap()
+                .commit_granted(ev.granted, ev);
+            if done {
                 let driver = drivers[local].take().unwrap();
                 let end_s = driver.now_s();
                 out.push((
@@ -498,19 +1074,21 @@ fn run_shard(members: Vec<Member>) -> (Vec<(usize, FleetRun)>, u64) {
                         end_s,
                     },
                 ));
-                continue;
+            } else {
+                let ready_at = drivers[local].as_ref().unwrap().now_s();
+                assert!(
+                    ready_at.is_finite(),
+                    "member {} reports non-finite time",
+                    fleet_idx[local]
+                );
+                heap.push(Slot {
+                    ready_at,
+                    rank: ranks[local],
+                    idx: local,
+                });
             }
-        };
-        assert!(
-            ready_at.is_finite(),
-            "member {} reports non-finite time",
-            fleet_idx[local]
-        );
-        heap.push(Slot {
-            ready_at,
-            rank: slot.rank,
-            idx: local,
-        });
+        }
+        parked.clear();
     }
     (out, polls)
 }

@@ -49,13 +49,18 @@
 //! `.build()` instead of `.run()` returns the [`ControlLoop`] for
 //! stepping runs that script the policy or backend mid-flight (SLO
 //! changes, CPU-clock changes, bursty traces). Many fully-described
-//! builders can instead be handed to a [`Fleet`]
-//! (`Fleet::new().add(…).add(…).run()`), which drives them all
-//! concurrently from one process over the non-blocking
+//! members can instead be handed to a [`Fleet`]
+//! (`Fleet::new().member(…).member(…).run()`, each member a
+//! [`MemberSpec`] or bare builder), which drives them all concurrently
+//! from one process over the non-blocking
 //! [`ClusterBackend::begin_window`]/[`poll_window`] seam — a fleet of
 //! one is byte-identical to `.run()`, and per-member results are
 //! scheduling-invariant (see the [`fleet`](Fleet) docs and
-//! `docs/fleet.md`).
+//! `docs/fleet.md`). A fleet may additionally share one CPU budget
+//! across its members via `.arbitration(budget, policy)` — a
+//! [`FleetPolicy`] ([`Unlimited`] / [`WeightedFairShare`] /
+//! [`AimdBackoff`]) grants or cuts each member's proposed allocation
+//! at a deterministic window-boundary barrier.
 //!
 //! [`poll_window`]: ClusterBackend::poll_window
 //!
@@ -78,12 +83,17 @@
 //! The old paths still exist as a deprecated re-export module in the
 //! root crate for one transition period.
 
+mod arbitration;
 mod backend;
 mod control;
 mod experiment;
 mod fleet;
 mod policy;
 
+pub use arbitration::{
+    squeeze_to_budget, AimdBackoff, ArbitrationEvent, ArbitrationRequest, FleetArbitration,
+    FleetPolicy, MemberArbitration, Unlimited, WeightedFairShare,
+};
 pub use backend::{
     ClusterBackend, EarlyCheck, FluidBackend, SimBackend, WindowPoll, WindowRequest,
 };
@@ -95,5 +105,5 @@ pub use experiment::{
     Experiment, ExperimentBuilder, IntoBackend, IntoPolicy, Managed, Pema, Rule, Unset, UseFluid,
     UseSim,
 };
-pub use fleet::{resolve_threads, Fleet, FleetResult, FleetRun};
+pub use fleet::{resolve_threads, Fleet, FleetResult, FleetRun, MemberSpec};
 pub use policy::{stats_to_obs, Decision, HoldPolicy, Policy, RulePolicy};

@@ -5,7 +5,7 @@
 
 use pema_control::{
     ClusterBackend, ControlLoop, Experiment, ExperimentBuilder, Fleet, HarnessConfig, HoldPolicy,
-    LoopPoll, Pema, Rule, RunResult, SimBackend, UseFluid, UseSim,
+    LoopPoll, MemberSpec, Pema, Rule, RunResult, SimBackend, UseFluid, UseSim,
 };
 use pema_core::PemaParams;
 use pema_sim::AppSpec;
@@ -47,7 +47,7 @@ fn fleet_of_one_is_bit_identical_to_experiment_run() {
     let app = pema_apps::toy_chain();
     for early in [false, true] {
         let solo = pema_exp(&app, early).run();
-        let fleet = Fleet::new().add(pema_exp(&app, early)).run();
+        let fleet = Fleet::new().member(pema_exp(&app, early)).run();
         assert_eq!(fleet.runs.len(), 1);
         assert_eq!(
             render(&solo),
@@ -79,7 +79,7 @@ fn fleet_of_one_matches_run_workload_sampling() {
             .iters(6)
     };
     let solo = build().run();
-    let fleet = Fleet::new().add(build()).run();
+    let fleet = Fleet::new().member(build()).run();
     assert_eq!(render(&solo), render(&fleet.runs[0].result));
     // The pattern actually exercised more than one level.
     let mut loads: Vec<u64> = solo.log.iter().map(|l| l.rps.to_bits()).collect();
@@ -91,13 +91,10 @@ fn fleet_of_one_matches_run_workload_sampling() {
 fn mixed_fleet_reports_members_in_insertion_order() {
     let app = pema_apps::toy_chain();
     let fleet = Fleet::new()
-        .add_named(
-            "des-pema",
-            pema_exp(&app, true), // DES member, early checks on
-        )
-        .add_named(
-            "fluid-rule",
-            Experiment::builder()
+        .member(MemberSpec::from(pema_exp(&app, true)).name("des-pema")) // DES, early checks on
+        .member(
+            MemberSpec::new()
+                .name("fluid-rule")
                 .app(&app)
                 .policy(Rule)
                 .backend(UseFluid)
@@ -105,9 +102,9 @@ fn mixed_fleet_reports_members_in_insertion_order() {
                 .rps(140.0)
                 .iters(12),
         )
-        .add_named(
-            "fluid-hold",
-            Experiment::builder()
+        .member(
+            MemberSpec::new()
+                .name("fluid-hold")
                 .app(&app)
                 .policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))
                 .backend(UseFluid)
@@ -174,10 +171,10 @@ fn sharded_fleet_matches_single_threaded_run() {
     let app = pema_apps::toy_chain();
     let build = || {
         Fleet::new()
-            .add_named("des-pema", pema_exp(&app, true))
-            .add_named(
-                "fluid-rule",
-                Experiment::builder()
+            .member(MemberSpec::from(pema_exp(&app, true)).name("des-pema"))
+            .member(
+                MemberSpec::new()
+                    .name("fluid-rule")
                     .app(&app)
                     .policy(Rule)
                     .backend(UseFluid)
@@ -185,9 +182,9 @@ fn sharded_fleet_matches_single_threaded_run() {
                     .rps(140.0)
                     .iters(12),
             )
-            .add_named(
-                "fluid-hold",
-                Experiment::builder()
+            .member(
+                MemberSpec::new()
+                    .name("fluid-hold")
                     .app(&app)
                     .policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))
                     .backend(UseFluid)

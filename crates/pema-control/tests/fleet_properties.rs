@@ -16,7 +16,7 @@
 
 use pema_control::{
     Experiment, ExperimentBuilder, Fleet, HarnessConfig, HoldPolicy, IntoBackend, IntoPolicy, Pema,
-    Rule, RunResult,
+    Rule, RunResult, Unlimited, WeightedFairShare,
 };
 use pema_core::PemaParams;
 use pema_sim::AppSpec;
@@ -115,11 +115,11 @@ impl FleetPiece {
 
     fn add_to(self, fleet: Fleet) -> Fleet {
         match self {
-            FleetPiece::SimPema(b) => fleet.add(b),
-            FleetPiece::SimRule(b) => fleet.add(b),
-            FleetPiece::FluidPema(b) => fleet.add(b),
-            FleetPiece::FluidRule(b) => fleet.add(b),
-            FleetPiece::FluidHold(b) => fleet.add(b),
+            FleetPiece::SimPema(b) => fleet.member(b),
+            FleetPiece::SimRule(b) => fleet.member(b),
+            FleetPiece::FluidPema(b) => fleet.member(b),
+            FleetPiece::FluidRule(b) => fleet.member(b),
+            FleetPiece::FluidHold(b) => fleet.member(b),
         }
     }
 }
@@ -237,6 +237,158 @@ proptest! {
                 "fleet output diverged at threads={} (n={})",
                 threads,
                 n
+            );
+        }
+    }
+
+    /// The arbitration analogue of solo bit-identity: a fleet under
+    /// [`Unlimited`] or a slack [`WeightedFairShare`] budget is
+    /// byte-identical to the same fleet with no arbitration at all, at
+    /// threads ∈ {1, 2, 7, auto} — the barrier rendezvous changes the
+    /// execution schedule but may not change a single bit of output.
+    #[test]
+    fn slack_arbitration_is_bit_invisible(
+        n in 1usize..6,
+        kinds in proptest::collection::vec(0usize..5, 6),
+        intervals in proptest::collection::vec(4.0f64..9.0, 6),
+        rates in proptest::collection::vec(90.0f64..180.0, 6),
+        iter_counts in proptest::collection::vec(1usize..5, 6),
+        earlies in proptest::collection::vec(0usize..2, 6),
+        ranks in proptest::collection::vec(0usize..1000, 6),
+        unlimited_sel in 0usize..2,
+    ) {
+        let unlimited = unlimited_sel == 1;
+        let app = pema_apps::toy_chain();
+        let specs: Vec<MemberSpec> = (0..n)
+            .map(|i| MemberSpec {
+                kind: kinds[i],
+                interval_s: intervals[i],
+                rps: rates[i],
+                iters: iter_counts[i],
+                early: earlies[i] == 1,
+            })
+            .collect();
+
+        let build = |threads: usize| {
+            let mut fleet = Fleet::new().threads(threads);
+            for (i, s) in specs.iter().enumerate() {
+                fleet = s.build(&app, i).add_to(fleet);
+            }
+            fleet.tie_break(ranks[..n].to_vec())
+        };
+
+        let plain = render_fleet(&build(1).run());
+        for threads in [1usize, 2, 7, 0] {
+            let fleet = build(threads);
+            let arbitrated = if unlimited {
+                fleet.arbitration(f64::INFINITY, Unlimited)
+            } else {
+                // A budget no toy-chain fleet of ≤5 members can reach.
+                fleet.arbitration(1e9, WeightedFairShare::new())
+            };
+            let result = arbitrated.run();
+            let arb = result.arbitration.clone().unwrap();
+            prop_assert_eq!(arb.contended_rounds, 0);
+            prop_assert_eq!(
+                arb.members.iter().map(|m| m.rounds).sum::<usize>(),
+                specs.iter().map(|s| s.iters).sum::<usize>()
+            );
+            let rendered = render_fleet(&result);
+            prop_assert!(
+                rendered == plain,
+                "slack arbitration changed output (threads={}, unlimited={})",
+                threads,
+                unlimited
+            );
+        }
+    }
+
+    /// Contention invariants for arbitrary fleets under a deliberately
+    /// tight budget: floors are never violated, the fleet-wide grant
+    /// never exceeds the budget, no member is granted above its own
+    /// proposal, and the whole arbitrated output is thread-count
+    /// invariant.
+    #[test]
+    fn tight_budget_grants_respect_floors_budget_and_threads(
+        n in 2usize..6,
+        kinds in proptest::collection::vec(0usize..5, 6),
+        intervals in proptest::collection::vec(4.0f64..9.0, 6),
+        rates in proptest::collection::vec(90.0f64..180.0, 6),
+        iter_counts in proptest::collection::vec(1usize..5, 6),
+        ranks in proptest::collection::vec(0usize..1000, 6),
+        budget in 0.8f64..3.0,
+        floor in 0.0f64..0.15,
+    ) {
+        use std::sync::{Arc, Mutex};
+        use pema_control::{ArbitrationEvent, IterationLog, Observer};
+        use pema_sim::WindowStats;
+
+        #[derive(Clone)]
+        struct Capture(Arc<Mutex<Vec<ArbitrationEvent>>>);
+        impl Observer for Capture {
+            fn on_interval(&mut self, _: &IterationLog, _: &WindowStats) {}
+            fn on_arbitration(&mut self, event: &ArbitrationEvent) {
+                self.0.lock().unwrap().push(*event);
+            }
+        }
+
+        let app = pema_apps::toy_chain();
+        let specs: Vec<MemberSpec> = (0..n)
+            .map(|i| MemberSpec {
+                kind: kinds[i],
+                interval_s: intervals[i],
+                rps: rates[i],
+                iters: iter_counts[i],
+                early: false,
+            })
+            .collect();
+
+        let run_at = |threads: usize| {
+            let mut fleet = Fleet::new().threads(threads);
+            let mut captures = Vec::new();
+            for (i, s) in specs.iter().enumerate() {
+                let events = Arc::new(Mutex::new(Vec::new()));
+                captures.push(Arc::clone(&events));
+                let spec = pema_control::MemberSpec::from(
+                    Experiment::builder()
+                        .app(&app)
+                        .config(HarnessConfig {
+                            interval_s: s.interval_s,
+                            warmup_s: 1.0,
+                            seed: 0x5EED + i as u64,
+                        })
+                        .policy(Rule)
+                        .backend(pema_control::UseFluid)
+                        .rps(s.rps)
+                        .iters(s.iters)
+                        .observer(Capture(events)),
+                )
+                .floor(floor)
+                .weight(1.0 + (i % 3) as f64)
+                .priority((i % 2) as i32);
+                fleet = fleet.member(spec);
+            }
+            let result = fleet
+                .tie_break(ranks[..n].to_vec())
+                .arbitration(budget, WeightedFairShare::new())
+                .run();
+            (render_fleet(&result), captures)
+        };
+
+        let (single, captures) = run_at(1);
+        for events in &captures {
+            for ev in events.lock().unwrap().iter() {
+                prop_assert!(ev.granted <= ev.proposed + 1e-9);
+                prop_assert!(ev.granted >= floor.min(ev.proposed) - 1e-9);
+                prop_assert!(ev.fleet_granted <= budget + 1e-9);
+            }
+        }
+        for threads in [2usize, 7, 0] {
+            let (sharded, _) = run_at(threads);
+            prop_assert!(
+                sharded == single,
+                "arbitrated fleet output diverged at threads={}",
+                threads
             );
         }
     }

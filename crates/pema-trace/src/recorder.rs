@@ -32,19 +32,22 @@
 //! ```
 
 use crate::format::{Trace, TraceMeta, TraceRecord};
-use pema_control::{HarnessConfig, IterationLog, Observer};
+use pema_control::{ArbitrationEvent, HarnessConfig, IterationLog, Observer};
 use pema_sim::{Allocation, AppSpec, WindowStats};
 use std::sync::{Arc, Mutex};
 
 /// Shared handle to a trace being (or finished being) recorded.
 #[derive(Debug, Clone)]
-pub struct TraceHandle(Arc<Mutex<Trace>>);
+pub struct TraceHandle {
+    trace: Arc<Mutex<Trace>>,
+    arbitration: Arc<Mutex<Vec<ArbitrationEvent>>>,
+}
 
 impl TraceHandle {
     /// Takes the recorded trace out of the handle, leaving an empty
     /// record list behind. Call after the observed run completed.
     pub fn take(&self) -> Trace {
-        let mut inner = self.0.lock().unwrap();
+        let mut inner = self.trace.lock().unwrap();
         Trace {
             meta: inner.meta.clone(),
             records: std::mem::take(&mut inner.records),
@@ -53,12 +56,22 @@ impl TraceHandle {
 
     /// A copy of the trace as recorded so far (mid-run snapshots).
     pub fn snapshot(&self) -> Trace {
-        self.0.lock().unwrap().clone()
+        self.trace.lock().unwrap().clone()
+    }
+
+    /// The fleet-arbitration events observed so far (one per interval
+    /// when the recorded member ran under `Fleet::arbitration`; empty
+    /// otherwise). Kept as an in-memory side channel, deliberately
+    /// outside the serialized [`Trace`] — the versioned JSONL format
+    /// stays byte-stable for non-arbitrated runs, and a replayed
+    /// member re-arbitrates live rather than replaying stale grants.
+    pub fn arbitration(&self) -> Vec<ArbitrationEvent> {
+        self.arbitration.lock().unwrap().clone()
     }
 
     /// Number of intervals recorded so far.
     pub fn len(&self) -> usize {
-        self.0.lock().unwrap().records.len()
+        self.trace.lock().unwrap().records.len()
     }
 
     /// True when nothing has been recorded yet.
@@ -70,6 +83,7 @@ impl TraceHandle {
 /// The recording observer. See the module docs for the wiring pattern.
 pub struct TraceRecorder {
     inner: Arc<Mutex<Trace>>,
+    arbitration: Arc<Mutex<Vec<ArbitrationEvent>>>,
 }
 
 impl TraceRecorder {
@@ -107,6 +121,7 @@ impl TraceRecorder {
                 meta,
                 records: Vec::new(),
             })),
+            arbitration: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -126,7 +141,10 @@ impl TraceRecorder {
 
     /// The shared handle the finished trace is taken from.
     pub fn handle(&self) -> TraceHandle {
-        TraceHandle(Arc::clone(&self.inner))
+        TraceHandle {
+            trace: Arc::clone(&self.inner),
+            arbitration: Arc::clone(&self.arbitration),
+        }
     }
 }
 
@@ -151,5 +169,9 @@ impl Observer for TraceRecorder {
             alloc: Allocation::new(log.alloc.clone()).0,
             stats: stats.clone(),
         });
+    }
+
+    fn on_arbitration(&mut self, event: &ArbitrationEvent) {
+        self.arbitration.lock().unwrap().push(*event);
     }
 }

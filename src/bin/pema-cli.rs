@@ -15,6 +15,7 @@
 //! pema-cli fleet    --count 16 [--app sockshop|mixed] [--rps R] [--iters N]
 //!                   [--backend sim|fluid] [--policy pema|rule|hold|mixed]
 //!                   [--interval S] [--seed K] [--threads T]
+//!                   [--budget C] [--arbitration fair|aimd|off] [--priority 2,1,0]
 //!
 //! pema-cli list                              list experiment scenarios
 //! pema-cli all  [--jobs N] [--smoke] [--force]    run the whole suite
@@ -92,6 +93,11 @@ fn usage() {
          \x20          [--interval S] [--threads T]   drive N control loops concurrently\n\
          \x20                                         (T shard workers, 0 = auto; output\n\
          \x20                                         identical for every T)\n\
+         \x20          [--budget C] [--arbitration fair|aimd|off] [--priority P1,P2,…]\n\
+         \x20                                         share a C-core budget across members:\n\
+         \x20                                         fair = priority/weighted fair share,\n\
+         \x20                                         aimd = multiplicative backoff; the\n\
+         \x20                                         --priority list cycles over members\n\
          \n\
          experiment-suite commands (scenario registry; delegate to `bench`):\n\
          \x20 list                                 list registered scenarios\n\
@@ -529,6 +535,42 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
     let rps_override = flags.get("rps").map(|_| get_f64(flags, "rps", 0.0));
     let policies = ["pema", "rule", "hold"];
 
+    // Arbitration: --budget enables it (default fair); --arbitration
+    // fair|aimd|off picks the policy; --priority P1,P2,… cycles
+    // priority classes across the members.
+    let budget = flags.get("budget").map(|_| get_f64(flags, "budget", 0.0));
+    let arb_sel = flags
+        .get("arbitration")
+        .map(String::as_str)
+        .unwrap_or(if budget.is_some() { "fair" } else { "off" });
+    if !matches!(arb_sel, "fair" | "aimd" | "off") {
+        eprintln!("--arbitration must be fair, aimd, or off, got '{arb_sel}'");
+        exit(2);
+    }
+    if arb_sel != "off" && budget.is_none() {
+        eprintln!("--arbitration {arb_sel} requires --budget <cores>");
+        exit(2);
+    }
+    if let Some(b) = budget {
+        if b <= 0.0 {
+            eprintln!("--budget must be positive, got {b}");
+            exit(2);
+        }
+    }
+    let priorities: Vec<i32> = flags
+        .get("priority")
+        .map(|s| {
+            s.split(',')
+                .map(|t| {
+                    t.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("--priority expects integers, e.g. 2,1,0 (got '{t}')");
+                        exit(2)
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
     let mut fleet = Fleet::new().threads(threads);
     let mut labels = Vec::new();
     for i in 0..count {
@@ -548,45 +590,60 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
             warmup_s: 4.0,
             seed: seed0.wrapping_add(i as u64),
         };
-        let name = format!("{}-{i}", app.name);
-        let builder = Experiment::builder()
+        let prio = if priorities.is_empty() {
+            0
+        } else {
+            priorities[i % priorities.len()]
+        };
+        let spec = MemberSpec::new()
+            .name(format!("{}-{i}", app.name))
+            .priority(prio)
             .app(app)
             .config(cfg)
             .rps(rps)
             .iters(iters);
-        // The backend × policy grid, spelled out: the builder is
-        // generic over both slots, so each combination is its own type.
+        // The backend × policy grid, spelled out: the spec is generic
+        // over both slots, so each combination is its own type.
         fleet = match (backend_sel, policy) {
             ("fluid", "pema") => {
                 let mut p = PemaParams::defaults(app.slo_ms);
                 p.seed = seed0 ^ i as u64;
-                fleet.add_named(name, builder.backend(UseFluid).policy(Pema(p)))
+                fleet.member(spec.backend(UseFluid).policy(Pema(p)))
             }
-            ("fluid", "rule") => fleet.add_named(name, builder.backend(UseFluid).policy(Rule)),
-            ("fluid", _) => fleet.add_named(
-                name,
-                builder
-                    .backend(UseFluid)
+            ("fluid", "rule") => fleet.member(spec.backend(UseFluid).policy(Rule)),
+            ("fluid", _) => fleet.member(
+                spec.backend(UseFluid)
                     .policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms)),
             ),
             (_, "pema") => {
                 let mut p = PemaParams::defaults(app.slo_ms);
                 p.seed = seed0 ^ i as u64;
-                fleet.add_named(name, builder.policy(Pema(p)))
+                fleet.member(spec.policy(Pema(p)))
             }
-            (_, "rule") => fleet.add_named(name, builder.policy(Rule)),
-            _ => fleet.add_named(
-                name,
-                builder.policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms)),
-            ),
+            (_, "rule") => fleet.member(spec.policy(Rule)),
+            _ => fleet.member(spec.policy(HoldPolicy::new(app.generous_alloc.clone(), app.slo_ms))),
         };
         labels.push((policy, rps));
+    }
+    if let Some(b) = budget {
+        fleet = match arb_sel {
+            "fair" => fleet.arbitration(b, WeightedFairShare::new()),
+            "aimd" => fleet.arbitration(b, AimdBackoff::new()),
+            _ => {
+                println!("note: --budget {b} ignored (--arbitration off)");
+                fleet
+            }
+        };
     }
 
     println!(
         "fleet: {count} loops × {iters} intervals on one process \
-         ({backend_sel} backend, {policy_sel} policies, {} worker thread(s))",
-        resolve_threads(threads).min(count)
+         ({backend_sel} backend, {policy_sel} policies, {} worker thread(s){})",
+        resolve_threads(threads).min(count),
+        match (arb_sel, budget) {
+            ("off", _) | (_, None) => String::new(),
+            (p, Some(b)) => format!(", {p} arbitration over {b} cores"),
+        }
     );
     let t0 = std::time::Instant::now();
     let result = fleet.run();
@@ -613,6 +670,25 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
         result.polls,
         result.span_s()
     );
+    if let Some(arb) = &result.arbitration {
+        println!(
+            "arbitration [{}]: budget {:.1} cores, {} rounds ({} contended), \
+             fleet grant ratio {:.3}",
+            arb.policy,
+            arb.budget,
+            arb.rounds,
+            arb.contended_rounds,
+            arb.grant_ratio()
+        );
+        for (run, m) in result.runs.iter().zip(&arb.members) {
+            if m.cuts > 0 {
+                println!(
+                    "  {}: cut in {} of {} rounds (granted {:.1} of {:.1} core-intervals)",
+                    run.name, m.cuts, m.rounds, m.granted_sum, m.proposed_sum
+                );
+            }
+        }
+    }
 }
 
 fn cmd_trace(flags: &HashMap<String, String>) {

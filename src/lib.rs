@@ -80,10 +80,12 @@ pub use pema_workload;
 pub mod prelude {
     pub use pema_baselines::{find_optimum, OptmConfig, RuleScaler};
     pub use pema_control::{
-        optimum_for, resolve_threads, stats_to_obs, ClusterBackend, ControlLoop, Decision,
-        EarlyCheck, Experiment, ExperimentBuilder, Fleet, FleetResult, FleetRun, FluidBackend,
-        HarnessConfig, HoldPolicy, IterationLog, LoopPoll, Managed, ManagedRunner, Observer, Pema,
-        PemaRunner, Policy, Rule, RulePolicy, RuleRunner, RunResult, SimBackend, UseFluid, UseSim,
+        optimum_for, resolve_threads, squeeze_to_budget, stats_to_obs, AimdBackoff,
+        ArbitrationEvent, ArbitrationRequest, ClusterBackend, ControlLoop, Decision, EarlyCheck,
+        Experiment, ExperimentBuilder, Fleet, FleetArbitration, FleetPolicy, FleetResult, FleetRun,
+        FluidBackend, HarnessConfig, HoldPolicy, IterationLog, LoopPoll, Managed, ManagedRunner,
+        MemberArbitration, MemberSpec, Observer, Pema, PemaRunner, Policy, Rule, RulePolicy,
+        RuleRunner, RunResult, SimBackend, Unlimited, UseFluid, UseSim, WeightedFairShare,
         WindowPoll, WindowRequest,
     };
     pub use pema_core::{
