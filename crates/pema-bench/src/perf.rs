@@ -131,6 +131,10 @@ pub struct PerfReport {
     pub smoke: bool,
     /// `rustc --version` of the building toolchain, when known.
     pub toolchain: String,
+    /// Logical cores available to the capturing host (0 when unknown).
+    /// Thread-scaling entries (`fleet_threads_scaling_t*`) are only
+    /// meaningful relative to this.
+    pub cores: usize,
     /// Peak resident set size of the harness process, bytes (0 when
     /// the platform does not expose it).
     pub peak_rss_bytes: u64,
@@ -185,6 +189,7 @@ pub fn run_perf(cfg: &PerfConfig) -> io::Result<PerfReport> {
         label: cfg.label.clone(),
         smoke: cfg.smoke,
         toolchain: toolchain_version(),
+        cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
         peak_rss_bytes: peak_rss_bytes(),
         calibration_ops_per_sec: calibration,
         micro,
@@ -741,6 +746,7 @@ impl PerfReport {
         let _ = writeln!(s, "  \"label\": {},", json::quote(&self.label));
         let _ = writeln!(s, "  \"smoke\": {},", self.smoke);
         let _ = writeln!(s, "  \"toolchain\": {},", json::quote(&self.toolchain));
+        let _ = writeln!(s, "  \"cores\": {},", self.cores);
         let _ = writeln!(s, "  \"peak_rss_bytes\": {},", self.peak_rss_bytes);
         let _ = writeln!(
             s,
@@ -1058,6 +1064,7 @@ mod tests {
             label: "unit".to_string(),
             smoke: true,
             toolchain: "rustc x".to_string(),
+            cores: 4,
             peak_rss_bytes: 42,
             calibration_ops_per_sec: 1e9,
             micro: vec![MicroResult {

@@ -280,8 +280,8 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     // lands on the low class only.
     let surge_at = ctx.harness_cfg(0).interval_s * (iters as f64 / 2.0).floor();
     let surge = Some((2.5, surge_at));
-    let flash_budget =
-        (round0_demand(ctx, &flash_plans, surge, 0x0C01_1780) * 1.4).max(n_flash as f64 * 0.3 + 0.5);
+    let flash_budget = (round0_demand(ctx, &flash_plans, surge, 0x0C01_1780) * 1.4)
+        .max(n_flash as f64 * 0.3 + 0.5);
     let flash = run_case(
         ctx,
         "priority_flash",

@@ -26,10 +26,22 @@
 //! every loop completes. One core caps a single cooperative scheduler
 //! at a few hundred thousand app-intervals/sec; with
 //! [`threads`](Fleet::threads) the shards run on `std::thread::scope`
-//! workers and the ceiling scales with cores. A live (wall-clock)
-//! backend slots into the same API by reporting wall timestamps from
-//! `now_s` — the executor never sleeps, so virtual and real clocks mix
-//! freely.
+//! workers and the ceiling scales with cores.
+//!
+//! ## Pacing: virtual by default, wall-clock on request
+//!
+//! Under the default [`Clock::Virtual`] pace the executor never
+//! sleeps: it services whichever loop is furthest behind and lets
+//! virtual time run as fast as the backends can measure — the byte-
+//! identical mode every simulation scenario uses. A live backend
+//! (`pema-live`) reports *wall* timestamps from `now_s`, and replaying
+//! its ready-at schedule at full speed would busy-poll windows that
+//! take real seconds to fill. [`Fleet::pace`]`(`[`Clock::Wall`]`)`
+//! makes each shard sleep until a popped member's ready-at before
+//! polling it, so a fleet of live loops wakes exactly at window
+//! boundaries instead of spinning; virtual-time members under wall
+//! pace are always already past their ready-at and run unchanged (the
+//! equivalence is pinned by `fleet_wall_pace_matches_virtual`).
 //!
 //! ## Determinism
 //!
@@ -543,6 +555,22 @@ impl<P, B> MemberSpec<P, B> {
     }
 }
 
+/// How a fleet shard treats a member's ready-at time (see the module
+/// docs, "Pacing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Clock {
+    /// Never sleep: service loops as fast as their backends measure.
+    /// The deterministic default — output is byte-identical to every
+    /// prior fleet behavior.
+    #[default]
+    Virtual,
+    /// Sleep until a popped member's ready-at before polling it: for
+    /// fleets of live (wall-clock) backends, whose windows fill in
+    /// real time. Members already past their ready-at (every
+    /// virtual-time backend) are polled without sleeping.
+    Wall,
+}
+
 /// The fleet under construction — see the module docs. Add fully
 /// described members (policy, backend, load, and iteration count all
 /// set), optionally an [`arbitration`](Self::arbitration) budget, then
@@ -556,6 +584,7 @@ pub struct Fleet {
     /// Defaults to 1 (the PR 5 single-threaded cooperative scheduler).
     threads: usize,
     arbitration: Option<(f64, Box<dyn FleetPolicy>)>,
+    pace: Clock,
 }
 
 impl Fleet {
@@ -567,7 +596,19 @@ impl Fleet {
             tie_break: None,
             threads: 1,
             arbitration: None,
+            pace: Clock::Virtual,
         }
+    }
+
+    /// Sets the pacing clock (default [`Clock::Virtual`]). Use
+    /// [`Clock::Wall`] for fleets of live backends — shards then sleep
+    /// to each member's ready-at instead of busy-polling real-time
+    /// windows. Virtual members are unaffected (they are never behind
+    /// their ready-at), so mixed fleets work and `Clock::Virtual`
+    /// output stays byte-identical.
+    pub fn pace(mut self, pace: Clock) -> Self {
+        self.pace = pace;
+        self
     }
 
     /// Adds a member. Accepts a [`MemberSpec`] or (via `Into`) a bare
@@ -610,33 +651,6 @@ impl Fleet {
             }),
         )));
         self
-    }
-
-    /// Adds an experiment under an auto-assigned name (`app<i>`).
-    #[deprecated(note = "use `Fleet::member(..)` with a `MemberSpec` (or a bare builder)")]
-    // Not `std::ops::Add`: the operand is a run description, not
-    // another fleet, and `.member(..)` is the builder grammar.
-    #[allow(clippy::should_implement_trait)]
-    pub fn add<P, B>(self, exp: ExperimentBuilder<P, B>) -> Self
-    where
-        P: IntoPolicy,
-        B: IntoBackend,
-        P::Policy: Send + 'static,
-        B::Backend: Send + 'static,
-    {
-        self.member(exp)
-    }
-
-    /// Adds an experiment under an explicit name.
-    #[deprecated(note = "use `Fleet::member(..)` with `MemberSpec::name(..)`")]
-    pub fn add_named<P, B>(self, name: impl Into<String>, exp: ExperimentBuilder<P, B>) -> Self
-    where
-        P: IntoPolicy,
-        B: IntoBackend,
-        P::Policy: Send + 'static,
-        B::Backend: Send + 'static,
-    {
-        self.member(MemberSpec::from(exp).name(name))
     }
 
     /// Shares one CPU budget (total cores) across all members,
@@ -768,11 +782,12 @@ impl Fleet {
         let mut results: Vec<Option<FleetRun>> = (0..n).map(|_| None).collect();
         let mut polls = 0u64;
         let arb_ref = arb.as_ref();
+        let pace = self.pace;
         if shards_n <= 1 {
             // Single-threaded: run the one shard inline (the barrier
             // degenerates to "every arrival is the leader").
             for shard in shards {
-                let (runs, shard_polls) = run_shard(shard, arb_ref);
+                let (runs, shard_polls) = run_shard(shard, arb_ref, pace);
                 polls += shard_polls;
                 for (idx, run) in runs {
                     results[idx] = Some(run);
@@ -782,7 +797,7 @@ impl Fleet {
             let outcomes = std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .into_iter()
-                    .map(|shard| scope.spawn(move || run_shard(shard, arb_ref)))
+                    .map(|shard| scope.spawn(move || run_shard(shard, arb_ref, pace)))
                     .collect();
                 handles
                     .into_iter()
@@ -976,9 +991,15 @@ fn deregister(shared: &ArbShared) {
 /// Drives one shard's members to completion over its own ready-at
 /// min-heap; under arbitration (`arb` set) the shard parks proposing
 /// members and rendezvouses with the other shards at every round.
-/// Returns each member's run keyed by its fleet-wide insertion index,
-/// plus the shard's poll count.
-fn run_shard(members: Vec<Member>, arb: Option<&ArbShared>) -> (Vec<(usize, FleetRun)>, u64) {
+/// Under [`Clock::Wall`] the shard sleeps each popped member's
+/// ready-at gap away before polling it. Returns each member's run
+/// keyed by its fleet-wide insertion index, plus the shard's poll
+/// count.
+fn run_shard(
+    members: Vec<Member>,
+    arb: Option<&ArbShared>,
+    pace: Clock,
+) -> (Vec<(usize, FleetRun)>, u64) {
     let n = members.len();
     let mut names: Vec<String> = Vec::with_capacity(n);
     let mut drivers: Vec<Option<Box<dyn FleetDriver>>> = Vec::with_capacity(n);
@@ -1013,6 +1034,17 @@ fn run_shard(members: Vec<Member>, arb: Option<&ArbShared>) -> (Vec<(usize, Flee
             let driver = drivers[local]
                 .as_mut()
                 .expect("done members leave the heap");
+            if pace == Clock::Wall {
+                // Live backends report wall timestamps: sleep the gap
+                // to this member's ready-at away instead of having its
+                // poll_window spin it down in bounded waits. Virtual
+                // members are never behind their ready-at, so this
+                // branch never sleeps for them.
+                let gap_s = slot.ready_at - driver.now_s();
+                if gap_s > 1e-4 {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(gap_s));
+                }
+            }
             polls += 1;
             let ready_at = match driver.poll() {
                 DriverPoll::Pending { resume_at_s } => resume_at_s,

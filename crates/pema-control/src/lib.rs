@@ -105,5 +105,5 @@ pub use experiment::{
     Experiment, ExperimentBuilder, IntoBackend, IntoPolicy, Managed, Pema, Rule, Unset, UseFluid,
     UseSim,
 };
-pub use fleet::{resolve_threads, Fleet, FleetResult, FleetRun, MemberSpec};
+pub use fleet::{resolve_threads, Clock, Fleet, FleetResult, FleetRun, MemberSpec};
 pub use policy::{stats_to_obs, Decision, HoldPolicy, Policy, RulePolicy};

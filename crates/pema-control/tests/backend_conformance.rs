@@ -1,9 +1,10 @@
 //! Backend-conformance suite: every [`ClusterBackend`] must honour the
 //! same loop-facing contract, whatever is underneath it. The suite runs
-//! against all three shipped backends ([`SimBackend`], [`FluidBackend`]
-//! and `pema_trace::TraceBackend` replaying a freshly recorded DES
-//! run); a future live/k8s adapter should be added to [`each_backend`]
-//! and pass unchanged.
+//! against all four shipped backends ([`SimBackend`], [`FluidBackend`],
+//! `pema_trace::TraceBackend` replaying a freshly recorded DES run, and
+//! `pema_live::LiveBackend` scraping a loopback
+//! [`FakeCluster`](pema_live::FakeCluster) over real HTTP); any further
+//! adapter should be added to [`each_backend`] and pass unchanged.
 //!
 //! Pinned invariants:
 //! * `apply` takes effect before the next measurement (both directly
@@ -25,6 +26,7 @@ use pema_control::{
     ClusterBackend, ControlLoop, Experiment, FluidBackend, HarnessConfig, HoldPolicy, SimBackend,
     WindowPoll, WindowRequest,
 };
+use pema_live::{live_over_fake, Fault};
 use pema_sim::{Allocation, AppSpec, WindowStats, MIN_ALLOC};
 use pema_trace::{TraceBackend, TraceRecorder};
 
@@ -52,11 +54,18 @@ fn conformance_trace(app: &AppSpec) -> pema_trace::Trace {
     handle.take()
 }
 
+/// The offered load the live fake cluster serves. All conformance
+/// checks drive loads (100–150 rps) whose healthy/starved verdicts on
+/// the toy chain match this one's, so a single constant keeps the
+/// fake's telemetry consistent across checks.
+const LIVE_RPS: f64 = 120.0;
+
 /// Runs `check` once per shipped backend, labelled for assertions.
 fn each_backend(app: &AppSpec, check: impl Fn(&str, Box<dyn ClusterBackend>)) {
     check("sim", Box::new(SimBackend::new(app, 42)));
     check("fluid", Box::new(FluidBackend::new(app)));
     check("trace", Box::new(TraceBackend::new(conformance_trace(app))));
+    check("live", Box::new(live_over_fake(app, LIVE_RPS)));
 }
 
 /// Runs `check` once per shipped backend with *two* identically
@@ -80,6 +89,13 @@ fn each_backend_pair(
         "trace",
         Box::new(TraceBackend::new(tape.clone())),
         Box::new(TraceBackend::new(tape)),
+    );
+    // Two independent fake clusters: the fluid model behind them is
+    // deterministic, so identically driven instances stay bit-equal.
+    check(
+        "live",
+        Box::new(live_over_fake(app, LIVE_RPS)),
+        Box::new(live_over_fake(app, LIVE_RPS)),
     );
 }
 
@@ -378,4 +394,39 @@ fn violation_accounting_sums_shortened_intervals() {
             );
         }
     });
+}
+
+#[test]
+fn live_backend_rides_out_first_poll_flakiness() {
+    // Network-flakiness conformance: the live backend's first scrape
+    // attempt hits a dropped connection; the retry policy absorbs it.
+    // The window must still complete un-degraded, `now_s` must stay
+    // monotone across the polls (checked inside `poll_to_ready`), and
+    // no typed measurement error may be recorded.
+    let app = app();
+    let mut live = live_over_fake(&app, LIVE_RPS);
+    live.cluster.inject_fault(Fault::DropConnection);
+    let req = WindowRequest::new(LIVE_RPS, 1.0, 8.0);
+    let (stats, aborted, _) = poll_to_ready(&mut live, &req);
+    assert!(
+        !aborted,
+        "live: a transient fault must not abort the window"
+    );
+    assert!(
+        stats.p95_ms.is_finite(),
+        "live: the retried scrape must recover real telemetry"
+    );
+    assert!(
+        live.backend.errors().is_empty(),
+        "live: an absorbed fault must not surface as an error: {:?}",
+        live.backend.errors()
+    );
+    // The retry backoff consumes real (fake-clock) time, so the clock
+    // ends at or slightly past the window boundary — never before it.
+    let now = live.now_s();
+    assert!(
+        (9.0..10.0).contains(&now),
+        "live: clock must land at warmup + window (+ one short backoff), got {now}"
+    );
+    assert_eq!(stats.duration_s.to_bits(), 8.0f64.to_bits());
 }

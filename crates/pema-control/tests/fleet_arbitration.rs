@@ -18,9 +18,9 @@
 use std::sync::{Arc, Mutex};
 
 use pema_control::{
-    AimdBackoff, ArbitrationEvent, Experiment, Fleet, FleetPolicy, FleetResult, HarnessConfig,
-    HoldPolicy, IterationLog, MemberSpec, Observer, Pema, Rule, RunResult, Unlimited, UseFluid,
-    WeightedFairShare,
+    AimdBackoff, ArbitrationEvent, Clock, Experiment, Fleet, FleetPolicy, FleetResult,
+    HarnessConfig, HoldPolicy, IterationLog, MemberSpec, Observer, Pema, Rule, RunResult,
+    Unlimited, UseFluid, WeightedFairShare,
 };
 use pema_core::PemaParams;
 use pema_sim::WindowStats;
@@ -451,11 +451,12 @@ fn trace_recorder_captures_arbitration_events() {
     assert!(result.arbitration.unwrap().contended_rounds > 0);
 }
 
-/// The deprecated positional `add`/`add_named` shims still build the
-/// same fleet as `member(..)`.
+/// Wall pacing only ever *waits* — it cannot change what virtual-time
+/// members compute, because they are never behind their ready-at. A
+/// fluid fleet under `Clock::Wall` must therefore be byte-identical to
+/// the `Clock::Virtual` default (and finish promptly: no sleeps fire).
 #[test]
-#[allow(deprecated)]
-fn deprecated_add_shims_match_member() {
+fn fleet_wall_pace_matches_virtual() {
     let app = pema_apps::toy_chain();
     let builder = |seed: u64| {
         Experiment::builder()
@@ -466,16 +467,20 @@ fn deprecated_add_shims_match_member() {
             .rps(125.0)
             .iters(3)
     };
-    let via_shim = Fleet::new()
-        .add(builder(51))
-        .add_named("second", builder(52))
-        .run();
-    let via_member = Fleet::new()
-        .member(builder(51))
-        .member(MemberSpec::from(builder(52)).name("second"))
-        .run();
-    assert_eq!(render_fleet(&via_shim), render_fleet(&via_member));
-    assert_eq!(via_shim.runs[1].name, "second");
+    let build = |pace: Clock| {
+        Fleet::new()
+            .member(builder(51))
+            .member(MemberSpec::from(builder(52)).name("second"))
+            .pace(pace)
+            .run()
+    };
+    let start = std::time::Instant::now();
+    let wall = build(Clock::Wall);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "wall pace slept on virtual members"
+    );
+    assert_eq!(render_fleet(&wall), render_fleet(&build(Clock::Virtual)));
 }
 
 #[test]

@@ -1,0 +1,583 @@
+//! An in-process fake of the Prometheus + Kubernetes pair, for testing
+//! [`LiveBackend`] without a cluster.
+//!
+//! `FakeCluster` binds a real `TcpListener` on a loopback port and
+//! speaks actual HTTP/1.1, so the backend under test exercises its
+//! production wire path byte for byte. Behind the socket sits the
+//! analytic [`FluidEvaluator`]: every `query_range` evaluates the
+//! current allocation under the configured constant workload and
+//! serializes the matching Prometheus matrix, and every deployments
+//! PATCH updates that allocation (and is recorded for assertions). The
+//! fluid model is deterministic, so a FakeCluster-driven run is exactly
+//! reproducible — which is what lets the record→replay loop assert
+//! *zero* divergence.
+//!
+//! Fault injection is a FIFO of [`Fault`]s consumed one per incoming
+//! request: drop the connection, delay past the client's timeout,
+//! answer 500, or answer garbage. Since the client opens one connection
+//! per request (`Connection: close`), a single injected fault maps to
+//! exactly one failed query attempt.
+
+use crate::backend::{LiveBackend, LiveConfig};
+use crate::clock::FakeClock;
+use crate::http::{urldecode, Endpoint, HttpClient};
+use crate::kube::{KubeClient, KubeConfigLite};
+use crate::prom::PromClient;
+use pema_control::{ClusterBackend, WindowPoll, WindowRequest};
+use pema_sim::{Allocation, AppSpec, Evaluator as _, FluidEvaluator, WindowStats};
+use pema_trace::{json, prom};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
+
+/// One injected failure, consumed by the next incoming request.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Accept, then close without responding.
+    DropConnection,
+    /// Stall before handling the request (drive client timeouts).
+    Delay(Duration),
+    /// Answer `500 Internal Server Error`.
+    Http500,
+    /// Answer `200 OK` with a body that is not JSON.
+    GarbageBody,
+}
+
+/// A recorded deployments PATCH.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatchEvent {
+    /// Deployment/container name.
+    pub service: String,
+    /// The CPU limit set, cores.
+    pub cores: f64,
+}
+
+struct State {
+    app: AppSpec,
+    eval: FluidEvaluator,
+    alloc: Allocation,
+    rps: f64,
+    token: Option<String>,
+    patches: Vec<PatchEvent>,
+    faults: VecDeque<Fault>,
+    requests: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it notices the shutdown; it holds
+        // only a Weak to us, so it exits as soon as it fails to
+        // upgrade.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Handle to a running fake cluster. Clones share the server; the
+/// server stops when the last handle drops.
+#[derive(Clone)]
+pub struct FakeCluster {
+    inner: Arc<Inner>,
+}
+
+impl FakeCluster {
+    /// Boots the server for `app` under a constant `rps` workload.
+    pub fn start(app: &AppSpec, rps: f64) -> FakeCluster {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                app: app.clone(),
+                eval: FluidEvaluator::new(app),
+                alloc: Allocation::new(app.generous_alloc.clone()),
+                rps,
+                token: None,
+                patches: Vec::new(),
+                faults: VecDeque::new(),
+                requests: 0,
+            }),
+            addr,
+            shutdown: AtomicBool::new(false),
+        });
+        let weak: Weak<Inner> = Arc::downgrade(&inner);
+        std::thread::Builder::new()
+            .name("fake-cluster".into())
+            .spawn(move || accept_loop(listener, weak))
+            .expect("spawn fake-cluster thread");
+        FakeCluster { inner }
+    }
+
+    /// The server's HTTP endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint {
+            host: "127.0.0.1".into(),
+            port: self.inner.addr.port(),
+        }
+    }
+
+    /// Requires `Bearer token` on PATCHes (scrapes stay open, matching
+    /// a Prometheus without auth in front of it).
+    pub fn set_token(&self, token: &str) {
+        self.lock().token = Some(token.to_string());
+    }
+
+    /// Queues a fault for the next incoming request.
+    pub fn inject_fault(&self, fault: Fault) {
+        self.lock().faults.push_back(fault);
+    }
+
+    /// PATCHes received so far.
+    pub fn patches(&self) -> Vec<PatchEvent> {
+        self.lock().patches.clone()
+    }
+
+    /// The allocation currently in force on the fake cluster.
+    pub fn allocation(&self) -> Allocation {
+        self.lock().alloc.clone()
+    }
+
+    /// Changes the constant workload.
+    pub fn set_rps(&self, rps: f64) {
+        self.lock().rps = rps;
+    }
+
+    /// Requests served (faulted ones included).
+    pub fn requests_served(&self) -> u64 {
+        self.lock().requests
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.inner.state.lock().expect("fake cluster poisoned")
+    }
+}
+
+fn accept_loop(listener: TcpListener, weak: Weak<Inner>) {
+    for stream in listener.incoming() {
+        let Some(inner) = weak.upgrade() else { return };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        handle(stream, &inner);
+    }
+}
+
+fn handle(mut stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let fault = {
+        let mut st = inner.state.lock().expect("fake cluster poisoned");
+        st.requests += 1;
+        st.faults.pop_front()
+    };
+    match fault {
+        Some(Fault::DropConnection) => return,
+        Some(Fault::Delay(d)) => std::thread::sleep(d),
+        Some(Fault::Http500) => {
+            respond(&mut stream, 500, "injected failure");
+            return;
+        }
+        Some(Fault::GarbageBody) => {
+            respond(&mut stream, 200, "}{ this is not json");
+            return;
+        }
+        None => {}
+    }
+    let Some(req) = read_request(&mut stream) else {
+        respond(&mut stream, 400, "bad request");
+        return;
+    };
+    let mut st = inner.state.lock().expect("fake cluster poisoned");
+    let (status, body) = route(&mut st, &req);
+    drop(st);
+    respond(&mut stream, status, &body);
+}
+
+struct Request {
+    method: String,
+    path: String,
+    authorization: Option<String>,
+    body: String,
+}
+
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).ok()?;
+    let mut lines = head.lines();
+    let mut request_line = lines.next()?.split_whitespace();
+    let method = request_line.next()?.to_string();
+    let path = request_line.next()?.to_string();
+    let mut content_length = 0usize;
+    let mut authorization = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().ok()?;
+        } else if name.eq_ignore_ascii_case("authorization") {
+            authorization = Some(value.trim().to_string());
+        }
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Some(Request {
+        method,
+        path,
+        authorization,
+        body: String::from_utf8(body).ok()?,
+    })
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let resp = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
+}
+
+fn route(st: &mut State, req: &Request) -> (u16, String) {
+    if req.method == "GET" {
+        if let Some(qs) = req.path.strip_prefix("/api/v1/query_range?") {
+            return query_range(st, qs);
+        }
+    }
+    if req.method == "PATCH" {
+        if let Some(rest) = req.path.strip_prefix("/apis/apps/v1/namespaces/") {
+            if let Some((_ns, name)) = rest.split_once("/deployments/") {
+                return patch_deployment(st, name, req);
+            }
+        }
+    }
+    (404, format!("no route for {} {}", req.method, req.path))
+}
+
+fn query_range(st: &mut State, query_string: &str) -> (u16, String) {
+    let mut query = None;
+    let mut start = None;
+    let mut end = None;
+    let mut step = None;
+    for pair in query_string.split('&') {
+        let Some((k, v)) = pair.split_once('=') else {
+            continue;
+        };
+        let v = urldecode(v);
+        match k {
+            "query" => query = Some(v),
+            "start" => start = v.parse::<f64>().ok(),
+            "end" => end = v.parse::<f64>().ok(),
+            "step" => step = v.parse::<f64>().ok(),
+            _ => {}
+        }
+    }
+    let (Some(query), Some(start), Some(end), Some(step)) = (query, start, end, step) else {
+        return (400, "missing query/start/end/step".into());
+    };
+    if end <= start || step <= 0.0 {
+        return (400, "bad range".into());
+    }
+    // Evaluate the current allocation under the constant workload over
+    // the requested window — the fluid model is the "cluster".
+    st.eval.window_s = end - start;
+    let rps = st.rps;
+    let alloc = st.alloc.clone();
+    let stats = st.eval.evaluate(&alloc, rps);
+    let series = match classify(&query) {
+        Some(QueryKind::P95) => vec![(String::new(), stats.p95_ms / 1e3)],
+        Some(QueryKind::MeanLatency) => vec![(String::new(), stats.mean_ms / 1e3)],
+        Some(QueryKind::RequestRate) => vec![(String::new(), stats.offered_rps)],
+        Some(QueryKind::CpuLimit) => per_service(st, &stats, |_, alloc| alloc),
+        Some(QueryKind::CpuUsageRate) => {
+            per_service(st, &stats, |s, _| s.cpu_used_s / (end - start))
+        }
+        Some(QueryKind::CpuThrottled) => per_service(st, &stats, |s, _| s.throttled_s),
+        None => return (400, format!("unrecognized query: {query}")),
+    };
+    (200, matrix_json(&series, start, end, step))
+}
+
+enum QueryKind {
+    P95,
+    MeanLatency,
+    RequestRate,
+    CpuLimit,
+    CpuUsageRate,
+    CpuThrottled,
+}
+
+/// Dispatches a PromQL expression by the metric it wraps — the same
+/// names [`pema_trace::prom`] builds queries from.
+fn classify(query: &str) -> Option<QueryKind> {
+    if query.contains(prom::METRIC_LATENCY_BUCKET) {
+        Some(QueryKind::P95)
+    } else if query.contains(prom::METRIC_LATENCY_SUM) {
+        Some(QueryKind::MeanLatency)
+    } else if query.contains(prom::METRIC_REQUESTS) {
+        Some(QueryKind::RequestRate)
+    } else if query.contains(prom::METRIC_CPU_LIMIT) {
+        Some(QueryKind::CpuLimit)
+    } else if query.contains(prom::METRIC_CPU_THROTTLED) {
+        Some(QueryKind::CpuThrottled)
+    } else if query.contains(prom::METRIC_CPU_USAGE) {
+        Some(QueryKind::CpuUsageRate)
+    } else {
+        None
+    }
+}
+
+fn per_service(
+    st: &State,
+    stats: &WindowStats,
+    value: impl Fn(&pema_sim::ServiceWindowStats, f64) -> f64,
+) -> Vec<(String, f64)> {
+    st.app
+        .services
+        .iter()
+        .zip(&stats.per_service)
+        .enumerate()
+        .map(|(i, (svc, s))| (svc.name.clone(), value(s, st.alloc.get(i))))
+        .collect()
+}
+
+/// Serializes series as a Prometheus matrix: one sample per `step`
+/// from `start` to `end`, constant value (the fluid window has no
+/// intra-window dynamics). Non-finite values use Prometheus' spellings
+/// (`+Inf`, `-Inf`, `NaN`); finite ones use Rust's shortest
+/// round-trip formatting so the client reads back the exact f64.
+fn matrix_json(series: &[(String, f64)], start: f64, end: f64, step: f64) -> String {
+    let mut out = String::from(r#"{"status":"success","data":{"resultType":"matrix","result":["#);
+    for (i, (container, value)) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(r#"{"metric":{"#);
+        if !container.is_empty() {
+            out.push_str(&format!(r#""container":{}"#, json::quote(container)));
+        }
+        out.push_str(r#"},"values":["#);
+        let mut t = start;
+        let mut first = true;
+        while t <= end {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("[{t},\"{}\"]", sample_value(*value)));
+            t += step;
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}}");
+    out
+}
+
+fn sample_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn patch_deployment(st: &mut State, name: &str, req: &Request) -> (u16, String) {
+    if let Some(token) = &st.token {
+        let want = format!("Bearer {token}");
+        if req.authorization.as_deref() != Some(want.as_str()) {
+            return (401, r#"{"kind":"Status","reason":"Unauthorized"}"#.into());
+        }
+    }
+    let Some(i) = st.app.services.iter().position(|s| s.name == name) else {
+        return (404, format!("no deployment {name}"));
+    };
+    let cores = match parse_patch_cores(&req.body, name) {
+        Ok(c) => c,
+        Err(e) => return (400, e),
+    };
+    st.alloc.set(i, cores);
+    st.patches.push(PatchEvent {
+        service: name.to_string(),
+        cores,
+    });
+    (200, r#"{"kind":"Deployment"}"#.into())
+}
+
+/// Extracts `spec.template.spec.containers[name].resources.limits.cpu`
+/// from a strategic-merge-patch body.
+fn parse_patch_cores(body: &str, name: &str) -> Result<f64, String> {
+    let root = json::parse(body)?;
+    let mut v = root;
+    for key in ["spec", "template", "spec", "containers"] {
+        let json::Value::Obj(fields) = v else {
+            return Err(format!("expected object around \"{key}\""));
+        };
+        v = fields
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .ok_or_else(|| format!("missing \"{key}\""))?
+            .1;
+    }
+    let json::Value::Arr(containers) = v else {
+        return Err("containers is not an array".into());
+    };
+    for c in containers {
+        let json::Value::Obj(fields) = c else {
+            continue;
+        };
+        let is_target = fields
+            .iter()
+            .any(|(k, v)| k == "name" && v.as_str() == Some(name));
+        if !is_target {
+            continue;
+        }
+        let mut v = json::Value::Obj(fields);
+        for key in ["resources", "limits", "cpu"] {
+            let json::Value::Obj(fields) = v else {
+                return Err(format!("expected object around \"{key}\""));
+            };
+            v = fields
+                .into_iter()
+                .find(|(k, _)| k == key)
+                .ok_or_else(|| format!("missing \"{key}\""))?
+                .1;
+        }
+        let cpu = v.as_str().ok_or("cpu quantity is not a string")?;
+        return cpu
+            .parse()
+            .map_err(|_| format!("bad cpu quantity \"{cpu}\""));
+    }
+    Err(format!("no container named \"{name}\" in patch"))
+}
+
+/// A [`LiveBackend`] wired to a [`FakeCluster`], as one value: the
+/// backend, the cluster handle (for fault injection and patch
+/// assertions), and the shared virtual clock. Implements
+/// [`ClusterBackend`] by delegation so the conformance suite can box
+/// it while the cluster stays alive.
+pub struct FakeLive {
+    /// The cluster handle.
+    pub cluster: FakeCluster,
+    /// The shared virtual clock (cloned into the backend).
+    pub clock: FakeClock,
+    /// The backend under test.
+    pub backend: LiveBackend,
+}
+
+/// Boots a [`FakeCluster`] for `app` at constant `rps` and wires a
+/// [`LiveBackend`] to it over a [`FakeClock`], with near-zero retry
+/// backoff (tests replay the retry schedule instantly anyway).
+pub fn live_over_fake(app: &AppSpec, rps: f64) -> FakeLive {
+    live_over_fake_with(app, rps, LiveConfig::default())
+}
+
+/// [`live_over_fake`] with explicit [`LiveConfig`] (dry-run, retry
+/// schedule, …).
+pub fn live_over_fake_with(app: &AppSpec, rps: f64, cfg: LiveConfig) -> FakeLive {
+    let cluster = FakeCluster::start(app, rps);
+    let clock = FakeClock::new();
+    let http = HttpClient {
+        connect_timeout: Duration::from_secs(2),
+        io_timeout: Duration::from_secs(2),
+    };
+    let prom = PromClient {
+        endpoint: cluster.endpoint(),
+        http: http.clone(),
+    };
+    let kube = KubeClient {
+        config: KubeConfigLite {
+            server: cluster.endpoint(),
+            token: None,
+            namespace: "pema".into(),
+        },
+        http,
+    };
+    let backend = LiveBackend::new(app, prom, kube, Box::new(clock.clone()), cfg);
+    FakeLive {
+        cluster,
+        clock,
+        backend,
+    }
+}
+
+impl ClusterBackend for FakeLive {
+    fn apply(&mut self, alloc: &Allocation) {
+        self.backend.apply(alloc)
+    }
+
+    fn allocation(&self) -> Allocation {
+        self.backend.allocation()
+    }
+
+    fn measure_window(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> WindowStats {
+        self.backend.measure_window(rps, warmup_s, window_s)
+    }
+
+    fn measure_window_abortable(
+        &mut self,
+        rps: f64,
+        warmup_s: f64,
+        window_s: f64,
+        check_s: f64,
+        slo_ms: f64,
+    ) -> (WindowStats, bool) {
+        self.backend
+            .measure_window_abortable(rps, warmup_s, window_s, check_s, slo_ms)
+    }
+
+    fn now_s(&self) -> f64 {
+        self.backend.now_s()
+    }
+
+    fn begin_window(&mut self, req: &WindowRequest) {
+        self.backend.begin_window(req)
+    }
+
+    fn poll_window(&mut self, req: &WindowRequest) -> WindowPoll {
+        self.backend.poll_window(req)
+    }
+
+    fn cancel_window(&mut self) {
+        self.backend.cancel_window()
+    }
+}

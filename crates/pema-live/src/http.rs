@@ -1,0 +1,281 @@
+//! A minimal HTTP/1.1 client over [`std::net::TcpStream`].
+//!
+//! The live loop issues a handful of small requests per monitoring
+//! window (~6 Prometheus range queries, one Kubernetes PATCH per
+//! allocation change); a dependency-free blocking client with explicit
+//! connect/read timeouts covers that without pulling an async runtime
+//! into a codebase whose fleet executor is deliberately thread-based.
+//! Every request is its own connection (`Connection: close`), which
+//! sidesteps keep-alive state and makes fault injection in tests exact:
+//! one TCP accept == one request.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Errors from one HTTP exchange. `Status` is *not* here: a well-formed
+/// non-2xx response is reported through [`Response::status`] so callers
+/// can decide which codes are retryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// TCP connect failed (refused, unreachable, connect timeout).
+    Connect(String),
+    /// The exchange timed out mid-request or mid-response.
+    Timeout,
+    /// The peer closed early or sent bytes that do not parse as
+    /// HTTP/1.1.
+    Malformed(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Connect(e) => write!(f, "connect failed: {e}"),
+            HttpError::Timeout => write!(f, "request timed out"),
+            HttpError::Malformed(e) => write!(f, "malformed response: {e}"),
+        }
+    }
+}
+
+/// A parsed HTTP response: status line code plus the full body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code from the response line.
+    pub status: u16,
+    /// Response body, decoded from `Content-Length` framing (or read to
+    /// EOF when the server closes the connection).
+    pub body: String,
+}
+
+impl Response {
+    /// True for 2xx codes.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// An `http://host:port` endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Host name or address (no scheme, no port).
+    pub host: String,
+    /// TCP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Parses `http://host:port` (scheme optional, TLS unsupported —
+    /// the lab deployments this targets front Prometheus and the
+    /// API server with plain HTTP or a local proxy).
+    pub fn parse(url: &str) -> Result<Endpoint, String> {
+        if let Some(rest) = url.strip_prefix("https://") {
+            return Err(format!("https is not supported (got https://{rest})"));
+        }
+        let rest = url.strip_prefix("http://").unwrap_or(url);
+        let rest = rest.trim_end_matches('/');
+        let (host, port) = rest
+            .rsplit_once(':')
+            .ok_or_else(|| format!("expected host:port, got \"{url}\""))?;
+        let port: u16 = port.parse().map_err(|_| format!("bad port in \"{url}\""))?;
+        if host.is_empty() {
+            return Err(format!("empty host in \"{url}\""));
+        }
+        Ok(Endpoint {
+            host: host.to_string(),
+            port,
+        })
+    }
+
+    fn addr(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+}
+
+/// Blocking HTTP/1.1 client with per-request timeouts.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Read/write timeout covering the whole exchange after connect.
+    pub io_timeout: Duration,
+}
+
+impl Default for HttpClient {
+    fn default() -> Self {
+        HttpClient {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl HttpClient {
+    /// Issues one request and reads the full response.
+    ///
+    /// `headers` are extra `Name: value` lines (e.g. authorization);
+    /// `body` is sent with a `Content-Length` and a JSON content type.
+    pub fn request(
+        &self,
+        endpoint: &Endpoint,
+        method: &str,
+        path_and_query: &str,
+        headers: &[(String, String)],
+        body: Option<&str>,
+    ) -> Result<Response, HttpError> {
+        let addr = endpoint
+            .addr()
+            .to_socket_addrs()
+            .map_err(|e| HttpError::Connect(e.to_string()))?
+            .next()
+            .ok_or_else(|| HttpError::Connect("no address resolved".into()))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+            .map_err(|e| HttpError::Connect(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(self.io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)))
+            .map_err(|e| HttpError::Connect(e.to_string()))?;
+
+        let mut req = format!(
+            "{method} {path_and_query} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
+            endpoint.host
+        );
+        for (name, value) in headers {
+            req.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if let Some(body) = body {
+            req.push_str(&format!(
+                "Content-Type: application/strategic-merge-patch+json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        req.push_str("\r\n");
+        if let Some(body) = body {
+            req.push_str(body);
+        }
+        stream.write_all(req.as_bytes()).map_err(io_err)?;
+
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).map_err(io_err)?;
+        parse_response(&raw)
+    }
+}
+
+fn io_err(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Malformed(e.to_string()),
+    }
+}
+
+fn parse_response(raw: &[u8]) -> Result<Response, HttpError> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| HttpError::Malformed("response is not UTF-8".into()))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| HttpError::Malformed("no header/body separator".into()))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "bad status line \"{status_line}\""
+        )));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line \"{status_line}\"")))?;
+    // `Connection: close` framing: trust Content-Length when present
+    // (the body may be truncated by a fault-injecting peer), otherwise
+    // read-to-EOF already gave us everything.
+    let mut body = body.to_string();
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                let want: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+                if body.len() < want {
+                    return Err(HttpError::Malformed(format!(
+                        "body truncated: {} of {want} bytes",
+                        body.len()
+                    )));
+                }
+                body.truncate(want);
+            }
+        }
+    }
+    Ok(Response { status, body })
+}
+
+/// Percent-encodes a query-string value (RFC 3986 unreserved set).
+pub fn urlencode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes a percent-encoded query-string value (`+` as space).
+pub fn urldecode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'%' && i + 2 < bytes.len() {
+            let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+            if let Ok(v) = u8::from_str_radix(hex, 16) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(if b == b'+' { b' ' } else { b });
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parses_with_and_without_scheme() {
+        let e = Endpoint::parse("http://prom.local:9090").unwrap();
+        assert_eq!(e, Endpoint::parse("prom.local:9090/").unwrap());
+        assert_eq!(e.port, 9090);
+        assert!(Endpoint::parse("https://prom:9090").is_err());
+        assert!(Endpoint::parse("no-port").is_err());
+        assert!(Endpoint::parse(":9090").is_err());
+    }
+
+    #[test]
+    fn url_encoding_round_trips_promql() {
+        let q = r#"rate(container_cpu_usage_seconds_total{namespace="pema"}[8s])"#;
+        assert_eq!(urldecode(&urlencode(q)), q);
+        assert_eq!(urlencode(" "), "%20");
+        assert_eq!(urldecode("a+b%2Fc"), "a b/c");
+    }
+
+    #[test]
+    fn response_parsing_rejects_garbage_and_truncation() {
+        assert!(parse_response(b"not http at all\r\n\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort").is_err());
+        let ok = parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nokEXTRA").unwrap();
+        assert_eq!(ok.body, "ok");
+        assert!(ok.is_success());
+        let err = parse_response(b"HTTP/1.1 503 Unavailable\r\n\r\nbody").unwrap();
+        assert_eq!(err.status, 503);
+        assert!(!err.is_success());
+    }
+}

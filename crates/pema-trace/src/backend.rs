@@ -244,14 +244,23 @@ impl TraceBackend {
     }
 }
 
-/// Re-bases a recorded window onto the counterfactual allocation.
+fn rebase(record: &TraceRecord, alloc: &Allocation) -> WindowStats {
+    rebase_stats(&record.stats, alloc)
+}
+
+/// Re-bases a measured window onto a different allocation.
 ///
 /// Bit-identical allocation ⇒ the recorded stats verbatim. Otherwise
 /// allocation-derived fields are recomputed from the recorded CPU
 /// demand, and a work-conservation check saturates the window when the
 /// counterfactual quota cannot carry that demand.
-fn rebase(record: &TraceRecord, alloc: &Allocation) -> WindowStats {
-    let recorded = &record.stats;
+///
+/// This is the replayer's counterfactual kernel, exposed publicly so
+/// `pema-live`'s dry-run mode can project scraped windows onto its
+/// shadow allocation: the recorded tape then carries exactly the
+/// allocations the policy decided, which is what makes a dry-run tape
+/// replay with zero divergence.
+pub fn rebase_stats(recorded: &WindowStats, alloc: &Allocation) -> WindowStats {
     let identical = recorded
         .per_service
         .iter()

@@ -30,12 +30,95 @@
 //! metrics, not latency tails, are the meaningful output.
 
 use crate::format::{Trace, TraceError, TraceMeta, TraceRecord};
+use crate::prom::{CSV_FIXED, SUFFIX_ALLOC, SUFFIX_THROTTLED, SUFFIX_USED};
 use pema_sim::{ServiceWindowStats, WindowStats};
 
 fn err(line: usize, message: impl Into<String>) -> TraceError {
     TraceError {
         line,
         message: message.into(),
+    }
+}
+
+/// One service's share of a scraped monitoring window: exactly the
+/// three Prometheus series of the paper's controller (see
+/// [`crate::prom`]), reduced over the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapedService {
+    /// CPU limit in force, cores ([`crate::prom::METRIC_CPU_LIMIT`]).
+    pub alloc_cores: f64,
+    /// CPU consumed over the window, seconds
+    /// ([`crate::prom::METRIC_CPU_USAGE`] rate × window length).
+    pub cpu_used_s: f64,
+    /// CFS-throttled time over the window, seconds
+    /// ([`crate::prom::METRIC_CPU_THROTTLED`] increase).
+    pub throttled_s: f64,
+}
+
+/// One monitoring window as Prometheus can report it — the five fixed
+/// quantities plus one [`ScrapedService`] per service. This is the
+/// common interchange type between the CSV importer (one CSV row) and
+/// the live backend (one scrape round): both reduce their telemetry to
+/// this shape and build the full [`WindowStats`] through
+/// [`window_from_scrape`], so the conservative derivations cannot
+/// drift between the two paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapedWindow {
+    /// Window start, seconds.
+    pub start_s: f64,
+    /// Window length, seconds (positive).
+    pub duration_s: f64,
+    /// Offered load over the window, requests/second.
+    pub offered_rps: f64,
+    /// p95 request latency over the window, milliseconds.
+    pub p95_ms: f64,
+    /// Mean request latency over the window, milliseconds.
+    pub mean_ms: f64,
+    /// Per-service CPU telemetry, app service order.
+    pub services: Vec<ScrapedService>,
+}
+
+/// Builds a full [`WindowStats`] from the fields Prometheus can carry,
+/// deriving the rest conservatively (documented in the module docs):
+/// `p50` falls back to the mean, `p99`/`max` to the p95, per-second
+/// usage percentiles to the mean demand rate, completion counts to
+/// `offered_rps × duration`.
+pub fn window_from_scrape(w: &ScrapedWindow) -> WindowStats {
+    let duration_s = w.duration_s;
+    let mut per_service = Vec::with_capacity(w.services.len());
+    for s in &w.services {
+        let demand = s.cpu_used_s / duration_s;
+        per_service.push(ServiceWindowStats {
+            alloc_cores: s.alloc_cores,
+            util_pct: if s.alloc_cores > 0.0 {
+                demand / s.alloc_cores * 100.0
+            } else {
+                0.0
+            },
+            cpu_used_s: s.cpu_used_s,
+            throttled_s: s.throttled_s,
+            usage_p90_cores: demand,
+            usage_peak_cores: demand,
+            mem_bytes: 0.0,
+            visits: (w.offered_rps * duration_s) as u64,
+            mean_self_ms: 0.0,
+            mean_visit_ms: 0.0,
+        });
+    }
+    let completed = (w.offered_rps * duration_s) as u64;
+    WindowStats {
+        start_s: w.start_s,
+        duration_s,
+        offered_rps: w.offered_rps,
+        achieved_rps: w.offered_rps,
+        completed,
+        arrivals: completed,
+        mean_ms: w.mean_ms,
+        p50_ms: w.mean_ms,
+        p95_ms: w.p95_ms,
+        p99_ms: w.p95_ms,
+        max_ms: w.p95_ms,
+        per_service,
     }
 }
 
@@ -50,14 +133,13 @@ pub fn from_prometheus_csv(text: &str, app: &str, slo_ms: f64) -> Result<Trace, 
         .filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines.next().ok_or_else(|| err(0, "empty CSV"))?;
     let cols: Vec<&str> = header.split(',').map(str::trim).collect();
-    const FIXED: [&str; 5] = ["start_s", "duration_s", "offered_rps", "p95_ms", "mean_ms"];
-    if cols.len() < FIXED.len() + 3 || cols[..FIXED.len()] != FIXED {
+    if cols.len() < CSV_FIXED.len() + 3 || cols[..CSV_FIXED.len()] != CSV_FIXED {
         return Err(err(
             1,
-            format!("header must start with {}", FIXED.join(",")),
+            format!("header must start with {}", CSV_FIXED.join(",")),
         ));
     }
-    let svc_cols = &cols[FIXED.len()..];
+    let svc_cols = &cols[CSV_FIXED.len()..];
     if !svc_cols.len().is_multiple_of(3) {
         return Err(err(
             1,
@@ -66,15 +148,15 @@ pub fn from_prometheus_csv(text: &str, app: &str, slo_ms: f64) -> Result<Trace, 
     }
     let mut services = Vec::with_capacity(svc_cols.len() / 3);
     for triple in svc_cols.chunks(3) {
-        let name = triple[0].strip_suffix(":alloc_cores").ok_or_else(|| {
+        let name = triple[0].strip_suffix(SUFFIX_ALLOC).ok_or_else(|| {
             err(
                 1,
-                format!("expected <service>:alloc_cores, got {}", triple[0]),
+                format!("expected <service>{SUFFIX_ALLOC}, got {}", triple[0]),
             )
         })?;
         for (col, suffix) in triple
             .iter()
-            .zip([":alloc_cores", ":cpu_used_s", ":throttled_s"])
+            .zip([SUFFIX_ALLOC, SUFFIX_USED, SUFFIX_THROTTLED])
         {
             if col.strip_suffix(suffix) != Some(name) {
                 return Err(err(1, format!("expected {name}{suffix}, got {col}")));
@@ -112,37 +194,28 @@ pub fn from_prometheus_csv(text: &str, app: &str, slo_ms: f64) -> Result<Trace, 
         if duration_s <= 0.0 {
             return Err(err(lineno, "duration_s must be positive"));
         }
-        let mut per_service = Vec::with_capacity(n);
-        let mut alloc = Vec::with_capacity(n);
+        let mut svc = Vec::with_capacity(n);
         for s in 0..n {
-            let base = 5 + s * 3;
-            let alloc_cores = num(base)?;
-            let cpu_used_s = num(base + 1)?;
-            let throttled_s = num(base + 2)?;
-            let demand = cpu_used_s / duration_s;
-            alloc.push(alloc_cores);
-            per_service.push(ServiceWindowStats {
-                alloc_cores,
-                util_pct: if alloc_cores > 0.0 {
-                    demand / alloc_cores * 100.0
-                } else {
-                    0.0
-                },
-                cpu_used_s,
-                throttled_s,
-                usage_p90_cores: demand,
-                usage_peak_cores: demand,
-                mem_bytes: 0.0,
-                visits: (offered_rps * duration_s) as u64,
-                mean_self_ms: 0.0,
-                mean_visit_ms: 0.0,
+            let base = CSV_FIXED.len() + s * 3;
+            svc.push(ScrapedService {
+                alloc_cores: num(base)?,
+                cpu_used_s: num(base + 1)?,
+                throttled_s: num(base + 2)?,
             });
         }
+        let scraped = ScrapedWindow {
+            start_s,
+            duration_s,
+            offered_rps,
+            p95_ms,
+            mean_ms,
+            services: svc,
+        };
+        let alloc: Vec<f64> = scraped.services.iter().map(|s| s.alloc_cores).collect();
         if records.is_empty() {
             initial_alloc = alloc.clone();
             interval_s = duration_s;
         }
-        let completed = (offered_rps * duration_s) as u64;
         records.push(TraceRecord {
             iter: records.len() as u64,
             time_s: start_s,
@@ -150,20 +223,7 @@ pub fn from_prometheus_csv(text: &str, app: &str, slo_ms: f64) -> Result<Trace, 
             action: "import".to_string(),
             pema_id: 0,
             alloc,
-            stats: WindowStats {
-                start_s,
-                duration_s,
-                offered_rps,
-                achieved_rps: offered_rps,
-                completed,
-                arrivals: completed,
-                mean_ms,
-                p50_ms: mean_ms,
-                p95_ms,
-                p99_ms: p95_ms,
-                max_ms: p95_ms,
-                per_service,
-            },
+            stats: window_from_scrape(&scraped),
         });
     }
     if records.is_empty() {
@@ -232,6 +292,67 @@ start_s,duration_s,offered_rps,p95_ms,mean_ms,fe:alloc_cores,fe:cpu_used_s,fe:th
         assert_eq!(e.line, 3, "{e}");
         let short = SAMPLE.replace(",1.5,64.2,0.9", "");
         assert_eq!(from_prometheus_csv(&short, "x", 100.0).unwrap_err().line, 3);
+    }
+
+    #[test]
+    fn csv_columns_round_trip_the_live_scrape_shape() {
+        use crate::prom::{self, CSV_FIXED, SUFFIX_ALLOC, SUFFIX_THROTTLED, SUFFIX_USED};
+
+        // The fixture is the interchange type the live backend reduces
+        // each scrape round to; a CSV built from the shared column
+        // fixtures must import back to the byte-identical stats.
+        let scraped = ScrapedWindow {
+            start_s: 1.0,
+            duration_s: 8.0,
+            offered_rps: 120.0,
+            p95_ms: 73.25,
+            mean_ms: 41.5,
+            services: vec![
+                ScrapedService {
+                    alloc_cores: 1.35,
+                    cpu_used_s: 6.4,
+                    throttled_s: 0.25,
+                },
+                ScrapedService {
+                    alloc_cores: 0.8,
+                    cpu_used_s: 3.2,
+                    throttled_s: 0.0,
+                },
+            ],
+        };
+        let names = ["fe", "db"];
+        let mut cols: Vec<String> = CSV_FIXED.iter().map(|c| c.to_string()).collect();
+        let mut row = vec![
+            scraped.start_s.to_string(),
+            scraped.duration_s.to_string(),
+            scraped.offered_rps.to_string(),
+            scraped.p95_ms.to_string(),
+            scraped.mean_ms.to_string(),
+        ];
+        for (name, svc) in names.iter().zip(&scraped.services) {
+            for (suffix, value) in [
+                (SUFFIX_ALLOC, svc.alloc_cores),
+                (SUFFIX_USED, svc.cpu_used_s),
+                (SUFFIX_THROTTLED, svc.throttled_s),
+            ] {
+                cols.push(format!("{name}{suffix}"));
+                row.push(value.to_string());
+            }
+        }
+        let csv = format!("{}\n{}\n", cols.join(","), row.join(","));
+        let t = from_prometheus_csv(&csv, "live", 100.0).unwrap();
+        assert_eq!(t.meta.services, names);
+        assert_eq!(t.records.len(), 1);
+        // Display → parse is the shortest-round-trip path, so the
+        // imported window is bit-identical to deriving it directly.
+        assert_eq!(t.records[0].stats, window_from_scrape(&scraped));
+
+        // Each column triple maps onto a query the live backend
+        // actually emits: the suffixes and the query builders are cut
+        // from the same metric-name constants.
+        assert!(prom::cpu_limit_query("pema").contains(prom::METRIC_CPU_LIMIT));
+        assert!(prom::cpu_usage_query("pema", 8.0).contains(prom::METRIC_CPU_USAGE));
+        assert!(prom::cpu_throttled_query("pema", 8.0).contains(prom::METRIC_CPU_THROTTLED));
     }
 
     #[test]

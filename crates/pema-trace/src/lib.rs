@@ -67,11 +67,14 @@ pub mod backend;
 pub mod format;
 pub mod import;
 pub mod json;
+pub mod prom;
 pub mod recorder;
 
-pub use backend::{replay, DivergenceSummary, IntervalDivergence, ReplayRun, TraceBackend};
+pub use backend::{
+    rebase_stats, replay, DivergenceSummary, IntervalDivergence, ReplayRun, TraceBackend,
+};
 pub use format::{
     ReadMode, Trace, TraceError, TraceMeta, TraceRecord, FORMAT_NAME, FORMAT_VERSION,
 };
-pub use import::from_prometheus_csv;
+pub use import::{from_prometheus_csv, window_from_scrape, ScrapedService, ScrapedWindow};
 pub use recorder::{TraceHandle, TraceRecorder};

@@ -14,8 +14,12 @@
 //!                   [--lenient] [--assert-zero-divergence]
 //! pema-cli fleet    --count 16 [--app sockshop|mixed] [--rps R] [--iters N]
 //!                   [--backend sim|fluid] [--policy pema|rule|hold|mixed]
-//!                   [--interval S] [--seed K] [--threads T]
+//!                   [--interval S] [--seed K] [--threads T] [--pace virtual|wall]
 //!                   [--budget C] [--arbitration fair|aimd|off] [--priority 2,1,0]
+//! pema-cli live     --app toy-chain --rps 120 --fake [--dry-run] [--out F.jsonl]
+//!                   [--iters N] [--interval S] [--warmup S] [--seed K]
+//! pema-cli live     --app A --rps R --prometheus http://H:9090 --kube http://H:8443
+//!                   [--token T] [--namespace NS] [--dry-run] [--out F.jsonl]
 //!
 //! pema-cli list                              list experiment scenarios
 //! pema-cli all  [--jobs N] [--smoke] [--force]    run the whole suite
@@ -56,6 +60,7 @@ fn main() {
         "record" => cmd_record(&parse_flags(&args[1..])),
         "replay" => cmd_replay(&parse_flags(&args[1..])),
         "fleet" => cmd_fleet(&parse_flags(&args[1..])),
+        "live" => cmd_live(&parse_flags(&args[1..])),
         "list" => delegate_bench("list", &args[1..]),
         "all" => delegate_bench("all", &args[1..]),
         "perf" => delegate_bench("perf", &args[1..]),
@@ -98,6 +103,16 @@ fn usage() {
          \x20                                         fair = priority/weighted fair share,\n\
          \x20                                         aimd = multiplicative backoff; the\n\
          \x20                                         --priority list cycles over members\n\
+         \x20          [--pace virtual|wall]          wall sleeps until each window's\n\
+         \x20                                         ready-at (virtual = as fast as possible)\n\
+         \n\
+         live cluster adapter (Prometheus scrape + Kubernetes CPU-limit PATCH):\n\
+         \x20 live     --app A --rps R [--iters N --interval S --warmup S --seed K]\n\
+         \x20          [--dry-run]                    record decisions, never PATCH\n\
+         \x20          [--out F.jsonl]                write the run as a replayable trace\n\
+         \x20          --fake                         in-process FakeCluster, virtual time\n\
+         \x20          --prometheus http://HOST:9090 --kube http://HOST:PORT\n\
+         \x20          [--token T] [--namespace NS]   real endpoints, wall-clock paced\n\
          \n\
          experiment-suite commands (scenario registry; delegate to `bench`):\n\
          \x20 list                                 list registered scenarios\n\
@@ -515,6 +530,14 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
     }
     // 0 = one shard per core; output is byte-identical for any value.
     let threads = get_f64(flags, "threads", 1.0) as usize;
+    let pace = match flags.get("pace").map(String::as_str).unwrap_or("virtual") {
+        "virtual" => Clock::Virtual,
+        "wall" => Clock::Wall,
+        other => {
+            eprintln!("--pace must be virtual or wall, got '{other}'");
+            exit(2);
+        }
+    };
 
     // (app, nominal rps) templates the members cycle through.
     let templates: Vec<(AppSpec, f64)> = match app_sel {
@@ -571,7 +594,7 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
         })
         .unwrap_or_default();
 
-    let mut fleet = Fleet::new().threads(threads);
+    let mut fleet = Fleet::new().threads(threads).pace(pace);
     let mut labels = Vec::new();
     for i in 0..count {
         let (app, nominal) = &templates[i % templates.len()];
@@ -688,6 +711,122 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
                 );
             }
         }
+    }
+}
+
+/// Drives the PEMA controller against the live-cluster adapter
+/// (`pema-cli live`): Prometheus range queries for measurement and
+/// Kubernetes CPU-limit PATCHes for actuation — or, with `--fake`, an
+/// in-process `FakeCluster` over real loopback HTTP (virtual time, no
+/// cluster required). `--dry-run` records decisions without patching;
+/// `--out` writes the run as a trace replayable by `pema-cli replay`.
+fn cmd_live(flags: &HashMap<String, String>) {
+    let app = get_app(flags);
+    let rps = require_f64(flags, "rps");
+    let iters = get_f64(flags, "iters", 6.0) as usize;
+    let cfg = HarnessConfig {
+        interval_s: get_f64(flags, "interval", 8.0),
+        warmup_s: get_f64(flags, "warmup", 1.0),
+        seed: get_f64(flags, "seed", 7.0) as u64,
+    };
+    let fake = flags.contains_key("fake");
+    let live_cfg = LiveConfig {
+        dry_run: flags.contains_key("dry-run"),
+        ..Default::default()
+    };
+
+    let backend: Box<dyn ClusterBackend> = if fake {
+        Box::new(pema::pema_live::live_over_fake_with(
+            &app,
+            rps,
+            live_cfg.clone(),
+        ))
+    } else {
+        let prom_url = flags.get("prometheus").unwrap_or_else(|| {
+            eprintln!("--prometheus is required without --fake (e.g. http://localhost:9090)");
+            exit(2);
+        });
+        let kube_url = flags.get("kube").unwrap_or_else(|| {
+            eprintln!("--kube is required without --fake (e.g. http://localhost:8443)");
+            exit(2);
+        });
+        let parse_ep = |url: &str, what: &str| {
+            pema::pema_live::Endpoint::parse(url).unwrap_or_else(|e| {
+                eprintln!("bad --{what} '{url}': {e}");
+                exit(2);
+            })
+        };
+        let http = pema::pema_live::HttpClient::default();
+        let prom = pema::pema_live::PromClient {
+            endpoint: parse_ep(prom_url, "prometheus"),
+            http: http.clone(),
+        };
+        let kube = pema::pema_live::KubeClient {
+            config: KubeConfigLite {
+                server: parse_ep(kube_url, "kube"),
+                token: flags.get("token").cloned(),
+                namespace: flags
+                    .get("namespace")
+                    .cloned()
+                    .unwrap_or_else(|| "default".into()),
+            },
+            http,
+        };
+        Box::new(LiveBackend::new(
+            &app,
+            prom,
+            kube,
+            Box::new(WallClock::new()),
+            live_cfg.clone(),
+        ))
+    };
+
+    let mut params = PemaParams::defaults(app.slo_ms);
+    params.seed = cfg.seed;
+    let recorder = TraceRecorder::new(&app, "pema", params.seed, &cfg);
+    let handle = recorder.handle();
+    let mut control = ControlLoop::new(
+        backend,
+        PemaController::new(params, app.generous_alloc.clone()),
+        cfg,
+    )
+    .observe(recorder);
+
+    println!(
+        "live PEMA on {} @ {rps} rps, {iters} intervals{}{}",
+        app.name,
+        if live_cfg.dry_run {
+            " (dry run: no PATCHes)"
+        } else {
+            ""
+        },
+        if fake { " [FakeCluster]" } else { "" },
+    );
+    println!(
+        "{:>4} {:>9} {:>9} {:>12}",
+        "iter", "totalCPU", "p95(ms)", "action"
+    );
+    for _ in 0..iters {
+        let l = control.step_once(rps).clone();
+        println!(
+            "{:>4} {:>9.2} {:>9.1} {:>12}",
+            l.iter, l.total_cpu, l.p95_ms, l.action
+        );
+    }
+    let r = control.into_result();
+    println!(
+        "\nsettled: {:.2} cores | violations: {} ({:.1}%)",
+        r.settled_total(8),
+        r.violations(),
+        r.violation_rate() * 100.0
+    );
+    if let Some(out) = flags.get("out") {
+        let trace = handle.take();
+        if let Err(e) = trace.write_file(out) {
+            eprintln!("{e}");
+            exit(1);
+        }
+        println!("trace written → {out} (replay with `pema-cli replay --trace {out}`)");
     }
 }
 

@@ -23,6 +23,7 @@
 //! | [`pema_classifier`] | bottleneck-detection study (paper Table 1) |
 //! | [`pema_metrics`] | histograms, quantiles, counters, windows |
 //! | [`pema_trace`] | trace record/replay: versioned JSONL traces, [`TraceBackend`](pema_trace::TraceBackend) counterfactual replayer |
+//! | [`pema_live`] | live-cluster adapter: [`LiveBackend`](pema_live::LiveBackend) scrapes Prometheus / patches Kubernetes over hand-rolled HTTP, plus the in-process [`FakeCluster`](pema_live::FakeCluster) test server |
 //! | `pema-bench` | scenario registry + parallel deterministic executor |
 //!
 //! ## The experiment suite
@@ -71,6 +72,7 @@ pub use pema_baselines;
 pub use pema_classifier;
 pub use pema_control;
 pub use pema_core;
+pub use pema_live;
 pub use pema_metrics;
 pub use pema_sim;
 pub use pema_trace;
@@ -81,15 +83,19 @@ pub mod prelude {
     pub use pema_baselines::{find_optimum, OptmConfig, RuleScaler};
     pub use pema_control::{
         optimum_for, resolve_threads, squeeze_to_budget, stats_to_obs, AimdBackoff,
-        ArbitrationEvent, ArbitrationRequest, ClusterBackend, ControlLoop, Decision, EarlyCheck,
-        Experiment, ExperimentBuilder, Fleet, FleetArbitration, FleetPolicy, FleetResult, FleetRun,
-        FluidBackend, HarnessConfig, HoldPolicy, IterationLog, LoopPoll, Managed, ManagedRunner,
-        MemberArbitration, MemberSpec, Observer, Pema, PemaRunner, Policy, Rule, RulePolicy,
-        RuleRunner, RunResult, SimBackend, Unlimited, UseFluid, UseSim, WeightedFairShare,
-        WindowPoll, WindowRequest,
+        ArbitrationEvent, ArbitrationRequest, Clock, ClusterBackend, ControlLoop, Decision,
+        EarlyCheck, Experiment, ExperimentBuilder, Fleet, FleetArbitration, FleetPolicy,
+        FleetResult, FleetRun, FluidBackend, HarnessConfig, HoldPolicy, IterationLog, LoopPoll,
+        Managed, ManagedRunner, MemberArbitration, MemberSpec, Observer, Pema, PemaRunner, Policy,
+        Rule, RulePolicy, RuleRunner, RunResult, SimBackend, Unlimited, UseFluid, UseSim,
+        WeightedFairShare, WindowPoll, WindowRequest,
     };
     pub use pema_core::{
         Action, Observation, PemaController, PemaParams, RangeConfig, ServiceObs, WorkloadAwarePema,
+    };
+    pub use pema_live::{
+        live_over_fake, FakeClock, FakeCluster, KubeConfigLite, LiveBackend, LiveConfig, LiveError,
+        RetryPolicy, TimeSource, WallClock,
     };
     pub use pema_sim::{
         Allocation, AppSpec, ClusterSim, Evaluator, FluidEvaluator, SimEvaluator, WindowStats,
