@@ -335,17 +335,27 @@ impl ClusterBackend for LiveBackend {
             self.alloc.len(),
             "allocation length must match the app"
         );
-        if !self.cfg.dry_run {
-            for i in 0..alloc.len() {
-                if alloc.get(i) != self.alloc.get(i) {
-                    let service = self.app.services[i].name.clone();
-                    if let Err(error) = self.kube.patch_cpu_limit(&service, alloc.get(i)) {
-                        self.errors.push(LiveError::Patch { service, error });
-                    }
-                }
+        if self.cfg.dry_run {
+            // Dry run: the shadow *is* the decided allocation — that is
+            // what makes the recorded tape replay with zero divergence.
+            self.alloc = alloc.clone();
+            return;
+        }
+        // Per-service: the shadow takes the decided value only when the
+        // PATCH landed. A failed PATCH keeps the previous value, so
+        // subsequent windows rebase onto the allocation actually in
+        // force on the cluster instead of silently misrepresenting
+        // measured windows until a later patch succeeds.
+        for i in 0..alloc.len() {
+            if alloc.get(i) == self.alloc.get(i) {
+                continue;
+            }
+            let service = self.app.services[i].name.clone();
+            match self.kube.patch_cpu_limit(&service, alloc.get(i)) {
+                Ok(()) => self.alloc.set(i, alloc.get(i)),
+                Err(error) => self.errors.push(LiveError::Patch { service, error }),
             }
         }
-        self.alloc = alloc.clone();
     }
 
     fn allocation(&self) -> Allocation {

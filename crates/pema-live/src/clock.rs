@@ -9,7 +9,7 @@
 //! (the backend-conformance suite compares them with `to_bits`).
 
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// A monotone clock the [`LiveBackend`](crate::LiveBackend) schedules
 /// against.
@@ -31,21 +31,32 @@ pub trait TimeSource: Send {
     fn pend_until(&self, target_s: f64);
 }
 
-/// Real time: `now_s` is seconds since construction, waits are
-/// `thread::sleep`.
+/// Real time: `now_s` is **seconds since the unix epoch** (Prometheus
+/// interprets `query_range` start/end as unix timestamps, so the live
+/// backend's window bounds must be epoch-anchored), waits are
+/// `thread::sleep`. The unix offset is sampled once at construction
+/// and advanced by a monotonic [`Instant`], so `now_s` never goes
+/// backwards even if the system clock is stepped mid-run.
 #[derive(Debug)]
 pub struct WallClock {
     epoch: Instant,
+    /// Unix time at `epoch`, seconds.
+    unix_at_epoch: f64,
     /// Longest single sleep `pend_until` will take, seconds. Bounds how
     /// stale a `Pending` poll result can get without busy-spinning.
     pub max_poll_wait_s: f64,
 }
 
 impl WallClock {
-    /// A wall clock whose epoch is now.
+    /// A wall clock anchored to the current unix time.
     pub fn new() -> Self {
+        let unix_at_epoch = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
         WallClock {
             epoch: Instant::now(),
+            unix_at_epoch,
             max_poll_wait_s: 0.05,
         }
     }
@@ -65,7 +76,7 @@ fn sleep_s(dt: f64) {
 
 impl TimeSource for WallClock {
     fn now_s(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
+        self.unix_at_epoch + self.epoch.elapsed().as_secs_f64()
     }
 
     fn block_until(&self, target_s: f64) {
@@ -133,13 +144,25 @@ mod tests {
 
     #[test]
     fn wall_clock_pend_is_bounded() {
-        let c = WallClock {
-            epoch: Instant::now(),
-            max_poll_wait_s: 0.01,
-        };
+        let mut c = WallClock::new();
+        c.max_poll_wait_s = 0.01;
         let before = Instant::now();
         c.pend_until(c.now_s() + 10.0);
         assert!(before.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn wall_clock_is_unix_anchored() {
+        // Prometheus treats query_range start/end as unix timestamps;
+        // a clock that starts near 0 would query the 1970 epoch and
+        // read back empty matrices. 1.6e9 s ≈ 2020-09.
+        let c = WallClock::new();
+        let unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .as_secs_f64();
+        assert!(c.now_s() > 1.6e9, "now_s {} is not epoch-anchored", c.now_s());
+        assert!((c.now_s() - unix).abs() < 60.0);
     }
 
     #[test]

@@ -62,6 +62,7 @@ struct State {
     rps: f64,
     token: Option<String>,
     patches: Vec<PatchEvent>,
+    scrapes: Vec<(f64, f64)>,
     faults: VecDeque<Fault>,
     requests: u64,
 }
@@ -102,6 +103,7 @@ impl FakeCluster {
                 rps,
                 token: None,
                 patches: Vec::new(),
+                scrapes: Vec::new(),
                 faults: VecDeque::new(),
                 requests: 0,
             }),
@@ -138,6 +140,13 @@ impl FakeCluster {
     /// PATCHes received so far.
     pub fn patches(&self) -> Vec<PatchEvent> {
         self.lock().patches.clone()
+    }
+
+    /// `(start, end)` of every `query_range` served so far — lets tests
+    /// pin the absolute timestamps the client put on the wire (real
+    /// Prometheus interprets them as unix time).
+    pub fn scrape_ranges(&self) -> Vec<(f64, f64)> {
+        self.lock().scrapes.clone()
     }
 
     /// The allocation currently in force on the fake cluster.
@@ -314,6 +323,7 @@ fn query_range(st: &mut State, query_string: &str) -> (u16, String) {
     if end <= start || step <= 0.0 {
         return (400, "bad range".into());
     }
+    st.scrapes.push((start, end));
     // Evaluate the current allocation under the constant workload over
     // the requested window — the fluid model is the "cluster".
     st.eval.window_s = end - start;

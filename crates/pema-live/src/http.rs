@@ -39,7 +39,7 @@ impl fmt::Display for HttpError {
 }
 
 /// A parsed HTTP response: status line code plus the full body.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code from the response line.
     pub status: u16,
@@ -67,16 +67,34 @@ pub struct Endpoint {
 impl Endpoint {
     /// Parses `http://host:port` (scheme optional, TLS unsupported —
     /// the lab deployments this targets front Prometheus and the
-    /// API server with plain HTTP or a local proxy).
+    /// API server with plain HTTP or a local proxy). IPv6 literals
+    /// use the standard bracketed form, `http://[::1]:9090`; the
+    /// stored host is the bare address (no brackets).
     pub fn parse(url: &str) -> Result<Endpoint, String> {
         if let Some(rest) = url.strip_prefix("https://") {
             return Err(format!("https is not supported (got https://{rest})"));
         }
         let rest = url.strip_prefix("http://").unwrap_or(url);
         let rest = rest.trim_end_matches('/');
-        let (host, port) = rest
-            .rsplit_once(':')
-            .ok_or_else(|| format!("expected host:port, got \"{url}\""))?;
+        let (host, port) = if let Some(bracketed) = rest.strip_prefix('[') {
+            let (host, after) = bracketed
+                .split_once(']')
+                .ok_or_else(|| format!("unclosed '[' in \"{url}\""))?;
+            let port = after
+                .strip_prefix(':')
+                .ok_or_else(|| format!("expected [host]:port, got \"{url}\""))?;
+            (host, port)
+        } else {
+            let (host, port) = rest
+                .rsplit_once(':')
+                .ok_or_else(|| format!("expected host:port, got \"{url}\""))?;
+            if host.contains(':') {
+                return Err(format!(
+                    "ambiguous IPv6 literal in \"{url}\" — use the bracketed form [addr]:port"
+                ));
+            }
+            (host, port)
+        };
         let port: u16 = port.parse().map_err(|_| format!("bad port in \"{url}\""))?;
         if host.is_empty() {
             return Err(format!("empty host in \"{url}\""));
@@ -87,8 +105,18 @@ impl Endpoint {
         })
     }
 
+    /// The host as it appears in URLs and `Host` headers: IPv6
+    /// literals get their brackets back.
+    fn host_for_wire(&self) -> String {
+        if self.host.contains(':') {
+            format!("[{}]", self.host)
+        } else {
+            self.host.clone()
+        }
+    }
+
     fn addr(&self) -> String {
-        format!("{}:{}", self.host, self.port)
+        format!("{}:{}", self.host_for_wire(), self.port)
     }
 }
 
@@ -138,7 +166,7 @@ impl HttpClient {
 
         let mut req = format!(
             "{method} {path_and_query} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
-            endpoint.host
+            endpoint.host_for_wire()
         );
         for (name, value) in headers {
             req.push_str(&format!("{name}: {value}\r\n"));
@@ -169,11 +197,17 @@ fn io_err(e: std::io::Error) -> HttpError {
 }
 
 fn parse_response(raw: &[u8]) -> Result<Response, HttpError> {
-    let text = std::str::from_utf8(raw)
-        .map_err(|_| HttpError::Malformed("response is not UTF-8".into()))?;
-    let (head, body) = text
-        .split_once("\r\n\r\n")
+    // Framing is resolved on the raw bytes, and only the final body
+    // slice is UTF-8-decoded: a Content-Length that cuts a multibyte
+    // sequence must surface as a typed error, not a char-boundary
+    // panic inside String::truncate.
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
         .ok_or_else(|| HttpError::Malformed("no header/body separator".into()))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| HttpError::Malformed("headers are not UTF-8".into()))?;
+    let mut body = &raw[header_end + 4..];
     let status_line = head.lines().next().unwrap_or("");
     let mut parts = status_line.split_whitespace();
     let version = parts.next().unwrap_or("");
@@ -189,7 +223,6 @@ fn parse_response(raw: &[u8]) -> Result<Response, HttpError> {
     // `Connection: close` framing: trust Content-Length when present
     // (the body may be truncated by a fault-injecting peer), otherwise
     // read-to-EOF already gave us everything.
-    let mut body = body.to_string();
     for line in head.lines().skip(1) {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -203,10 +236,13 @@ fn parse_response(raw: &[u8]) -> Result<Response, HttpError> {
                         body.len()
                     )));
                 }
-                body.truncate(want);
+                body = &body[..want];
             }
         }
     }
+    let body = std::str::from_utf8(body)
+        .map_err(|_| HttpError::Malformed("body is not UTF-8".into()))?
+        .to_string();
     Ok(Response { status, body })
 }
 
@@ -260,6 +296,30 @@ mod tests {
     }
 
     #[test]
+    fn endpoint_handles_ipv6_literals() {
+        let e = Endpoint::parse("http://[::1]:9090").unwrap();
+        assert_eq!(e.host, "::1");
+        assert_eq!(e.port, 9090);
+        assert_eq!(e.addr(), "[::1]:9090");
+        assert_eq!(
+            Endpoint::parse("[fe80::1]:8080/").unwrap(),
+            Endpoint {
+                host: "fe80::1".into(),
+                port: 8080
+            }
+        );
+        // Unbracketed IPv6 is ambiguous (which colon starts the
+        // port?) — rejected with a pointer at the bracketed form.
+        let err = Endpoint::parse("http://::1:9090").unwrap_err();
+        assert!(err.contains("[addr]:port"), "unhelpful error: {err}");
+        assert!(Endpoint::parse("http://[::1]").is_err());
+        assert!(Endpoint::parse("http://[::1:9090").is_err());
+        // IPv4 and hostnames keep their bare form on the wire.
+        let v4 = Endpoint::parse("127.0.0.1:80").unwrap();
+        assert_eq!(v4.addr(), "127.0.0.1:80");
+    }
+
+    #[test]
     fn url_encoding_round_trips_promql() {
         let q = r#"rate(container_cpu_usage_seconds_total{namespace="pema"}[8s])"#;
         assert_eq!(urldecode(&urlencode(q)), q);
@@ -277,5 +337,20 @@ mod tests {
         let err = parse_response(b"HTTP/1.1 503 Unavailable\r\n\r\nbody").unwrap();
         assert_eq!(err.status, 503);
         assert!(!err.is_success());
+    }
+
+    #[test]
+    fn content_length_cutting_a_multibyte_char_is_an_error_not_a_panic() {
+        // "é" is two bytes (C3 A9); a Content-Length of 2 slices the
+        // sequence in half. The old String::truncate path panicked on
+        // the non-char-boundary; the byte-level path reports Malformed.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nh\xC3\xA9";
+        assert_eq!(
+            parse_response(raw),
+            Err(HttpError::Malformed("body is not UTF-8".into()))
+        );
+        // A boundary-respecting truncation of the same body is fine.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nh\xC3\xA9X";
+        assert_eq!(parse_response(raw).unwrap().body, "h\u{e9}");
     }
 }

@@ -88,10 +88,15 @@ fn bearer_auth_rejection_is_a_typed_error_not_a_panic() {
         }
         other => panic!("expected a 401 Patch error, got {other:?}"),
     }
-    // The cluster kept its old limit; the shadow moved (the controller
-    // believes its decision — divergence shows up in telemetry).
+    // The cluster kept its old limit — and so did the shadow: a failed
+    // PATCH must not rebase future windows onto an allocation that is
+    // not actually in force (the tape would misrepresent them).
     assert_ne!(live.cluster.allocation().get(0), 0.9);
-    assert_eq!(live.allocation().get(0), 0.9);
+    assert_ne!(live.allocation().get(0), 0.9);
+    assert_eq!(
+        live.allocation().get(0).to_bits(),
+        live.cluster.allocation().get(0).to_bits()
+    );
     // Measurement still works.
     let stats = live.measure_window(RPS, 0.5, 4.0);
     assert!(stats.p95_ms.is_finite());
@@ -206,6 +211,44 @@ fn early_check_aborts_a_starved_window_at_the_first_boundary() {
     assert!(stats.violates(slo));
     // The clock stopped at the abort boundary, not the full window.
     assert_eq!(live.now_s().to_bits(), 3.0f64.to_bits());
+}
+
+#[test]
+fn wall_clock_queries_carry_unix_timestamps_on_the_wire() {
+    // Real Prometheus interprets query_range start/end as unix time; a
+    // clock anchored at construction would query the 1970 epoch and
+    // every window would degrade to NaN. Pin the absolute timestamps
+    // the production clock puts on the wire. 1.6e9 s ≈ 2020-09.
+    let app = app();
+    let cluster = FakeCluster::start(&app, RPS);
+    let http = HttpClient::default();
+    let mut backend = LiveBackend::new(
+        &app,
+        PromClient {
+            endpoint: cluster.endpoint(),
+            http: http.clone(),
+        },
+        KubeClient {
+            config: KubeConfigLite {
+                server: cluster.endpoint(),
+                token: None,
+                namespace: "pema".into(),
+            },
+            http,
+        },
+        Box::new(WallClock::new()),
+        LiveConfig::default(),
+    );
+    let stats = backend.measure_window(RPS, 0.01, 0.05);
+    assert!(stats.p95_ms.is_finite());
+    let ranges = cluster.scrape_ranges();
+    assert_eq!(ranges.len(), 6, "one window scrape is six range queries");
+    for (start, end) in ranges {
+        assert!(
+            start > 1.6e9 && end > start,
+            "query_range carried non-unix bounds [{start}, {end}]"
+        );
+    }
 }
 
 #[test]
