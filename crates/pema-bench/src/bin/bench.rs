@@ -46,9 +46,12 @@ fn usage(unknown: Option<&str>) -> ! {
          \x20      --fleet-threads N                shard fleet scenarios across N\n\
          \x20                                       workers (0 = auto; CSVs identical\n\
          \x20                                       for every value)\n\
-         \x20 perf [--smoke] [--label L] [--out F] [--check BASELINE.json]\n\
+         \x20 perf [--smoke] [--label L] [--out F] [--check BASELINE.json] [--only a,b]\n\
          \x20                                       perf harness → benchmarks/BENCH_<L>.json;\n\
-         \x20                                       --check fails on >25% macro regression\n\
+         \x20                                       --check fails on >25% macro regression;\n\
+         \x20                                       --only restricts to the named macro\n\
+         \x20                                       entries (micro benches are skipped and\n\
+         \x20                                       the baseline check covers only those)\n\
          \n\
          CSVs land under $PEMA_RESULTS_DIR (default ./results); existing\n\
          results are skipped unless --force is given. Output is identical\n\
@@ -100,6 +103,12 @@ fn cmd_perf(args: &[String]) {
             "--label" => cfg.label = need("--label", it.next()),
             "--out" => cfg.out = Some(need("--out", it.next()).into()),
             "--check" => cfg.check = Some(need("--check", it.next()).into()),
+            "--only" => {
+                let v = need("--only", it.next());
+                cfg.only
+                    .get_or_insert_with(Vec::new)
+                    .extend(v.split(',').map(|s| s.trim().to_string()));
+            }
             other => {
                 eprintln!("unexpected argument '{other}'");
                 exit(2);

@@ -12,6 +12,12 @@
 //! committed baseline (`benchmarks/BENCH_baseline.json`) to gate >25%
 //! macro regressions.
 //!
+//! `--only a,b` restricts a run to the named macro entries for fast
+//! targeted captures (micro benches are skipped and the baseline
+//! check covers only the selected names). The telemetry overhead pair
+//! (`fleet_fluid_64x40` vs `fleet_fluid_64x40_telemetry`) is gated by
+//! [`TELEMETRY_OVERHEAD_TOLERANCE`] whenever both entries ran.
+//!
 //! The JSON schema (`pema-perf/1`):
 //!
 //! ```json
@@ -60,6 +66,23 @@ pub const REGRESSION_TOLERANCE_SMOKE: f64 = 1.5;
 /// pins byte-for-byte.
 pub const MACRO_SCENARIOS: [&str; 3] = ["fig06", "ablation_ma", "table1"];
 
+/// Telemetry-overhead gate: the instrumented twin of
+/// `fleet_fluid_64x40` (registry hub attached) must stay within 5% of
+/// the bare fleet's best-of-reps wall time. The fluid fleet is the
+/// worst case for instrumentation — window evaluation is microseconds,
+/// so per-interval bookkeeping is the whole bill and any telemetry
+/// cost lands straight on the metric. Only the always-on registry path
+/// (counters, gauges, phase histograms) is gated; the optional JSONL
+/// event log formats a line per interval and is priced separately by
+/// the ungated `fleet_fluid_64x40_events` entry.
+pub const TELEMETRY_OVERHEAD_TOLERANCE: f64 = 1.05;
+
+/// Relaxed telemetry gate under smoke: best-of-2 wall times on a
+/// shared CI runner carry scheduling noise comparable to the 5% bar,
+/// so the smoke gate only catches order-of-magnitude mistakes (a lock
+/// on the hot path, an fsync per event), not single-percent drift.
+pub const TELEMETRY_OVERHEAD_TOLERANCE_SMOKE: f64 = 1.15;
+
 /// Configuration for one `bench perf` run.
 #[derive(Debug, Clone)]
 pub struct PerfConfig {
@@ -74,6 +97,12 @@ pub struct PerfConfig {
     /// Baseline JSON to compare against; regressions beyond
     /// [`REGRESSION_TOLERANCE`] make the run fail.
     pub check: Option<PathBuf>,
+    /// Restrict the run to the named macro entries (`--only a,b`).
+    /// Micro benches are skipped entirely when set, and the baseline
+    /// missing-entry check only covers the selected names — the point
+    /// is a fast targeted capture (CI scrapes one fleet entry, a perf
+    /// investigation re-runs one regressed bench), not a full report.
+    pub only: Option<Vec<String>>,
 }
 
 impl Default for PerfConfig {
@@ -85,6 +114,7 @@ impl Default for PerfConfig {
             label: "local".to_string(),
             out: None,
             check: None,
+            only: None,
         }
     }
 }
@@ -169,19 +199,31 @@ pub struct BaselineComparison {
 /// baseline was given — fails with a descriptive error if any macro
 /// bench regressed more than 25%.
 pub fn run_perf(cfg: &PerfConfig) -> io::Result<PerfReport> {
+    let only = cfg.only.as_deref();
     let calibration = calibration_ops_per_sec();
     println!("perf: machine calibration {calibration:.3e} xoshiro steps/sec");
-    println!("perf: micro benches (calibrated via criterion shim)");
-    let micro = run_micro(cfg.smoke);
+    let micro = if only.is_some() {
+        println!("perf: micro benches skipped (--only selects macro entries)");
+        Vec::new()
+    } else {
+        println!("perf: micro benches (calibrated via criterion shim)");
+        run_micro(cfg.smoke)
+    };
     println!("perf: macro benches (paper apps, full windows)");
-    let mut macro_ = run_macro_sims(cfg.smoke);
+    let mut macro_ = run_macro_sims(cfg.smoke, only);
     println!("perf: macro benches (concurrent fleet throughput)");
-    macro_.extend(run_macro_fleet(cfg.smoke));
+    macro_.extend(run_macro_fleet(cfg.smoke, only));
     println!("perf: macro benches (scenario suite end-to-end, smoke scale)");
-    macro_.extend(run_macro_scenarios()?);
+    macro_.extend(run_macro_scenarios(only)?);
 
     let baseline = match &cfg.check {
-        Some(path) => Some(compare_against(path, &macro_, cfg.smoke, calibration)?),
+        Some(path) => Some(compare_against(
+            path,
+            &macro_,
+            cfg.smoke,
+            calibration,
+            only,
+        )?),
         None => None,
     };
 
@@ -210,6 +252,8 @@ pub fn run_perf(cfg: &PerfConfig) -> io::Result<PerfReport> {
     std::fs::write(&out, report.to_json())
         .map_err(|e| io::Error::new(e.kind(), format!("write {}: {e}", out.display())))?;
     println!("perf: wrote {}", out.display());
+
+    check_telemetry_overhead(&report.macro_, report.smoke)?;
 
     if let Some(b) = &report.baseline {
         for (name, base, cur, ratio) in &b.entries {
@@ -307,7 +351,8 @@ fn sim_once_best(app: &pema_sim::AppSpec, rps: f64, window_s: f64, reps: usize) 
     (events, best)
 }
 
-fn run_macro_sims(smoke: bool) -> Vec<MacroResult> {
+fn run_macro_sims(smoke: bool, only: Option<&[String]>) -> Vec<MacroResult> {
+    let selected = |name: &str| only.is_none_or(|o| o.iter().any(|n| n == name));
     let window_s = if smoke { 5.0 } else { 30.0 };
     // Best-of-reps wall time: simulation runs are deterministic, so
     // repetitions only shake off host scheduling noise (the CI runner
@@ -336,6 +381,7 @@ fn run_macro_sims(smoke: bool) -> Vec<MacroResult> {
         ("sim_cluster_scale_960", pema_apps::cluster_scale(24), 960.0),
     ]
     .into_iter()
+    .filter(|(name, _, _)| selected(name))
     .map(|(name, app, rps)| {
         let (events, wall_s) = sim_once_best(&app, rps, window_s, reps);
         let r = MacroResult {
@@ -394,6 +440,15 @@ fn build_fluid_fleet(apps: usize, iters: usize, threads: usize) -> pema::prelude
 ///   per second, reported through `events`/`events_per_sec`. Timed
 ///   including fleet construction (the historical definition — this
 ///   name is a baseline join key).
+/// * `fleet_fluid_64x40_telemetry` — the same fleet with a
+///   [`pema_telemetry`] registry hub attached: the always-on
+///   self-observation bill on the control plane's worst case. Gated
+///   against the bare twin by [`TELEMETRY_OVERHEAD_TOLERANCE`].
+/// * `fleet_fluid_64x40_events` — hub *plus* the optional JSONL event
+///   sink: adds one formatted line per committed interval, so its
+///   delta vs the telemetry twin is the per-event logging cost.
+///   Reported for the trajectory but not gated — event logging is
+///   opt-in precisely because formatting cannot be free.
 /// * `fleet_arbitration_64x40` — the same fleet under a tight
 ///   fair-share CPU budget: every window rendezvouses at the
 ///   arbitration barrier, so the delta vs `fleet_fluid_64x40` is the
@@ -411,9 +466,10 @@ fn build_fluid_fleet(apps: usize, iters: usize, threads: usize) -> pema::prelude
 ///   App-intervals/sec at t8 vs t1 is the headline scaling number
 ///   (meaningful only on multi-core hosts; single-core machines
 ///   record a flat curve, which is itself the honest datum).
-fn run_macro_fleet(smoke: bool) -> Vec<MacroResult> {
+fn run_macro_fleet(smoke: bool, only: Option<&[String]>) -> Vec<MacroResult> {
     use pema::prelude::*;
 
+    let selected = |name: &str| only.is_none_or(|o| o.iter().any(|n| n == name));
     let reps = if smoke { 2 } else { 5 };
     let mut out = Vec::new();
 
@@ -504,11 +560,52 @@ fn run_macro_fleet(smoke: bool) -> Vec<MacroResult> {
         out.push(r);
     };
 
+    // The instrumented twins: the identical fleet with a telemetry hub
+    // attached (and optionally the JSONL event sink on top). Hub/sink
+    // construction stays outside the timer (not per-interval cost);
+    // the fleet build stays inside, matching the bare entry's
+    // historical definition so the walls are comparable.
+    let fluid_telemetry = |apps: usize, iters: usize, with_events: bool| -> (u64, f64) {
+        let mut best = f64::INFINITY;
+        let mut intervals = 0u64;
+        for _ in 0..reps {
+            let hub = Telemetry::new();
+            let (sink, _buf) = EventSink::memory();
+            let t0 = Instant::now();
+            let mut fleet = build_fluid_fleet(apps, iters, 1).telemetry(&hub);
+            if with_events {
+                fleet = fleet.events(sink);
+            }
+            let result = fleet.run();
+            let wall = t0.elapsed().as_secs_f64();
+            intervals = result.total_intervals() as u64;
+            best = best.min(wall);
+        }
+        (intervals, best)
+    };
+
     // Same workloads in smoke and full mode (both finish quickly) —
     // the names encode the parameters and are the baseline join keys,
     // so the measured workload must never depend on the mode; only
     // `reps` shrinks under smoke.
-    push("fleet_fluid_64x40".to_string(), fluid(64, 40));
+    //
+    // The bare 64x40 entry also runs whenever only its telemetry twin
+    // was selected: the overhead gate needs both sides of the pair.
+    if selected("fleet_fluid_64x40") || selected("fleet_fluid_64x40_telemetry") {
+        push("fleet_fluid_64x40".to_string(), fluid(64, 40));
+    }
+    if selected("fleet_fluid_64x40_telemetry") {
+        push(
+            "fleet_fluid_64x40_telemetry".to_string(),
+            fluid_telemetry(64, 40, false),
+        );
+    }
+    if selected("fleet_fluid_64x40_events") {
+        push(
+            "fleet_fluid_64x40_events".to_string(),
+            fluid_telemetry(64, 40, true),
+        );
+    }
 
     // The arbitrated twin of fleet_fluid_64x40: the same fleet under a
     // deliberately tight fair-share budget, so every window crosses
@@ -528,37 +625,89 @@ fn run_macro_fleet(smoke: bool) -> Vec<MacroResult> {
         }
         (intervals, best)
     };
-    push(
-        "fleet_arbitration_64x40".to_string(),
-        fluid_arbitrated(64, 40),
-    );
-    push("fleet_sim_8x4".to_string(), sim(8, 4));
+    if selected("fleet_arbitration_64x40") {
+        push(
+            "fleet_arbitration_64x40".to_string(),
+            fluid_arbitrated(64, 40),
+        );
+    }
+    if selected("fleet_sim_8x4") {
+        push("fleet_sim_8x4".to_string(), sim(8, 4));
+    }
 
     // The sharding axes: bigger fleets, fewer reps. fleet_fluid_10k
     // runs before the scaling curve so its RSS sample is the clean
     // 10k-app footprint.
     let scale_reps = if smoke { 1 } else { 2 };
-    push(
-        "fleet_fluid_10k".to_string(),
-        fluid_run_only(10_000, 10, 0, scale_reps),
-    );
-    for threads in [1usize, 2, 4, 8] {
+    if selected("fleet_fluid_10k") {
         push(
-            format!("fleet_threads_scaling_t{threads}"),
-            fluid_run_only(2048, 10, threads, scale_reps),
+            "fleet_fluid_10k".to_string(),
+            fluid_run_only(10_000, 10, 0, scale_reps),
         );
     }
+    for threads in [1usize, 2, 4, 8] {
+        let name = format!("fleet_threads_scaling_t{threads}");
+        if selected(&name) {
+            push(name, fluid_run_only(2048, 10, threads, scale_reps));
+        }
+    }
     out
+}
+
+/// Enforces [`TELEMETRY_OVERHEAD_TOLERANCE`] over the
+/// `fleet_fluid_64x40` / `fleet_fluid_64x40_telemetry` pair. A no-op
+/// when either entry is absent (e.g. filtered out by `--only`).
+fn check_telemetry_overhead(macro_: &[MacroResult], smoke: bool) -> io::Result<()> {
+    let find = |n: &str| macro_.iter().find(|m| m.name == n);
+    let (Some(bare), Some(twin)) = (
+        find("fleet_fluid_64x40"),
+        find("fleet_fluid_64x40_telemetry"),
+    ) else {
+        return Ok(());
+    };
+    let tolerance = if smoke {
+        TELEMETRY_OVERHEAD_TOLERANCE_SMOKE
+    } else {
+        TELEMETRY_OVERHEAD_TOLERANCE
+    };
+    let ratio = twin.wall_ms / bare.wall_ms.max(1e-9);
+    println!(
+        "perf: telemetry overhead on fleet_fluid_64x40: {:+.1}% (gate +{:.0}%)",
+        (ratio - 1.0) * 100.0,
+        (tolerance - 1.0) * 100.0
+    );
+    if ratio > tolerance {
+        return Err(io::Error::other(format!(
+            "telemetry overhead gate: instrumented fleet_fluid_64x40 took {:.1} ms vs {:.1} ms bare \
+             ({:.1}% > {:.0}% tolerance)",
+            twin.wall_ms,
+            bare.wall_ms,
+            (ratio - 1.0) * 100.0,
+            (tolerance - 1.0) * 100.0
+        )));
+    }
+    Ok(())
 }
 
 /// Runs the three representative scenarios end-to-end through the real
 /// executor (always smoke scale — the point is harness + engine + IO
 /// cost per scenario, comparable across PRs and CI machines).
-fn run_macro_scenarios() -> io::Result<Vec<MacroResult>> {
+fn run_macro_scenarios(only: Option<&[String]>) -> io::Result<Vec<MacroResult>> {
+    // `--only` names the report entries (`scenario_<id>`), so strip the
+    // prefix back to scenario ids before handing the list to the
+    // executor. No selected scenarios → skip the executor entirely.
+    let wanted: Vec<String> = MACRO_SCENARIOS
+        .iter()
+        .filter(|s| only.is_none_or(|o| o.iter().any(|n| n == &format!("scenario_{s}"))))
+        .map(|s| s.to_string())
+        .collect();
+    if wanted.is_empty() {
+        return Ok(Vec::new());
+    }
     let results_dir = crate::ctx::default_results_dir().join("perf-scenarios");
     let cfg = SuiteConfig {
         jobs: 1,
-        only: Some(MACRO_SCENARIOS.iter().map(|s| s.to_string()).collect()),
+        only: Some(wanted),
         smoke: true,
         force: true,
         results_dir: Some(results_dir),
@@ -591,7 +740,11 @@ fn compare_against(
     current: &[MacroResult],
     smoke: bool,
     calibration: f64,
+    only: Option<&[String]>,
 ) -> io::Result<BaselineComparison> {
+    // Under `--only`, unselected baseline entries were deliberately not
+    // run — skipping them is the contract, not a regression.
+    let selected = |name: &str| only.is_none_or(|o| o.iter().any(|n| n == name));
     // Smoke runs use 5 s windows against a 30 s-window baseline, so
     // fixed setup cost (app construction, warmup) weighs several times
     // more per event than in the baseline capture. Widen the sim-entry
@@ -634,6 +787,9 @@ fn compare_against(
     let mut log_n = 0usize;
     for e in entries {
         let name = e.get("name").and_then(|v| v.as_str()).unwrap_or_default();
+        if !selected(name) {
+            continue;
+        }
         let Some(cur) = current.iter().find(|c| c.name == name) else {
             regressions.push(format!("{name}: missing from current run"));
             continue;
@@ -716,23 +872,39 @@ fn toolchain_version() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-/// Peak RSS (VmHWM) of this process in bytes, 0 when unavailable.
+/// Peak RSS (VmHWM) of this process in bytes, read from
+/// `/proc/self/status`. Linux-only — procfs exists nowhere else.
+#[cfg(target_os = "linux")]
 pub fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-            return kb * 1024;
-        }
-    }
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| parse_vm_hwm_kb(&status))
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Non-Linux fallback: there is no `/proc/self/status`, so peak RSS is
+/// reported as 0 — the documented "not tracked" sentinel. Downstream
+/// consumers already treat 0 this way: the JSON emitter omits zero
+/// `rss_bytes` fields and the baseline gate never compares RSS.
+#[cfg(not(target_os = "linux"))]
+pub fn peak_rss_bytes() -> u64 {
     0
+}
+
+/// Extracts the `VmHWM:` (peak resident set) value, in kB, from a
+/// `/proc/self/status` dump. Split out of [`peak_rss_bytes`] so the
+/// parsing is unit-testable on every platform, including the ones
+/// where the procfs read itself is compiled out.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
+    status.lines().find_map(|line| {
+        line.strip_prefix("VmHWM:")?
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse()
+            .ok()
+    })
 }
 
 // ---- JSON emission ----
@@ -1136,7 +1308,7 @@ mod tests {
                 rss_bytes: 0,
             },
         ];
-        let cmp = compare_against(&path, &current, false, 0.0).unwrap();
+        let cmp = compare_against(&path, &current, false, 0.0, None).unwrap();
         assert_eq!(cmp.regressions.len(), 1);
         assert!(cmp.regressions[0].contains("sim_x"));
 
@@ -1156,7 +1328,7 @@ mod tests {
                 rss_bytes: 0,
             },
         ];
-        let cmp = compare_against(&path, &improved, false, 0.0).unwrap();
+        let cmp = compare_against(&path, &improved, false, 0.0, None).unwrap();
         assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
         assert!((cmp.events_per_sec_speedup_geomean - 2.0).abs() < 1e-9);
     }
@@ -1171,9 +1343,81 @@ mod tests {
             r#"{"macro": [{"name": "sim_gone", "wall_ms": 1.0, "events": 1, "events_per_sec": 10.0}]}"#,
         )
         .unwrap();
-        let cmp = compare_against(&path, &[], false, 0.0).unwrap();
+        let cmp = compare_against(&path, &[], false, 0.0, None).unwrap();
         assert_eq!(cmp.regressions.len(), 1);
         assert!(cmp.regressions[0].contains("sim_gone"));
+    }
+
+    #[test]
+    fn only_filter_restricts_baseline_to_selected_entries() {
+        // Baseline knows two entries; the current run selected one via
+        // --only and deliberately skipped the other. The skipped entry
+        // must be neither a "missing" regression nor a comparison row.
+        let dir = std::env::temp_dir().join("pema-perf-baseline-only");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("base.json");
+        std::fs::write(
+            &path,
+            r#"{"macro": [
+                {"name": "sim_kept", "wall_ms": 10.0, "events": 10, "events_per_sec": 1000.0},
+                {"name": "sim_skipped", "wall_ms": 10.0, "events": 10, "events_per_sec": 1000.0}
+            ]}"#,
+        )
+        .unwrap();
+        let current = vec![MacroResult {
+            name: "sim_kept".to_string(),
+            wall_ms: 10.0,
+            events: 10,
+            events_per_sec: 1000.0,
+            rss_bytes: 0,
+        }];
+        let only = vec!["sim_kept".to_string()];
+        let cmp = compare_against(&path, &current, false, 0.0, Some(&only)).unwrap();
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+        assert_eq!(cmp.entries.len(), 1);
+        assert_eq!(cmp.entries[0].0, "sim_kept");
+
+        // Without the filter the skipped entry is a hard regression —
+        // the only-filter is the sole thing relaxing the check.
+        let cmp = compare_against(&path, &current, false, 0.0, None).unwrap();
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("sim_skipped"));
+    }
+
+    #[test]
+    fn telemetry_overhead_gate_trips_beyond_tolerance() {
+        let entry = |name: &str, wall_ms: f64| MacroResult {
+            name: name.to_string(),
+            wall_ms,
+            events: 2560,
+            events_per_sec: 2560.0 / wall_ms * 1e3,
+            rss_bytes: 0,
+        };
+        // Within 5%: passes.
+        let ok = vec![
+            entry("fleet_fluid_64x40", 100.0),
+            entry("fleet_fluid_64x40_telemetry", 104.0),
+        ];
+        assert!(check_telemetry_overhead(&ok, false).is_ok());
+        // 10% over: trips the full gate but clears the smoke gate.
+        let slow = vec![
+            entry("fleet_fluid_64x40", 100.0),
+            entry("fleet_fluid_64x40_telemetry", 110.0),
+        ];
+        assert!(check_telemetry_overhead(&slow, false).is_err());
+        assert!(check_telemetry_overhead(&slow, true).is_ok());
+        // Pair incomplete (e.g. --only filtered one side): no gate.
+        assert!(check_telemetry_overhead(&slow[..1], false).is_ok());
+    }
+
+    #[test]
+    fn vm_hwm_parses_from_a_proc_status_dump() {
+        let status = "Name:\tbench\nVmPeak:\t  200104 kB\nVmHWM:\t   5124 kB\nVmRSS:\t 4096 kB\n";
+        assert_eq!(parse_vm_hwm_kb(status), Some(5124));
+        // No VmHWM line (the documented non-procfs shape) and a
+        // malformed value both degrade to "not tracked".
+        assert_eq!(parse_vm_hwm_kb("Name:\tbench\nVmRSS:\t 4096 kB\n"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\tgarbage kB\n"), None);
     }
 
     #[test]

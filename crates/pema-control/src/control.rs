@@ -9,6 +9,7 @@
 use crate::arbitration::ArbitrationEvent;
 use crate::backend::{ClusterBackend, SimBackend, WindowPoll, WindowRequest};
 use crate::policy::{Decision, Policy};
+use crate::telemetry::{IntervalSpans, LoopTelemetry};
 use pema_sim::{Allocation, AppSpec, WindowStats};
 use pema_workload::Workload;
 
@@ -203,6 +204,10 @@ pub struct ControlLoop<P: Policy, B: ClusterBackend = SimBackend> {
     /// exactly 1.0 when nothing was ever cut, in which case no
     /// allocation is ever rescaled (slack budgets stay bit-identical).
     grant_scale: f64,
+    /// Self-instrumentation, when attached: per-interval counters and
+    /// phase-span histograms. A pure side channel — nothing it records
+    /// flows back into decisions or logs (see [`crate::telemetry`]).
+    telemetry: Option<LoopTelemetry>,
 }
 
 /// Progress state of one interval between [`ControlLoop::poll_step`]
@@ -212,6 +217,9 @@ struct PendingInterval {
     total_cpu: f64,
     slo_ms: f64,
     req: WindowRequest,
+    /// Backend time when the window began — the measure span's start.
+    /// Only read under telemetry (0.0 otherwise).
+    begin_s: f64,
 }
 
 /// A measured interval whose decision is staged for arbitration:
@@ -224,6 +232,13 @@ struct StagedInterval {
     stats: WindowStats,
     aborted: bool,
     decision: Decision,
+    /// Telemetry phase spans captured so far (backend-clock seconds;
+    /// all 0.0 when no telemetry is attached).
+    measure_s: f64,
+    decide_s: f64,
+    /// Backend time when the decision was staged — the arbitrate-wait
+    /// span's start.
+    staged_at_s: f64,
 }
 
 /// What one [`ControlLoop::poll_step`] call did.
@@ -271,7 +286,16 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
             propose_mode: false,
             staged: None,
             grant_scale: 1.0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches self-instrumentation: per-interval counters and phase
+    /// histograms recorded into the handle's registry (and its event
+    /// sink, when one is attached). Recording never changes run output
+    /// — telemetry is a pure side channel.
+    pub fn set_telemetry(&mut self, telemetry: LoopTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Enables early violation detection: the window aborts (and the
@@ -342,11 +366,20 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
                 req = req.with_early_check(check_s, slo_ms);
             }
             self.backend.begin_window(&req);
+            // Re-read the clock only under telemetry: begin_window is
+            // free on virtual backends but a live backend may have
+            // spent wall time in the pre-interval apply above.
+            let begin_s = if self.telemetry.is_some() {
+                self.backend.now_s()
+            } else {
+                0.0
+            };
             self.pending = Some(PendingInterval {
                 time_s,
                 total_cpu,
                 slo_ms,
                 req,
+                begin_s,
             });
         }
         let req = self.pending.as_ref().unwrap().req;
@@ -354,7 +387,15 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
             WindowPoll::Pending { resume_at_s } => LoopPoll::Pending { resume_at_s },
             WindowPoll::Ready { stats, aborted } => {
                 let p = self.pending.take().unwrap();
+                let decided_from = self.telemetry.as_ref().map(|_| self.backend.now_s());
                 let decision = self.policy.decide(&stats);
+                let (measure_s, decide_s, staged_at_s) = match decided_from {
+                    Some(t0) => {
+                        let now = self.backend.now_s();
+                        (t0 - p.begin_s, now - t0, now)
+                    }
+                    None => (0.0, 0.0, 0.0),
+                };
                 let staged = StagedInterval {
                     time_s: p.time_s,
                     total_cpu: p.total_cpu,
@@ -363,6 +404,9 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
                     stats,
                     aborted,
                     decision,
+                    measure_s,
+                    decide_s,
+                    staged_at_s,
                 };
                 if self.propose_mode {
                     self.staged = Some(staged);
@@ -412,7 +456,17 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
             stats,
             aborted,
             decision: d,
+            measure_s,
+            decide_s,
+            staged_at_s,
         } = staged;
+        // Commit entry time doubles as the arbitrate-wait span's end:
+        // under arbitration the loop was parked from staging until the
+        // fleet called commit_granted. (On a virtual backend the clock
+        // does not tick while parked, so the span is 0 by construction
+        // — the real wall park time is ShardTelemetry's barrier-wait
+        // histogram.)
+        let commit_from = self.telemetry.as_ref().map(|_| self.backend.now_s());
         let mut alloc = d.alloc;
         if let Some((granted, _)) = grant {
             let proposed: f64 = alloc.iter().sum();
@@ -450,6 +504,18 @@ impl<P: Policy, B: ClusterBackend> ControlLoop<P, B> {
         }
         for obs in &mut self.observers {
             obs.on_interval(&entry, &stats);
+        }
+        if let (Some(tel), Some(t0)) = (&self.telemetry, commit_from) {
+            tel.record_interval(
+                &entry,
+                aborted,
+                &IntervalSpans {
+                    measure_s,
+                    decide_s,
+                    arb_wait_s: grant.map(|_| t0 - staged_at_s),
+                    commit_s: self.backend.now_s() - t0,
+                },
+            );
         }
         self.log.push(entry);
         self.iter += 1;

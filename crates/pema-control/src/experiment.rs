@@ -42,8 +42,10 @@
 use crate::backend::{ClusterBackend, FluidBackend, SimBackend};
 use crate::control::{ControlLoop, HarnessConfig, Observer, RunResult};
 use crate::policy::{Policy, RulePolicy};
+use crate::telemetry::LoopTelemetry;
 use pema_core::{PemaController, PemaParams, RangeConfig, WorkloadAwarePema};
 use pema_sim::AppSpec;
+use pema_telemetry::{EventSink, Telemetry};
 use pema_workload::Workload;
 
 /// Entry point of the facade: [`Experiment::builder`].
@@ -69,6 +71,8 @@ impl Experiment {
             load: None,
             iters: 0,
             observers: Vec::new(),
+            telemetry: None,
+            events: None,
         }
     }
 }
@@ -213,6 +217,8 @@ pub struct ExperimentBuilder<P = Unset, B = UseSim> {
     load: Option<Load>,
     iters: usize,
     observers: Vec<Box<dyn Observer + Send>>,
+    telemetry: Option<Telemetry>,
+    events: Option<EventSink>,
 }
 
 impl<P, B> ExperimentBuilder<P, B> {
@@ -287,6 +293,24 @@ impl<P, B> ExperimentBuilder<P, B> {
         self
     }
 
+    /// Attaches self-instrumentation: the loop records its interval
+    /// counters and phase-span histograms into `hub` (labelled by the
+    /// app's name), e.g. for a scrapeable
+    /// [`MetricsServer`](pema_telemetry::MetricsServer). A pure side
+    /// channel — run output is byte-identical with or without it.
+    pub fn telemetry(mut self, hub: &Telemetry) -> Self {
+        self.telemetry = Some(hub.clone());
+        self
+    }
+
+    /// Additionally streams one JSONL event per committed interval to
+    /// `sink` (only meaningful together with
+    /// [`telemetry`](Self::telemetry)).
+    pub fn events(mut self, sink: EventSink) -> Self {
+        self.events = Some(sink);
+        self
+    }
+
     /// Fills the policy slot (marker or explicit [`Policy`] instance).
     pub fn policy<Q>(self, policy: Q) -> ExperimentBuilder<Q, B> {
         ExperimentBuilder {
@@ -299,6 +323,8 @@ impl<P, B> ExperimentBuilder<P, B> {
             load: self.load,
             iters: self.iters,
             observers: self.observers,
+            telemetry: self.telemetry,
+            events: self.events,
         }
     }
 
@@ -315,6 +341,8 @@ impl<P, B> ExperimentBuilder<P, B> {
             load: self.load,
             iters: self.iters,
             observers: self.observers,
+            telemetry: self.telemetry,
+            events: self.events,
         }
     }
 }
@@ -332,6 +360,13 @@ impl<P: IntoPolicy, B: IntoBackend> ExperimentBuilder<P, B> {
         }
         for obs in self.observers {
             control.push_observer(obs);
+        }
+        if let Some(hub) = self.telemetry {
+            let mut tel = LoopTelemetry::new(&hub, &app.name);
+            if let Some(sink) = self.events {
+                tel = tel.with_events(sink);
+            }
+            control.set_telemetry(tel);
         }
         (control, self.load, self.iters)
     }

@@ -154,11 +154,14 @@ use crate::experiment::{
     Experiment, ExperimentBuilder, IntoBackend, IntoPolicy, Load, Unset, UseSim,
 };
 use crate::policy::Policy;
+use crate::telemetry::{LoopTelemetry, ShardTelemetry};
 use pema_sim::AppSpec;
+use pema_telemetry::{EventSink, Telemetry};
 use pema_workload::Workload;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Resolves a worker-thread knob: `0` means "one per available core"
 /// (falling back to 1 when parallelism cannot be queried), any other
@@ -198,6 +201,10 @@ trait FleetDriver: Send {
     /// it. Returns `true` when the member has completed all its
     /// intervals.
     fn commit_granted(&mut self, granted: f64, event: &ArbitrationEvent) -> bool;
+
+    /// Attaches self-instrumentation to the member's loop (see
+    /// [`Fleet::telemetry`]). Called before the first poll.
+    fn set_telemetry(&mut self, telemetry: LoopTelemetry);
 
     /// Finalizes into the run result.
     fn finish(self: Box<Self>) -> RunResult;
@@ -273,6 +280,10 @@ impl<P: Policy + Send, B: ClusterBackend + Send> FleetDriver for LoopDriver<P, B
         self.completed += 1;
         self.current_rps = None;
         self.completed >= self.iters
+    }
+
+    fn set_telemetry(&mut self, telemetry: LoopTelemetry) {
+        self.control.set_telemetry(telemetry);
     }
 
     fn finish(self: Box<Self>) -> RunResult {
@@ -530,6 +541,21 @@ impl<P, B> MemberSpec<P, B> {
         self
     }
 
+    /// Attaches self-instrumentation to this member alone, labelled by
+    /// its app name. Superseded by [`Fleet::telemetry`] when that is
+    /// also set (the fleet re-labels members by their fleet names).
+    pub fn telemetry(mut self, hub: &Telemetry) -> Self {
+        self.exp = self.exp.telemetry(hub);
+        self
+    }
+
+    /// Streams this member's interval events to `sink` (see
+    /// [`ExperimentBuilder::events`]).
+    pub fn events(mut self, sink: EventSink) -> Self {
+        self.exp = self.exp.events(sink);
+        self
+    }
+
     /// Fills the policy slot (marker or explicit
     /// [`Policy`](crate::Policy) instance).
     pub fn policy<Q>(self, policy: Q) -> MemberSpec<Q, B> {
@@ -585,6 +611,8 @@ pub struct Fleet {
     threads: usize,
     arbitration: Option<(f64, Box<dyn FleetPolicy>)>,
     pace: Clock,
+    telemetry: Option<Telemetry>,
+    events: Option<EventSink>,
 }
 
 impl Fleet {
@@ -597,7 +625,28 @@ impl Fleet {
             threads: 1,
             arbitration: None,
             pace: Clock::Virtual,
+            telemetry: None,
+            events: None,
         }
+    }
+
+    /// Attaches fleet-wide self-instrumentation: every member's loop
+    /// records interval counters and phase histograms (labelled by its
+    /// member name) into `hub`, and each executor shard records its
+    /// scheduler metrics (polls, heap depth, barrier wait). A pure side
+    /// channel — the run's output is byte-identical with or without it,
+    /// at any thread count.
+    pub fn telemetry(mut self, hub: &Telemetry) -> Self {
+        self.telemetry = Some(hub.clone());
+        self
+    }
+
+    /// Additionally streams one JSONL event per committed interval
+    /// (fleet-wide, any-member order under threading) to `sink`. Only
+    /// meaningful together with [`telemetry`](Self::telemetry).
+    pub fn events(mut self, sink: EventSink) -> Self {
+        self.events = Some(sink);
+        self
     }
 
     /// Sets the pacing clock (default [`Clock::Virtual`]). Use
@@ -765,11 +814,23 @@ impl Fleet {
         // shards_n). The partition depends only on ids and the resolved
         // thread count — never on timing — and per-member results are
         // schedule-invariant, so any partition yields the same output.
+        // Telemetry injection happens here, single-threaded and in
+        // insertion order, so registration order (and thus any
+        // registration panic) is deterministic too.
+        let hub = self.telemetry;
+        let events = self.events;
         let mut shards: Vec<Vec<Member>> = (0..shards_n).map(|_| Vec::new()).collect();
         for (idx, slot) in self.members.into_iter().enumerate() {
             let (name, mut driver) = slot.expect("members are present until run");
             if arb.is_some() {
                 driver.set_propose_mode();
+            }
+            if let Some(hub) = &hub {
+                let mut tel = LoopTelemetry::new(hub, &name);
+                if let Some(sink) = &events {
+                    tel = tel.with_events(sink.clone());
+                }
+                driver.set_telemetry(tel);
             }
             shards[idx % shards_n].push(Member {
                 idx,
@@ -778,6 +839,9 @@ impl Fleet {
                 driver,
             });
         }
+        let mut shard_tel: Vec<Option<ShardTelemetry>> = (0..shards_n)
+            .map(|s| hub.as_ref().map(|h| ShardTelemetry::new(h, s)))
+            .collect();
 
         let mut results: Vec<Option<FleetRun>> = (0..n).map(|_| None).collect();
         let mut polls = 0u64;
@@ -787,7 +851,8 @@ impl Fleet {
             // Single-threaded: run the one shard inline (the barrier
             // degenerates to "every arrival is the leader").
             for shard in shards {
-                let (runs, shard_polls) = run_shard(shard, arb_ref, pace);
+                let tel = shard_tel[0].take();
+                let (runs, shard_polls) = run_shard(shard, arb_ref, pace, tel);
                 polls += shard_polls;
                 for (idx, run) in runs {
                     results[idx] = Some(run);
@@ -797,7 +862,8 @@ impl Fleet {
             let outcomes = std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .into_iter()
-                    .map(|shard| scope.spawn(move || run_shard(shard, arb_ref, pace)))
+                    .zip(shard_tel.iter_mut().map(std::mem::take))
+                    .map(|(shard, tel)| scope.spawn(move || run_shard(shard, arb_ref, pace, tel)))
                     .collect();
                 handles
                     .into_iter()
@@ -999,6 +1065,7 @@ fn run_shard(
     members: Vec<Member>,
     arb: Option<&ArbShared>,
     pace: Clock,
+    tel: Option<ShardTelemetry>,
 ) -> (Vec<(usize, FleetRun)>, u64) {
     let n = members.len();
     let mut names: Vec<String> = Vec::with_capacity(n);
@@ -1030,6 +1097,11 @@ fn run_shard(
     let mut parked: Vec<usize> = Vec::new();
     loop {
         while let Some(slot) = heap.pop() {
+            if let Some(t) = &tel {
+                // The popped slot still counts as live in the heap.
+                t.heap_depth.set(heap.len() as f64 + 1.0);
+                t.polls.inc();
+            }
             let local = slot.idx;
             let driver = drivers[local]
                 .as_mut()
@@ -1089,7 +1161,15 @@ fn run_shard(
             .iter()
             .map(|&l| (fleet_idx[l], drivers[l].as_ref().unwrap().proposed_total()))
             .collect();
+        // Barrier park time is honest wall time (std::time::Instant):
+        // it diagnoses shard imbalance on the host, so the modelled
+        // clock is the wrong ruler. Side channel only — never fed back.
+        let parked_at = tel.as_ref().map(|_| Instant::now());
         let events = rendezvous(shared, &proposals);
+        if let (Some(t), Some(at)) = (&tel, parked_at) {
+            t.barrier_wait.observe(at.elapsed().as_secs_f64());
+            t.rounds.inc();
+        }
         for (&local, ev) in parked.iter().zip(&events) {
             let done = drivers[local]
                 .as_mut()

@@ -89,6 +89,7 @@ mod control;
 mod experiment;
 mod fleet;
 mod policy;
+pub mod telemetry;
 
 pub use arbitration::{
     squeeze_to_budget, AimdBackoff, ArbitrationEvent, ArbitrationRequest, FleetArbitration,
@@ -107,3 +108,4 @@ pub use experiment::{
 };
 pub use fleet::{resolve_threads, Clock, Fleet, FleetResult, FleetRun, MemberSpec};
 pub use policy::{stats_to_obs, Decision, HoldPolicy, Policy, RulePolicy};
+pub use telemetry::{Instrumented, LoopTelemetry};

@@ -23,11 +23,12 @@
 //!   scheduler's contract).
 
 use pema_control::{
-    ClusterBackend, ControlLoop, Experiment, FluidBackend, HarnessConfig, HoldPolicy, SimBackend,
-    WindowPoll, WindowRequest,
+    ClusterBackend, ControlLoop, Experiment, FluidBackend, HarnessConfig, HoldPolicy, Instrumented,
+    SimBackend, WindowPoll, WindowRequest,
 };
 use pema_live::{live_over_fake, Fault};
 use pema_sim::{Allocation, AppSpec, WindowStats, MIN_ALLOC};
+use pema_telemetry::Telemetry;
 use pema_trace::{TraceBackend, TraceRecorder};
 
 /// Records a healthy DES run of `app` to replay in the conformance
@@ -60,12 +61,40 @@ fn conformance_trace(app: &AppSpec) -> pema_trace::Trace {
 /// fake's telemetry consistent across checks.
 const LIVE_RPS: f64 = 120.0;
 
-/// Runs `check` once per shipped backend, labelled for assertions.
+/// Runs `check` once per shipped backend, labelled for assertions —
+/// then once more per backend wrapped in [`Instrumented`], which must
+/// pass every check unchanged (the wrapper's bit-invisibility
+/// contract).
 fn each_backend(app: &AppSpec, check: impl Fn(&str, Box<dyn ClusterBackend>)) {
     check("sim", Box::new(SimBackend::new(app, 42)));
     check("fluid", Box::new(FluidBackend::new(app)));
     check("trace", Box::new(TraceBackend::new(conformance_trace(app))));
     check("live", Box::new(live_over_fake(app, LIVE_RPS)));
+    let hub = Telemetry::new();
+    check(
+        "sim+instrumented",
+        Box::new(Instrumented::new(SimBackend::new(app, 42), &hub, "sim")),
+    );
+    check(
+        "fluid+instrumented",
+        Box::new(Instrumented::new(FluidBackend::new(app), &hub, "fluid")),
+    );
+    check(
+        "trace+instrumented",
+        Box::new(Instrumented::new(
+            TraceBackend::new(conformance_trace(app)),
+            &hub,
+            "trace",
+        )),
+    );
+    check(
+        "live+instrumented",
+        Box::new(Instrumented::new(
+            live_over_fake(app, LIVE_RPS),
+            &hub,
+            "live",
+        )),
+    );
 }
 
 /// Runs `check` once per shipped backend with *two* identically
@@ -96,6 +125,21 @@ fn each_backend_pair(
         "live",
         Box::new(live_over_fake(app, LIVE_RPS)),
         Box::new(live_over_fake(app, LIVE_RPS)),
+    );
+    // Asymmetric instrumentation: the blocking instance stays bare
+    // while the polled one is wrapped — the two seams must *still*
+    // agree, which is the sharpest bit-invisibility check the pair
+    // helpers can express.
+    let hub = Telemetry::new();
+    check(
+        "sim+instrumented",
+        Box::new(SimBackend::new(app, 42)),
+        Box::new(Instrumented::new(SimBackend::new(app, 42), &hub, "sim")),
+    );
+    check(
+        "fluid+instrumented",
+        Box::new(FluidBackend::new(app)),
+        Box::new(Instrumented::new(FluidBackend::new(app), &hub, "fluid")),
     );
 }
 

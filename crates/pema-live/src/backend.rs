@@ -33,8 +33,10 @@ use crate::kube::{KubeClient, KubeError};
 use crate::prom::{PromClient, PromError, Series};
 use pema_control::{ClusterBackend, WindowPoll, WindowRequest};
 use pema_sim::{Allocation, AppSpec, WindowStats};
+use pema_telemetry::{Counter, Histogram, Telemetry, DEFAULT_SECONDS_BUCKETS};
 use pema_trace::prom as queries;
 use pema_trace::{rebase_stats, window_from_scrape, ScrapedService, ScrapedWindow};
+use std::time::Instant;
 
 /// Retry schedule for Prometheus scrapes: exponential backoff with
 /// deterministic jitter (an xorshift stream seeded from
@@ -141,6 +143,66 @@ impl std::fmt::Display for LiveError {
     }
 }
 
+/// Self-instrumentation of one [`LiveBackend`] (see
+/// [`LiveBackend::set_telemetry`]): query/retry/error counters and
+/// wall-clock round-trip histograms. Latencies here use
+/// [`std::time::Instant`] deliberately — they describe real HTTP
+/// round-trips, which exist even under a virtual [`TimeSource`] —
+/// and flow only to the registry, never into run output.
+struct LiveTelemetry {
+    queries: Counter,
+    query_seconds: Histogram,
+    retries: Counter,
+    scrape_errors: Counter,
+    patch_errors: Counter,
+    patches: Counter,
+    patch_seconds: Histogram,
+}
+
+impl LiveTelemetry {
+    fn new(hub: &Telemetry) -> Self {
+        LiveTelemetry {
+            queries: hub.counter(
+                "pema_live_queries_total",
+                "Prometheus range-query attempts, including retries.",
+                &[("target", "prom")],
+            ),
+            query_seconds: hub.histogram(
+                "pema_live_query_seconds",
+                "Wall-clock latency of one Prometheus range-query attempt.",
+                &[("target", "prom")],
+                DEFAULT_SECONDS_BUCKETS,
+            ),
+            retries: hub.counter(
+                "pema_live_retries_total",
+                "Backoff retries taken after failed Prometheus queries.",
+                &[("target", "prom")],
+            ),
+            scrape_errors: hub.counter(
+                "pema_live_errors_total",
+                "Recorded LiveErrors, by kind.",
+                &[("kind", "scrape")],
+            ),
+            patch_errors: hub.counter(
+                "pema_live_errors_total",
+                "Recorded LiveErrors, by kind.",
+                &[("kind", "patch")],
+            ),
+            patches: hub.counter(
+                "pema_live_patches_total",
+                "Kubernetes CPU-limit PATCH round-trips attempted.",
+                &[("target", "kube")],
+            ),
+            patch_seconds: hub.histogram(
+                "pema_live_patch_seconds",
+                "Wall-clock latency of one Kubernetes PATCH round-trip.",
+                &[("target", "kube")],
+                DEFAULT_SECONDS_BUCKETS,
+            ),
+        }
+    }
+}
+
 /// The window currently being measured.
 #[derive(Debug, Clone)]
 struct InFlight {
@@ -163,6 +225,7 @@ pub struct LiveBackend {
     inflight: Option<InFlight>,
     errors: Vec<LiveError>,
     jitter: u64,
+    telemetry: Option<LiveTelemetry>,
 }
 
 impl LiveBackend {
@@ -187,7 +250,29 @@ impl LiveBackend {
             inflight: None,
             errors: Vec::new(),
             jitter,
+            telemetry: None,
         }
+    }
+
+    /// Attaches self-instrumentation: query/retry/error counters and
+    /// wall-clock round-trip histograms registered on `hub`
+    /// (`pema_live_*` — see `docs/telemetry.md`). A pure side channel:
+    /// scraped windows and recorded errors are unchanged.
+    pub fn set_telemetry(&mut self, hub: &Telemetry) {
+        self.telemetry = Some(LiveTelemetry::new(hub));
+    }
+
+    /// Records an error on both channels: the drainable
+    /// [`errors`](Self::errors) list (unchanged behavior) and, when
+    /// telemetry is attached, the per-kind error counter.
+    fn record_error(&mut self, e: LiveError) {
+        if let Some(tel) = &self.telemetry {
+            match &e {
+                LiveError::Scrape { .. } => tel.scrape_errors.inc(),
+                LiveError::Patch { .. } => tel.patch_errors.inc(),
+            }
+        }
+        self.errors.push(e);
     }
 
     /// Errors recorded since the last [`take_errors`](Self::take_errors).
@@ -222,7 +307,13 @@ impl LiveBackend {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            match self.prom.query_range(query, start_s, end_s, step) {
+            let issued = self.telemetry.as_ref().map(|_| Instant::now());
+            let result = self.prom.query_range(query, start_s, end_s, step);
+            if let (Some(tel), Some(t0)) = (&self.telemetry, issued) {
+                tel.queries.inc();
+                tel.query_seconds.observe(t0.elapsed().as_secs_f64());
+            }
+            match result {
                 Ok(series) => return Ok(series),
                 Err(last) => {
                     if attempt >= self.cfg.retry.max_attempts {
@@ -231,6 +322,9 @@ impl LiveBackend {
                             attempts: attempt,
                             last,
                         });
+                    }
+                    if let Some(tel) = &self.telemetry {
+                        tel.retries.inc();
                     }
                     let backoff = self.cfg.retry.backoff_s(attempt, &mut self.jitter);
                     let now = self.clock.now_s();
@@ -248,7 +342,7 @@ impl LiveBackend {
             Ok(series) => match series.first() {
                 Some(s) => s.value,
                 None => {
-                    self.errors.push(LiveError::Scrape {
+                    self.record_error(LiveError::Scrape {
                         query,
                         attempts: 1,
                         last: PromError::Malformed("empty result".into()),
@@ -257,7 +351,7 @@ impl LiveBackend {
                 }
             },
             Err(e) => {
-                self.errors.push(e);
+                self.record_error(e);
                 f64::NAN
             }
         }
@@ -269,7 +363,7 @@ impl LiveBackend {
         match self.retrying_query(&query, start_s, end_s) {
             Ok(series) => series,
             Err(e) => {
-                self.errors.push(e);
+                self.record_error(e);
                 Vec::new()
             }
         }
@@ -351,9 +445,15 @@ impl ClusterBackend for LiveBackend {
                 continue;
             }
             let service = self.app.services[i].name.clone();
-            match self.kube.patch_cpu_limit(&service, alloc.get(i)) {
+            let issued = self.telemetry.as_ref().map(|_| Instant::now());
+            let result = self.kube.patch_cpu_limit(&service, alloc.get(i));
+            if let (Some(tel), Some(t0)) = (&self.telemetry, issued) {
+                tel.patches.inc();
+                tel.patch_seconds.observe(t0.elapsed().as_secs_f64());
+            }
+            match result {
                 Ok(()) => self.alloc.set(i, alloc.get(i)),
-                Err(error) => self.errors.push(LiveError::Patch { service, error }),
+                Err(error) => self.record_error(LiveError::Patch { service, error }),
             }
         }
     }

@@ -161,7 +161,11 @@ mod tests {
             .duration_since(UNIX_EPOCH)
             .unwrap()
             .as_secs_f64();
-        assert!(c.now_s() > 1.6e9, "now_s {} is not epoch-anchored", c.now_s());
+        assert!(
+            c.now_s() > 1.6e9,
+            "now_s {} is not epoch-anchored",
+            c.now_s()
+        );
         assert!((c.now_s() - unix).abs() < 60.0);
     }
 

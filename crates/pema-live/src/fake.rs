@@ -55,6 +55,31 @@ pub struct PatchEvent {
     pub cores: f64,
 }
 
+/// Ground truth of the server's fault injection, for asserting client
+/// retry behavior (and the live backend's retry *telemetry*) against
+/// what the cluster actually did: requests served and faults fired,
+/// by kind. Queryable via [`FakeCluster::fault_stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Requests served, faulted ones included.
+    pub requests: u64,
+    /// [`Fault::DropConnection`]s fired.
+    pub dropped: u64,
+    /// [`Fault::Delay`]s fired.
+    pub delayed: u64,
+    /// [`Fault::Http500`]s fired.
+    pub http500: u64,
+    /// [`Fault::GarbageBody`]s fired.
+    pub garbage: u64,
+}
+
+impl FaultStats {
+    /// Faults fired across all kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.dropped + self.delayed + self.http500 + self.garbage
+    }
+}
+
 struct State {
     app: AppSpec,
     eval: FluidEvaluator,
@@ -64,7 +89,7 @@ struct State {
     patches: Vec<PatchEvent>,
     scrapes: Vec<(f64, f64)>,
     faults: VecDeque<Fault>,
-    requests: u64,
+    stats: FaultStats,
 }
 
 struct Inner {
@@ -105,7 +130,7 @@ impl FakeCluster {
                 patches: Vec::new(),
                 scrapes: Vec::new(),
                 faults: VecDeque::new(),
-                requests: 0,
+                stats: FaultStats::default(),
             }),
             addr,
             shutdown: AtomicBool::new(false),
@@ -161,7 +186,13 @@ impl FakeCluster {
 
     /// Requests served (faulted ones included).
     pub fn requests_served(&self) -> u64 {
-        self.lock().requests
+        self.lock().stats.requests
+    }
+
+    /// Requests served and faults fired so far, by kind — the ground
+    /// truth retry counters are asserted against.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.lock().stats.clone()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, State> {
@@ -184,8 +215,16 @@ fn handle(mut stream: TcpStream, inner: &Inner) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let fault = {
         let mut st = inner.state.lock().expect("fake cluster poisoned");
-        st.requests += 1;
-        st.faults.pop_front()
+        st.stats.requests += 1;
+        let fault = st.faults.pop_front();
+        match &fault {
+            Some(Fault::DropConnection) => st.stats.dropped += 1,
+            Some(Fault::Delay(_)) => st.stats.delayed += 1,
+            Some(Fault::Http500) => st.stats.http500 += 1,
+            Some(Fault::GarbageBody) => st.stats.garbage += 1,
+            None => {}
+        }
+        fault
     };
     match fault {
         Some(Fault::DropConnection) => return,

@@ -31,7 +31,9 @@ pub mod prom;
 
 pub use backend::{LiveBackend, LiveConfig, LiveError, RetryPolicy};
 pub use clock::{FakeClock, TimeSource, WallClock};
-pub use fake::{live_over_fake, live_over_fake_with, FakeCluster, FakeLive, Fault, PatchEvent};
+pub use fake::{
+    live_over_fake, live_over_fake_with, FakeCluster, FakeLive, Fault, FaultStats, PatchEvent,
+};
 pub use http::{Endpoint, HttpClient, HttpError};
 pub use kube::{KubeClient, KubeConfigLite, KubeError};
 pub use prom::{PromClient, PromError, Series};

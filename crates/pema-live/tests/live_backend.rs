@@ -351,6 +351,59 @@ fn fleet_wall_pace_drives_a_live_member_in_real_time() {
 }
 
 #[test]
+fn retry_telemetry_matches_fakecluster_ground_truth() {
+    // The self-telemetry counters are asserted against the cluster's
+    // own fault accounting — not against expectations about the retry
+    // policy — so the two books must balance exactly.
+    let hub = pema_telemetry::Telemetry::new();
+    let mut live = live_over_fake(&app(), RPS);
+    live.backend.set_telemetry(&hub);
+    for fault in [Fault::DropConnection, Fault::Http500, Fault::GarbageBody] {
+        live.cluster.inject_fault(fault);
+        let stats = live.measure_window(RPS, 1.0, 8.0);
+        assert!(stats.p95_ms.is_finite(), "a single fault must be absorbed");
+    }
+    assert!(live.backend.errors().is_empty());
+
+    let truth = live.cluster.fault_stats();
+    assert_eq!(truth.total_faults(), 3);
+    assert_eq!(
+        (truth.dropped, truth.http500, truth.garbage, truth.delayed),
+        (1, 1, 1, 0)
+    );
+    let counter = |name: &str, labels: &[(&str, &str)]| hub.counter(name, "", labels).value();
+    // One backoff retry per fault the cluster fired.
+    assert_eq!(
+        counter("pema_live_retries_total", &[("target", "prom")]) as u64,
+        truth.total_faults()
+    );
+    // Every HTTP request the cluster served was one query attempt (no
+    // PATCHes were issued in this test).
+    assert_eq!(
+        counter("pema_live_queries_total", &[("target", "prom")]) as u64,
+        truth.requests
+    );
+    // Absorbed faults are not errors.
+    assert_eq!(
+        counter("pema_live_errors_total", &[("kind", "scrape")]),
+        0.0
+    );
+    assert_eq!(counter("pema_live_errors_total", &[("kind", "patch")]), 0.0);
+
+    // Actuation telemetry: one PATCH round-trip per changed service,
+    // matching the cluster's own patch log.
+    let mut next = live.allocation();
+    next.set(0, 1.4);
+    live.apply(&next.clone());
+    assert_eq!(
+        counter("pema_live_patches_total", &[("target", "kube")]) as usize,
+        live.cluster.patches().len()
+    );
+    let report = pema_telemetry::lint(&hub.render(), None);
+    assert!(report.is_clean(), "scrape lint: {:?}", report.violations);
+}
+
+#[test]
 fn dry_run_records_a_tape_that_replays_with_zero_divergence() {
     let app = app();
     let cfg = HarnessConfig {

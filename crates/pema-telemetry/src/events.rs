@@ -1,0 +1,149 @@
+//! Structured JSONL event log — the side channel for per-event detail
+//! the aggregated registry cannot hold (which member, which interval,
+//! exact span bounds).
+//!
+//! One JSON object per line, written with the same hand-rolled writer
+//! the trace format uses ([`crate::json`]), so `f64` fields round-trip
+//! bit-exactly and non-finite values use the `"inf"`/`"-inf"`/`"nan"`
+//! spellings. Timestamps are supplied by the *caller* from the clock
+//! it already runs on (virtual sim time or the live `TimeSource`), so
+//! a deterministic run writes a deterministic event log.
+
+use crate::json;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// One field value of an event.
+#[derive(Debug, Clone)]
+pub enum EventField {
+    /// Trace-encoded float (bit-exact, `"inf"`/`"-inf"`/`"nan"`).
+    F64(f64),
+    /// Non-negative integer (survives above 2^53).
+    U64(u64),
+    /// String.
+    Str(String),
+}
+
+/// A shared, append-only JSONL event writer. Cloning shares the
+/// underlying stream; lines are written whole under one lock, so
+/// events from different fleet shards never interleave mid-line.
+#[derive(Clone)]
+pub struct EventSink {
+    out: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl EventSink {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    pub fn to_file(path: &str) -> std::io::Result<EventSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(EventSink {
+            out: Arc::new(Mutex::new(Box::new(std::io::BufWriter::new(f)))),
+        })
+    }
+
+    /// A sink writing into a shared in-memory buffer, for tests.
+    pub fn memory() -> (EventSink, Arc<Mutex<Vec<u8>>>) {
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = EventSink {
+            out: Arc::new(Mutex::new(Box::new(Shared(buf.clone())))),
+        };
+        (sink, buf)
+    }
+
+    /// Appends one event line:
+    /// `{"event":<kind>,"t_s":<t_s>,<fields…>}`. Write errors are
+    /// swallowed — telemetry must never abort a run.
+    pub fn emit(&self, kind: &str, t_s: f64, fields: &[(&str, EventField)]) {
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(192);
+        line.push_str("{\"event\":");
+        json::push_quoted(&mut line, kind);
+        line.push_str(",\"t_s\":");
+        json::push_f64(&mut line, t_s);
+        for (k, v) in fields {
+            line.push(',');
+            json::push_quoted(&mut line, k);
+            line.push(':');
+            match v {
+                EventField::F64(x) => json::push_f64(&mut line, *x),
+                EventField::U64(x) => {
+                    let _ = write!(line, "{x}");
+                }
+                EventField::Str(s) => json::push_quoted(&mut line, s),
+            }
+        }
+        line.push_str("}\n");
+        let mut out = self.out.lock().expect("event sink poisoned");
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    /// Flushes buffered lines to the underlying stream.
+    pub fn flush(&self) {
+        let _ = self.out.lock().expect("event sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_valid_jsonl_with_bit_exact_floats() {
+        let (sink, buf) = EventSink::memory();
+        sink.emit(
+            "phase",
+            40.125,
+            &[
+                ("member", EventField::Str("carts-0".into())),
+                ("span_s", EventField::F64(1.0 / 3.0)),
+                ("iter", EventField::U64(u64::MAX - 1)),
+            ],
+        );
+        sink.emit("scrape", f64::INFINITY, &[]);
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let mut obj = json::ObjReader::new(json::parse(lines[0]).unwrap()).unwrap();
+        assert_eq!(obj.take("event").unwrap().as_str(), Some("phase"));
+        assert_eq!(
+            json::read_f64(&obj.take("t_s").unwrap()).unwrap().to_bits(),
+            40.125f64.to_bits()
+        );
+        assert_eq!(
+            json::read_f64(&obj.take("span_s").unwrap())
+                .unwrap()
+                .to_bits(),
+            (1.0f64 / 3.0).to_bits()
+        );
+        assert_eq!(obj.take("iter").unwrap().as_u64(), Some(u64::MAX - 1));
+        assert_eq!(obj.take("member").unwrap().as_str(), Some("carts-0"));
+        obj.finish(true).unwrap();
+        let mut obj = json::ObjReader::new(json::parse(lines[1]).unwrap()).unwrap();
+        assert_eq!(
+            json::read_f64(&obj.take("t_s").unwrap()).unwrap(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let (sink, buf) = EventSink::memory();
+        let other = sink.clone();
+        sink.emit("a", 0.0, &[]);
+        other.emit("b", 1.0, &[]);
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+}

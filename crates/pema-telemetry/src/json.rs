@@ -1,9 +1,13 @@
-//! Minimal JSON reader/writer for the trace format.
+//! Minimal JSON reader/writer shared by the trace and telemetry
+//! subsystems.
 //!
 //! The build environment has no route to a crates registry, so — like
-//! the perf harness in `pema-bench` — the trace subsystem hand-rolls
-//! its JSON. Two requirements push this module beyond a copy of the
-//! perf reader:
+//! the perf harness in `pema-bench` — JSON is hand-rolled. This module
+//! started life in `pema-trace` (which still re-exports it as
+//! `pema_trace::json`) and moved here so the telemetry event sink can
+//! reuse it without a dependency cycle: `pema-telemetry` sits below
+//! `pema-control` in the graph, `pema-trace` above. Two requirements
+//! push it beyond a copy of the perf reader:
 //!
 //! * **bit-exact `f64` round trips.** Numbers are *written* with
 //!   Rust's shortest-round-trip `Display` and *kept as raw tokens*
@@ -124,6 +128,15 @@ impl ObjReader {
 /// Escapes and quotes a string for JSON output.
 pub fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
+    push_quoted(&mut out, s);
+    out
+}
+
+/// Appends `s` escaped and quoted, without the intermediate allocation
+/// of [`quote`] — the event log formats a line per control interval,
+/// so its keys and values go through here.
+pub fn push_quoted(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
     out.push('"');
     for c in s.chars() {
         match c {
@@ -133,21 +146,21 @@ pub fn quote(s: &str) -> String {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
     }
     out.push('"');
-    out
 }
 
 /// Appends an `f64` in the trace encoding: shortest-round-trip decimal
 /// for finite values, the strings `"inf"` / `"-inf"` / `"nan"`
 /// otherwise.
 pub fn push_f64(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
     if v.is_finite() {
-        out.push_str(&format!("{v}"));
+        let _ = write!(out, "{v}");
     } else if v.is_nan() {
         out.push_str("\"nan\"");
     } else if v > 0.0 {

@@ -66,9 +66,14 @@
 pub mod backend;
 pub mod format;
 pub mod import;
-pub mod json;
 pub mod prom;
 pub mod recorder;
+
+/// The hand-rolled JSON reader/writer. Lives in `pema-telemetry` now
+/// (the telemetry event sink shares it and sits lower in the crate
+/// graph); re-exported here so `pema_trace::json` call sites keep
+/// working.
+pub use pema_telemetry::json;
 
 pub use backend::{
     rebase_stats, replay, DivergenceSummary, IntervalDivergence, ReplayRun, TraceBackend,

@@ -21,6 +21,11 @@
 //! pema-cli live     --app A --rps R --prometheus http://H:9090 --kube http://H:8443
 //!                   [--token T] [--namespace NS] [--dry-run] [--out F.jsonl]
 //!
+//! pema-cli metrics  --addr HOST:PORT [--out scrape.txt] [--print]
+//!   (run, fleet, and live additionally accept --metrics-addr HOST:PORT
+//!    to serve /metrics while running, and --events-out F.jsonl for the
+//!    JSONL event log — see docs/telemetry.md)
+//!
 //! pema-cli list                              list experiment scenarios
 //! pema-cli all  [--jobs N] [--smoke] [--force]    run the whole suite
 //! pema-cli run  fig05 fig11 … [--jobs N] [--smoke] [--force]
@@ -61,6 +66,7 @@ fn main() {
         "replay" => cmd_replay(&parse_flags(&args[1..])),
         "fleet" => cmd_fleet(&parse_flags(&args[1..])),
         "live" => cmd_live(&parse_flags(&args[1..])),
+        "metrics" => cmd_metrics(&parse_flags(&args[1..])),
         "list" => delegate_bench("list", &args[1..]),
         "all" => delegate_bench("all", &args[1..]),
         "perf" => delegate_bench("perf", &args[1..]),
@@ -113,6 +119,16 @@ fn usage() {
          \x20          --fake                         in-process FakeCluster, virtual time\n\
          \x20          --prometheus http://HOST:9090 --kube http://HOST:PORT\n\
          \x20          [--token T] [--namespace NS]   real endpoints, wall-clock paced\n\
+         \n\
+         self-telemetry (accepted by run, fleet, and live):\n\
+         \x20 --metrics-addr H:P                 serve controller self-metrics on\n\
+         \x20                                    http://H:P/metrics (Prometheus text\n\
+         \x20                                    format; 0 picks a free port)\n\
+         \x20 --events-out F.jsonl               append one structured JSONL event per\n\
+         \x20                                    committed control interval\n\
+         \x20 metrics --addr H:P [--out F]       scrape a /metrics endpoint once and\n\
+         \x20                                    lint the exposition format (exit 1 on\n\
+         \x20                                    violations)\n\
          \n\
          experiment-suite commands (scenario registry; delegate to `bench`):\n\
          \x20 list                                 list registered scenarios\n\
@@ -173,6 +189,112 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
         }
     }
     m
+}
+
+/// The optional self-telemetry surfaces shared by `run`, `fleet`, and
+/// `live`: a metric registry (served on `--metrics-addr` when given)
+/// and a JSONL event sink (`--events-out`). The `/metrics` listener
+/// lives exactly as long as this value, so callers keep it in scope
+/// for the duration of the run.
+struct TelemetryWires {
+    hub: Option<Telemetry>,
+    events: Option<EventSink>,
+    _server: Option<MetricsServer>,
+}
+
+fn telemetry_wires(flags: &HashMap<String, String>) -> TelemetryWires {
+    // Events ride on the per-loop instrumentation, so a sink implies a
+    // registry even when nothing scrapes it.
+    let want = flags.contains_key("metrics-addr") || flags.contains_key("events-out");
+    let hub = want.then(Telemetry::new);
+    let server = flags.get("metrics-addr").map(|addr| {
+        let server = MetricsServer::serve(addr, hub.clone().unwrap()).unwrap_or_else(|e| {
+            eprintln!("cannot serve metrics on '{addr}': {e}");
+            exit(2);
+        });
+        println!("metrics: http://{}/metrics", server.local_addr());
+        server
+    });
+    let events = flags.get("events-out").map(|path| {
+        EventSink::to_file(path).unwrap_or_else(|e| {
+            eprintln!("cannot open --events-out '{path}': {e}");
+            exit(2);
+        })
+    });
+    TelemetryWires {
+        hub,
+        events,
+        _server: server,
+    }
+}
+
+/// Scrapes `http://ADDR/metrics` once with a plain `TcpStream` GET and
+/// lints the exposition format (`pema-cli metrics --addr H:P`). With
+/// `--out F` the raw scrape is also written to `F`. Exits 1 when the
+/// lint finds violations — CI pipes a mid-run scrape through this.
+fn cmd_metrics(flags: &HashMap<String, String>) {
+    use std::io::{Read as _, Write as _};
+    let addr = flags.get("addr").unwrap_or_else(|| {
+        eprintln!("--addr is required (host:port of a running --metrics-addr listener)");
+        exit(2);
+    });
+    let mut stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(1);
+    });
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok();
+    stream
+        .write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("request to {addr} failed: {e}");
+            exit(1);
+        });
+    let mut raw = Vec::new();
+    if let Err(e) = stream.read_to_end(&mut raw) {
+        eprintln!("reading scrape from {addr} failed: {e}");
+        exit(1);
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        eprintln!("malformed HTTP response from {addr}");
+        exit(1);
+    };
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains("200") {
+        eprintln!("scrape failed: {status}");
+        exit(1);
+    }
+    if let Some(out) = flags.get("out") {
+        if let Err(e) = std::fs::write(out, body) {
+            eprintln!("cannot write --out '{out}': {e}");
+            exit(1);
+        }
+    }
+    let series = body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .count();
+    let report = pema::pema_telemetry::lint(body, None);
+    if report.is_clean() {
+        println!("scraped {addr}: {series} series, exposition format clean");
+        if !flags.contains_key("out") && flags.contains_key("print") {
+            print!("{body}");
+        }
+    } else {
+        eprintln!(
+            "scraped {addr}: {series} series, {} lint violations:",
+            report.violations.len()
+        );
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        exit(1);
+    }
 }
 
 fn get_app(flags: &HashMap<String, String>) -> AppSpec {
@@ -245,6 +367,13 @@ fn cmd_run(flags: &HashMap<String, String>) {
     if let Some(s) = flags.get("early-check") {
         builder = builder.early_check(s.parse().unwrap_or(10.0));
     }
+    let wires = telemetry_wires(flags);
+    if let Some(hub) = &wires.hub {
+        builder = builder.telemetry(hub);
+    }
+    if let Some(sink) = &wires.events {
+        builder = builder.events(sink.clone());
+    }
     let mut runner = builder.build();
     println!(
         "PEMA on {} @ {rps} rps, {iters} intervals (start {:.1} cores)",
@@ -270,6 +399,9 @@ fn cmd_run(flags: &HashMap<String, String>) {
         r.violation_rate() * 100.0,
         r.violating_time_s()
     );
+    if let Some(sink) = &wires.events {
+        sink.flush();
+    }
 }
 
 fn cmd_rule(flags: &HashMap<String, String>) {
@@ -594,7 +726,14 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
         })
         .unwrap_or_default();
 
+    let wires = telemetry_wires(flags);
     let mut fleet = Fleet::new().threads(threads).pace(pace);
+    if let Some(hub) = &wires.hub {
+        fleet = fleet.telemetry(hub);
+    }
+    if let Some(sink) = &wires.events {
+        fleet = fleet.events(sink.clone());
+    }
     let mut labels = Vec::new();
     for i in 0..count {
         let (app, nominal) = &templates[i % templates.len()];
@@ -671,6 +810,9 @@ fn cmd_fleet(flags: &HashMap<String, String>) {
     let t0 = std::time::Instant::now();
     let result = fleet.run();
     let wall = t0.elapsed();
+    if let Some(sink) = &wires.events {
+        sink.flush();
+    }
     println!(
         "{:<22} {:>6} {:>7} {:>10} {:>6} {:>9}",
         "member", "policy", "rps", "settledCPU", "viol", "end(s)"
@@ -735,12 +877,13 @@ fn cmd_live(flags: &HashMap<String, String>) {
         ..Default::default()
     };
 
+    let wires = telemetry_wires(flags);
     let backend: Box<dyn ClusterBackend> = if fake {
-        Box::new(pema::pema_live::live_over_fake_with(
-            &app,
-            rps,
-            live_cfg.clone(),
-        ))
+        let mut fl = pema::pema_live::live_over_fake_with(&app, rps, live_cfg.clone());
+        if let Some(hub) = &wires.hub {
+            fl.backend.set_telemetry(hub);
+        }
+        Box::new(fl)
     } else {
         let prom_url = flags.get("prometheus").unwrap_or_else(|| {
             eprintln!("--prometheus is required without --fake (e.g. http://localhost:9090)");
@@ -772,13 +915,17 @@ fn cmd_live(flags: &HashMap<String, String>) {
             },
             http,
         };
-        Box::new(LiveBackend::new(
+        let mut lb = LiveBackend::new(
             &app,
             prom,
             kube,
             Box::new(WallClock::new()),
             live_cfg.clone(),
-        ))
+        );
+        if let Some(hub) = &wires.hub {
+            lb.set_telemetry(hub);
+        }
+        Box::new(lb)
     };
 
     let mut params = PemaParams::defaults(app.slo_ms);
@@ -791,6 +938,13 @@ fn cmd_live(flags: &HashMap<String, String>) {
         cfg,
     )
     .observe(recorder);
+    if let Some(hub) = &wires.hub {
+        let mut tel = LoopTelemetry::new(hub, &app.name);
+        if let Some(sink) = &wires.events {
+            tel = tel.with_events(sink.clone());
+        }
+        control.set_telemetry(tel);
+    }
 
     println!(
         "live PEMA on {} @ {rps} rps, {iters} intervals{}{}",
@@ -814,6 +968,9 @@ fn cmd_live(flags: &HashMap<String, String>) {
         );
     }
     let r = control.into_result();
+    if let Some(sink) = &wires.events {
+        sink.flush();
+    }
     println!(
         "\nsettled: {:.2} cores | violations: {} ({:.1}%)",
         r.settled_total(8),

@@ -75,6 +75,7 @@ pub use pema_core;
 pub use pema_live;
 pub use pema_metrics;
 pub use pema_sim;
+pub use pema_telemetry;
 pub use pema_trace;
 pub use pema_workload;
 
@@ -85,10 +86,10 @@ pub mod prelude {
         optimum_for, resolve_threads, squeeze_to_budget, stats_to_obs, AimdBackoff,
         ArbitrationEvent, ArbitrationRequest, Clock, ClusterBackend, ControlLoop, Decision,
         EarlyCheck, Experiment, ExperimentBuilder, Fleet, FleetArbitration, FleetPolicy,
-        FleetResult, FleetRun, FluidBackend, HarnessConfig, HoldPolicy, IterationLog, LoopPoll,
-        Managed, ManagedRunner, MemberArbitration, MemberSpec, Observer, Pema, PemaRunner, Policy,
-        Rule, RulePolicy, RuleRunner, RunResult, SimBackend, Unlimited, UseFluid, UseSim,
-        WeightedFairShare, WindowPoll, WindowRequest,
+        FleetResult, FleetRun, FluidBackend, HarnessConfig, HoldPolicy, Instrumented, IterationLog,
+        LoopPoll, LoopTelemetry, Managed, ManagedRunner, MemberArbitration, MemberSpec, Observer,
+        Pema, PemaRunner, Policy, Rule, RulePolicy, RuleRunner, RunResult, SimBackend, Unlimited,
+        UseFluid, UseSim, WeightedFairShare, WindowPoll, WindowRequest,
     };
     pub use pema_core::{
         Action, Observation, PemaController, PemaParams, RangeConfig, ServiceObs, WorkloadAwarePema,
@@ -100,6 +101,7 @@ pub mod prelude {
     pub use pema_sim::{
         Allocation, AppSpec, ClusterSim, Evaluator, FluidEvaluator, SimEvaluator, WindowStats,
     };
+    pub use pema_telemetry::{EventSink, MetricsServer, Telemetry};
     pub use pema_trace::{
         replay, DivergenceSummary, IntervalDivergence, ReadMode, ReplayRun, Trace, TraceBackend,
         TraceRecorder,
