@@ -109,6 +109,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &ablation_thresholds::AblationThresholds,
         &ablation_fluid::AblationFluid,
         &ablation_early::AblationEarly,
+        &tail_knee::TailKnee,
         &cluster_scale::ClusterScale,
         &trace_replay::TraceReplay,
         &fleet_scale::FleetScale,

@@ -29,4 +29,5 @@ pub mod fig20;
 pub mod fleet_contention;
 pub mod fleet_scale;
 pub mod table1;
+pub mod tail_knee;
 pub mod trace_replay;

@@ -18,10 +18,13 @@
 //!   forever: the do-nothing baseline.
 //!
 //! The CSV has one row per (policy, interval) with recorded vs replay
-//! allocation totals, the L1 allocation delta, and the recorded /
-//! would-have-violated flags from the work-conservation check. The
-//! recorded trace itself lands next to the CSV as
-//! `trace_replay.jsonl` (CI uploads it as an artifact).
+//! allocation totals, the L1 allocation delta, the recorded /
+//! would-have-violated flags, and the recorded vs estimated
+//! counterfactual p95 (the recorded/fluid hybrid — see
+//! `pema_trace::rebase_stats_with`; `inf` marks a window the
+//! work-conservation check saturated). The recorded trace itself lands
+//! next to the CSV as `trace_replay.jsonl` (CI uploads it as an
+//! artifact).
 //!
 //! Always records from the DES regardless of `--backend` — the
 //! recording *is* the scenario's subject, and DES goldens stay
@@ -89,14 +92,25 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
     let mut tbl = Vec::new();
     for (label, rerun) in &runs {
         for (d, l) in rerun.divergence.iter().zip(&rerun.result.log) {
+            // `inf` (stable across platforms via the explicit literal)
+            // marks a saturated counterfactual window.
+            let ms = |v: f64| {
+                if v.is_finite() {
+                    format!("{v:.3}")
+                } else {
+                    "inf".into()
+                }
+            };
             rows.push(format!(
-                "{label},{},{:.3},{:.3},{:.3},{},{},{}",
+                "{label},{},{:.3},{:.3},{:.3},{},{},{},{},{}",
                 d.iter,
                 d.recorded_total,
                 d.replay_total,
                 d.l1_delta,
                 d.recorded_violated as u8,
                 d.would_violate as u8,
+                ms(d.recorded_p95_ms),
+                ms(d.estimated_p95_ms),
                 l.action
             ));
         }
@@ -108,6 +122,8 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             format!("{:.2}", s.max_l1),
             format!("{}", s.recorded_violations),
             format!("{}", s.would_violations),
+            format!("{:+.1}", s.mean_p95_delta_ms),
+            format!("{}", s.saturated_intervals),
         ]);
     }
 
@@ -129,12 +145,15 @@ fn run(ctx: &mut ExperimentCtx) -> io::Result<()> {
             "maxL1",
             "recViol",
             "wouldViol",
+            "meanΔp95ms",
+            "satIts",
         ],
         &tbl,
     );
     ctx.write_csv(
         "trace_replay",
-        "policy,iter,recorded_cpu,replay_cpu,l1_delta,recorded_violated,would_violate,action",
+        "policy,iter,recorded_cpu,replay_cpu,l1_delta,recorded_violated,would_violate,\
+         recorded_p95_ms,estimated_p95_ms,action",
         &rows,
     )
 }

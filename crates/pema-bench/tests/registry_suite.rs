@@ -63,9 +63,9 @@ fn registry_ids_and_outputs_are_unique() {
     }
     assert_eq!(
         registry().len(),
-        24,
-        "expected the 20 paper scenarios + cluster_scale + trace_replay + fleet_scale \
-         + fleet_contention"
+        25,
+        "expected the 20 paper scenarios + tail_knee + cluster_scale + trace_replay \
+         + fleet_scale + fleet_contention"
     );
 }
 
@@ -110,6 +110,7 @@ fn backend_matrix_participation_is_pinned() {
             "ablation_fluid",
             "ablation_early",
             // …and scenarios whose backend IS the experiment.
+            "tail_knee",
             "cluster_scale",
             "trace_replay",
             "fleet_scale",

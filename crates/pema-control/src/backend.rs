@@ -27,7 +27,8 @@
 //! [`apply`]: ClusterBackend::apply
 
 use pema_sim::{
-    Allocation, AppSpec, ClusterSim, Evaluator as _, FluidEvaluator, OpenWindow, WindowStats,
+    Allocation, AppSpec, ClusterSim, Evaluator as _, FluidEvaluator, OpenWindow, TailModel,
+    WindowStats,
 };
 
 /// The §6 early-check parameters of one monitoring window: the running
@@ -453,6 +454,14 @@ impl FluidBackend {
         b
     }
 
+    /// Builds the fluid backend with a non-default tail model (see
+    /// [`FluidBackend::set_tail_model`]).
+    pub fn with_tail_model(app: &AppSpec, tail: TailModel) -> Self {
+        let mut b = Self::new(app);
+        b.set_tail_model(tail);
+        b
+    }
+
     /// Changes the modelled CPU speed factor (mirrors
     /// [`SimBackend::set_speed`]).
     pub fn set_speed(&mut self, speed: f64) {
@@ -467,6 +476,34 @@ impl FluidBackend {
     pub fn set_burstiness(&mut self, burst_p90: f64) {
         assert!(burst_p90 >= 1.0, "p90 cannot be below the mean rate");
         self.eval.burst_p90 = burst_p90;
+    }
+
+    /// Changes the synthetic peak factor: the reported per-second
+    /// usage peak as a multiple of the mean rate (default
+    /// [`pema_sim::PEAK_FACTOR_DEFAULT`]). The reported peak never
+    /// sits below the reported p90 regardless of the two knobs.
+    pub fn set_peak_factor(&mut self, peak_factor: f64) {
+        assert!(peak_factor >= 1.0, "peak cannot be below the mean rate");
+        self.eval.peak_factor = peak_factor;
+    }
+
+    /// Changes the mean-to-quantile tail model. The default is
+    /// [`TailModel::calibrated`] — load-dependent p95/p99/max
+    /// multipliers evaluated at the bottleneck utilization, fitted
+    /// against DES knee sweeps (the `tail_knee` probe). Pass
+    /// `TailModel::constant(pema_sim::LEGACY_P95_FACTOR)` to reproduce
+    /// the pre-calibration flat-factor backend exactly.
+    pub fn set_tail_model(&mut self, tail: TailModel) {
+        assert!(
+            tail.p95.base > 0.0 && tail.p95.gain >= 0.0 && tail.p95.sharp > 0.0,
+            "tail curves need a positive base, non-negative gain, positive sharpness"
+        );
+        self.eval.tail = tail;
+    }
+
+    /// The tail model currently in force.
+    pub fn tail_model(&self) -> TailModel {
+        self.eval.tail
     }
 
     fn evaluate(&mut self, rps: f64, warmup_s: f64, window_s: f64) -> WindowStats {

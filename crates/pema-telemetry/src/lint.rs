@@ -7,7 +7,10 @@
 //!
 //! * every sample belongs to a family with `# HELP` and `# TYPE`
 //!   declared before its first sample;
-//! * label blocks parse, with escaping limited to `\\`, `\"`, `\n`;
+//! * label blocks parse, with escaping limited to `\\`, `\"`, `\n`,
+//!   exactly one `,` between pairs, and well-formed label names — so
+//!   an unescaped quote or newline smuggled through a label value is
+//!   flagged instead of silently resynchronizing into phantom labels;
 //! * no duplicate series;
 //! * counter samples are finite and non-negative;
 //! * histogram series have ascending `le` bounds, cumulative
@@ -346,18 +349,47 @@ fn parse_sample(l: &str) -> Result<Sample, String> {
     let mut pos = name_end;
     if bytes[pos] == b'{' {
         pos += 1;
+        let mut first = true;
         loop {
             if bytes.get(pos) == Some(&b'}') {
                 pos += 1;
                 break;
             }
+            if !first {
+                // Exactly one ',' between pairs. An unescaped quote
+                // inside a label value lands here: the value parser
+                // stops at the stray quote and the next byte is not a
+                // separator — flag it instead of resynchronizing into
+                // garbage labels.
+                if bytes.get(pos) != Some(&b',') {
+                    return Err(format!(
+                        "expected ',' or '}}' after label value, found {:?} \
+                         (unescaped quote in a label value?)",
+                        l[pos..].chars().next().unwrap_or('?')
+                    ));
+                }
+                pos += 1;
+                // A trailing comma before '}' is legal exposition.
+                if bytes.get(pos) == Some(&b'}') {
+                    pos += 1;
+                    break;
+                }
+            }
+            first = false;
             let key_end = l[pos..]
                 .find('=')
                 .map(|o| pos + o)
                 .ok_or("label without '='")?;
-            let key = l[pos..key_end].trim_start_matches(',').to_string();
+            let key = l[pos..key_end].to_string();
             if key.is_empty() {
                 return Err("empty label name".into());
+            }
+            if !key
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_')
+                || key.as_bytes()[0].is_ascii_digit()
+            {
+                return Err(format!("invalid label name {key:?}"));
             }
             pos = key_end + 1;
             if bytes.get(pos) != Some(&b'"') {
@@ -516,6 +548,76 @@ mod tests {
         let text = "# HELP x a\n# TYPE x counter\nx{m=\"a\\qb\"} 1\n";
         let r = lint(text, None);
         assert!(r.violations.iter().any(|v| v.contains("bad escape")));
+    }
+
+    #[test]
+    fn unescaped_quote_in_label_value_flagged() {
+        // An exporter that forgets to escape `"` in the value `a"b`
+        // emits `m="a"b"` — the value parser stops at the stray quote
+        // and the leftover must be flagged, not resynchronized into a
+        // phantom label.
+        let text = "# HELP x a\n# TYPE x counter\nx{m=\"a\"b\"} 1\n";
+        let r = lint(text, None);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("expected ',' or '}'")),
+            "{:?}",
+            r.violations
+        );
+        // Worse: the stray quote forms what parses as a second pair
+        // (`m="a"b="c"`). The old parser accepted this as two labels.
+        let text = "# HELP x a\n# TYPE x counter\nx{m=\"a\"b=\"c\"} 1\n";
+        let r = lint(text, None);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("expected ',' or '}'")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn malformed_label_separators_flagged() {
+        // Doubled comma: the second pair "starts" with ',', which is
+        // not a valid label name.
+        let text = "# HELP x a\n# TYPE x counter\nx{m=\"a\",,n=\"b\"} 1\n";
+        let r = lint(text, None);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("invalid label name")),
+            "{:?}",
+            r.violations
+        );
+        // A label name cannot start with a digit or carry a quote.
+        let text = "# HELP x a\n# TYPE x counter\nx{1m=\"a\"} 1\n";
+        let r = lint(text, None);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.contains("invalid label name")));
+        // A trailing comma before '}' is legal exposition format.
+        let text = "# HELP x a\n# TYPE x counter\nx{m=\"a\",} 1\n";
+        let r = lint(text, None);
+        assert!(r.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn raw_newline_in_label_value_flagged() {
+        // A raw (unescaped) newline splits the sample across two
+        // exposition lines: the first is an unterminated label value,
+        // the second is garbage — both must be flagged.
+        let text = "# HELP x a\n# TYPE x counter\nx{m=\"a\nb\"} 1\n";
+        let r = lint(text, None);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("unterminated label value")),
+            "{:?}",
+            r.violations
+        );
     }
 
     #[test]

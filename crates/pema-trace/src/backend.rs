@@ -20,12 +20,17 @@
 //!   whenever some service's recorded demand rate exceeds its
 //!   counterfactual quota — the paper-faithful "this allocation would
 //!   have violated" signal. Latency of non-saturated diverged windows
-//!   keeps the recorded value (the tape cannot know counterfactual
-//!   queueing); divergence metrics quantify how far the replay drifted
-//!   from ground truth. When the counterfactual allocation is
-//!   bit-identical to the recorded one the window is passed through
-//!   **verbatim**, which is what makes same-policy replays reproduce
-//!   the recorded decision sequence exactly.
+//!   is a **recorded/fluid hybrid estimate**: the recorded quantiles
+//!   are scaled by the fluid model's M/G/1-PS congestion ratio
+//!   `(1−ρ_rec)/(1−ρ_cf)` at the bottleneck, and the tail quantiles
+//!   additionally by the calibrated [`TailModel`]'s factor ratio
+//!   between the two utilizations — so tightening an allocation raises
+//!   the estimated tail before the hard saturation cliff, instead of
+//!   the work-conservation check being the only counterfactual signal.
+//!   When the counterfactual allocation is bit-identical to the
+//!   recorded one the window is passed through **verbatim**, which is
+//!   what makes same-policy replays reproduce the recorded decision
+//!   sequence exactly.
 //!
 //! Each measured window appends an [`IntervalDivergence`] entry;
 //! [`TraceBackend::summary`] folds them into a
@@ -34,7 +39,7 @@
 
 use crate::format::{Trace, TraceRecord};
 use pema_control::{ClusterBackend, ControlLoop, HarnessConfig, Policy, RunResult};
-use pema_sim::{Allocation, WindowStats};
+use pema_sim::{Allocation, TailModel, WindowStats};
 
 /// What a replay does when the tape runs out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,9 +67,15 @@ pub struct IntervalDivergence {
     /// Whether the recorded window violated the trace's SLO.
     pub recorded_violated: bool,
     /// Whether the counterfactual window violates the trace's SLO
-    /// (recorded latency, or forced saturation when the counterfactual
+    /// (estimated latency, or forced saturation when the counterfactual
     /// allocation cannot carry the recorded demand).
     pub would_violate: bool,
+    /// The p95 the tape recorded for this window, ms.
+    pub recorded_p95_ms: f64,
+    /// The counterfactual p95 estimate, ms: the recorded value for a
+    /// non-diverged window, the recorded/fluid hybrid for a diverged
+    /// one, infinite when the work-conservation check saturates.
+    pub estimated_p95_ms: f64,
 }
 
 impl IntervalDivergence {
@@ -93,6 +104,15 @@ pub struct DivergenceSummary {
     pub recorded_violations: usize,
     /// Counterfactual SLO violations over the replayed windows.
     pub would_violations: usize,
+    /// Mean signed (estimated − recorded) p95 over diverged windows
+    /// where both sides are finite, ms. Negative: the policy-under-test
+    /// would have *improved* tail latency relative to the tape.
+    pub mean_p95_delta_ms: f64,
+    /// Largest |estimated − recorded| p95 among those windows, ms.
+    pub max_p95_delta_ms: f64,
+    /// Diverged windows whose latency estimate is infinite (the
+    /// work-conservation check saturated them).
+    pub saturated_intervals: usize,
 }
 
 impl DivergenceSummary {
@@ -173,9 +193,19 @@ impl TraceBackend {
             ..DivergenceSummary::default()
         };
         let mut delta_sum = 0.0;
+        let mut p95_delta_sum = 0.0;
+        let mut p95_delta_n = 0usize;
         for d in &self.divergence {
             if d.diverged() {
                 s.diverged_intervals += 1;
+                if d.estimated_p95_ms.is_finite() && d.recorded_p95_ms.is_finite() {
+                    let delta = d.estimated_p95_ms - d.recorded_p95_ms;
+                    p95_delta_sum += delta;
+                    p95_delta_n += 1;
+                    s.max_p95_delta_ms = s.max_p95_delta_ms.max(delta.abs());
+                } else if d.estimated_p95_ms.is_infinite() {
+                    s.saturated_intervals += 1;
+                }
             }
             s.total_l1 += d.l1_delta;
             s.max_l1 = s.max_l1.max(d.l1_delta);
@@ -185,6 +215,9 @@ impl TraceBackend {
         }
         if s.intervals > 0 {
             s.mean_total_delta = delta_sum / s.intervals as f64;
+        }
+        if p95_delta_n > 0 {
+            s.mean_p95_delta_ms = p95_delta_sum / p95_delta_n as f64;
         }
         s
     }
@@ -239,6 +272,8 @@ impl TraceBackend {
             l1_delta,
             recorded_violated: record.stats.violates(slo_ms),
             would_violate: stats.violates(slo_ms),
+            recorded_p95_ms: record.stats.p95_ms,
+            estimated_p95_ms: stats.p95_ms,
         });
         stats
     }
@@ -248,6 +283,13 @@ fn rebase(record: &TraceRecord, alloc: &Allocation) -> WindowStats {
     rebase_stats(&record.stats, alloc)
 }
 
+/// Re-bases a measured window onto a different allocation, using the
+/// DES-calibrated [`TailModel::calibrated`] for the latency hybrid.
+/// See [`rebase_stats_with`].
+pub fn rebase_stats(recorded: &WindowStats, alloc: &Allocation) -> WindowStats {
+    rebase_stats_with(recorded, alloc, &TailModel::calibrated())
+}
+
 /// Re-bases a measured window onto a different allocation.
 ///
 /// Bit-identical allocation ⇒ the recorded stats verbatim. Otherwise
@@ -255,12 +297,32 @@ fn rebase(record: &TraceRecord, alloc: &Allocation) -> WindowStats {
 /// demand, and a work-conservation check saturates the window when the
 /// counterfactual quota cannot carry that demand.
 ///
+/// Non-saturated diverged windows get a **recorded/fluid hybrid**
+/// latency estimate: recorded quantiles are anchored to ground truth,
+/// and the allocation change is projected through the fluid model's
+/// congestion shape. With ρ = bottleneck (recorded demand rate /
+/// quota) on each side,
+///
+/// * mean and p50 scale by the M/G/1-PS ratio `(1−ρ_rec)/(1−ρ_cf)`;
+/// * p95/p99/max additionally scale by the [`TailModel`]'s
+///   load-dependent factor ratio `factor(ρ_cf)/factor(ρ_rec)`, so the
+///   estimated tail sharpens the way DES calibration says it does as
+///   the counterfactual allocation approaches saturation.
+///
+/// Both utilizations are clamped to 0.995 so a near-exact fit degrades
+/// to a large-but-finite estimate instead of dividing by zero; the
+/// hard "demand exceeds quota" case still saturates to infinity.
+///
 /// This is the replayer's counterfactual kernel, exposed publicly so
 /// `pema-live`'s dry-run mode can project scraped windows onto its
 /// shadow allocation: the recorded tape then carries exactly the
 /// allocations the policy decided, which is what makes a dry-run tape
 /// replay with zero divergence.
-pub fn rebase_stats(recorded: &WindowStats, alloc: &Allocation) -> WindowStats {
+pub fn rebase_stats_with(
+    recorded: &WindowStats,
+    alloc: &Allocation,
+    tail: &TailModel,
+) -> WindowStats {
     let identical = recorded
         .per_service
         .iter()
@@ -272,9 +334,19 @@ pub fn rebase_stats(recorded: &WindowStats, alloc: &Allocation) -> WindowStats {
     }
     let dur = recorded.duration_s.max(1e-9);
     let mut saturated = false;
+    // Bottleneck utilization under each allocation, from the recorded
+    // per-service demand rates.
+    let mut rho_rec: f64 = 0.0;
+    let mut rho_cf: f64 = 0.0;
     for (i, svc) in stats.per_service.iter_mut().enumerate() {
         let cf = alloc.get(i);
         let demanded = svc.cpu_used_s / dur; // recorded demand rate, cores
+        if svc.alloc_cores > 0.0 {
+            rho_rec = rho_rec.max(demanded / svc.alloc_cores);
+        }
+        if cf > 0.0 {
+            rho_cf = rho_cf.max(demanded / cf);
+        }
         svc.alloc_cores = cf;
         if demanded > cf {
             // The recorded work does not fit the counterfactual quota:
@@ -299,7 +371,34 @@ pub fn rebase_stats(recorded: &WindowStats, alloc: &Allocation) -> WindowStats {
         stats.max_ms = f64::INFINITY;
         stats.achieved_rps = 0.0;
         stats.completed = 0;
+        return stats;
     }
+    // Hybrid latency estimate. Clamp both sides below 1 (a window the
+    // recording itself ran saturated has demand ≈ quota on the
+    // recorded side too) and scale only finite recorded values —
+    // a zero or infinite recorded quantile passes through unchanged.
+    let rho_rec = rho_rec.clamp(0.0, 0.995);
+    let rho_cf = rho_cf.clamp(0.0, 0.995);
+    let congestion = (1.0 - rho_rec) / (1.0 - rho_cf);
+    let scale = |v: &mut f64, extra: f64| {
+        if v.is_finite() {
+            *v *= congestion * extra;
+        }
+    };
+    scale(&mut stats.mean_ms, 1.0);
+    scale(&mut stats.p50_ms, 1.0);
+    scale(
+        &mut stats.p95_ms,
+        tail.p95.factor(rho_cf) / tail.p95.factor(rho_rec),
+    );
+    scale(
+        &mut stats.p99_ms,
+        tail.p99.factor(rho_cf) / tail.p99.factor(rho_rec),
+    );
+    scale(
+        &mut stats.max_ms,
+        tail.max.factor(rho_cf) / tail.max.factor(rho_rec),
+    );
     stats
 }
 

@@ -76,7 +76,8 @@ pub mod recorder;
 pub use pema_telemetry::json;
 
 pub use backend::{
-    rebase_stats, replay, DivergenceSummary, IntervalDivergence, ReplayRun, TraceBackend,
+    rebase_stats, rebase_stats_with, replay, DivergenceSummary, IntervalDivergence, ReplayRun,
+    TraceBackend,
 };
 pub use format::{
     ReadMode, Trace, TraceError, TraceMeta, TraceRecord, FORMAT_NAME, FORMAT_VERSION,

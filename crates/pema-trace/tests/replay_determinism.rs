@@ -257,3 +257,111 @@ fn strict_replay_panics_past_the_end() {
         b.measure_window(130.0, 1.0, 6.0);
     }
 }
+
+#[test]
+fn counterfactual_latency_estimate_tracks_allocation_tightness() {
+    use pema_sim::Allocation;
+    use pema_trace::rebase_stats;
+
+    let (trace, _) = record_pema_run(6);
+    // A window with real demand and finite latency.
+    let recorded = &trace.records[2].stats;
+    assert!(recorded.p95_ms.is_finite() && recorded.p95_ms > 0.0);
+    let dur = recorded.duration_s;
+    let demand: Vec<f64> = recorded
+        .per_service
+        .iter()
+        .map(|s| s.cpu_used_s / dur)
+        .collect();
+
+    // Identical allocation: verbatim pass-through, no estimation.
+    let same = Allocation::new(recorded.per_service.iter().map(|s| s.alloc_cores).collect());
+    let verbatim = rebase_stats(recorded, &same);
+    assert_eq!(verbatim.p95_ms.to_bits(), recorded.p95_ms.to_bits());
+
+    // Tighter-but-feasible: quota at demand/0.93 puts the bottleneck
+    // at ρ ≈ 0.93 — the estimate must rise above the recording
+    // (congestion ratio > 1) yet stay finite (no saturation).
+    let tight = Allocation::new(demand.iter().map(|d| (d / 0.93).max(1e-6)).collect());
+    let squeezed = rebase_stats(recorded, &tight);
+    assert!(
+        squeezed.p95_ms.is_finite(),
+        "feasible quota must not saturate: {}",
+        squeezed.p95_ms
+    );
+    assert!(
+        squeezed.p95_ms > recorded.p95_ms,
+        "tightening must raise the p95 estimate: {} vs recorded {}",
+        squeezed.p95_ms,
+        recorded.p95_ms
+    );
+    assert!(squeezed.mean_ms > recorded.mean_ms);
+
+    // A *looser* allocation than the tape held must not raise latency.
+    let loose = Allocation::new(
+        recorded
+            .per_service
+            .iter()
+            .map(|s| s.alloc_cores * 3.0)
+            .collect(),
+    );
+    let relaxed = rebase_stats(recorded, &loose);
+    assert!(
+        relaxed.p95_ms <= recorded.p95_ms,
+        "relaxing must not raise the p95 estimate: {} vs recorded {}",
+        relaxed.p95_ms,
+        recorded.p95_ms
+    );
+
+    // Infeasible quota: the work-conservation check still wins.
+    let starved = Allocation::new(demand.iter().map(|d| d * 0.5).collect());
+    let sat = rebase_stats(recorded, &starved);
+    assert!(sat.p95_ms.is_infinite());
+    assert_eq!(sat.completed, 0);
+}
+
+#[test]
+fn divergence_summary_aggregates_latency_estimates() {
+    let (trace, _) = record_pema_run(10);
+    let n = trace.n_services();
+
+    // Starved hold: every window saturates, and the summary counts
+    // them as saturated rather than folding ∞ into the mean delta.
+    let floor = vec![0.05; n];
+    let starved = replay(&trace, HoldPolicy::new(floor, trace.meta.slo_ms));
+    assert_eq!(starved.summary.saturated_intervals, 10);
+    assert!(starved.summary.mean_p95_delta_ms.is_finite());
+    for d in &starved.divergence {
+        assert!(d.recorded_p95_ms.is_finite());
+        assert!(d.estimated_p95_ms.is_infinite());
+    }
+
+    // A uniformly tighter-but-feasible hold at 80% of the recorded
+    // peak demand headroom: diverged windows carry finite estimates
+    // and the mean signed p95 delta is positive (tighter ⇒ slower).
+    let dur = trace.records[0].stats.duration_s;
+    let mut peak_demand = vec![0.0f64; n];
+    for r in &trace.records {
+        for (i, s) in r.stats.per_service.iter().enumerate() {
+            peak_demand[i] = peak_demand[i].max(s.cpu_used_s / r.stats.duration_s.max(dur * 0.1));
+        }
+    }
+    let snug: Vec<f64> = peak_demand.iter().map(|d| (d / 0.9).max(0.05)).collect();
+    let snug_run = replay(&trace, HoldPolicy::new(snug, trace.meta.slo_ms));
+    if snug_run.summary.diverged_intervals > snug_run.summary.saturated_intervals {
+        assert!(
+            snug_run.summary.mean_p95_delta_ms.is_finite(),
+            "finite estimates must aggregate finitely: {:?}",
+            snug_run.summary
+        );
+    }
+
+    // Same-policy replay: estimates equal recordings everywhere.
+    let same = replay(&trace, same_policy(&trace));
+    for d in &same.divergence {
+        assert_eq!(d.recorded_p95_ms.to_bits(), d.estimated_p95_ms.to_bits());
+    }
+    assert_eq!(same.summary.mean_p95_delta_ms, 0.0);
+    assert_eq!(same.summary.max_p95_delta_ms, 0.0);
+    assert_eq!(same.summary.saturated_intervals, 0);
+}

@@ -602,16 +602,25 @@ fn cmd_replay(flags: &HashMap<String, String>) {
         trace.meta.app
     );
     println!(
-        "{:>4} {:>10} {:>10} {:>8} {:>8} {:>12}",
-        "iter", "recCPU", "replayCPU", "L1Δ", "wouldVio", "action"
+        "{:>4} {:>10} {:>10} {:>8} {:>9} {:>9} {:>8} {:>12}",
+        "iter", "recCPU", "replayCPU", "L1Δ", "recP95", "estP95", "wouldVio", "action"
     );
+    let fmt_ms = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.1}")
+        } else {
+            "sat".into()
+        }
+    };
     for (d, l) in rerun.divergence.iter().zip(&rerun.result.log) {
         println!(
-            "{:>4} {:>10.2} {:>10.2} {:>8.2} {:>8} {:>12}",
+            "{:>4} {:>10.2} {:>10.2} {:>8.2} {:>9} {:>9} {:>8} {:>12}",
             d.iter,
             d.recorded_total,
             d.replay_total,
             d.l1_delta,
+            fmt_ms(d.recorded_p95_ms),
+            fmt_ms(d.estimated_p95_ms),
             if d.would_violate { "yes" } else { "-" },
             l.action
         );
@@ -627,6 +636,13 @@ fn cmd_replay(flags: &HashMap<String, String>) {
         s.recorded_violations,
         s.would_violations
     );
+    if s.diverged_intervals > 0 {
+        println!(
+            "counterfactual p95 estimate: mean Δ {:+.2} ms vs tape | max |Δ| {:.2} ms | \
+             {} window(s) saturated",
+            s.mean_p95_delta_ms, s.max_p95_delta_ms, s.saturated_intervals
+        );
+    }
     if flags.contains_key("assert-zero-divergence") {
         if s.is_zero() {
             println!("zero divergence: replay tracked the recording exactly");

@@ -99,12 +99,13 @@ pub mod prelude {
         RetryPolicy, TimeSource, WallClock,
     };
     pub use pema_sim::{
-        Allocation, AppSpec, ClusterSim, Evaluator, FluidEvaluator, SimEvaluator, WindowStats,
+        Allocation, AppSpec, ClusterSim, Evaluator, FluidEvaluator, SimEvaluator, TailCurve,
+        TailModel, WindowStats,
     };
     pub use pema_telemetry::{EventSink, MetricsServer, Telemetry};
     pub use pema_trace::{
-        replay, DivergenceSummary, IntervalDivergence, ReadMode, ReplayRun, Trace, TraceBackend,
-        TraceRecorder,
+        rebase_stats, rebase_stats_with, replay, DivergenceSummary, IntervalDivergence, ReadMode,
+        ReplayRun, Trace, TraceBackend, TraceRecorder,
     };
     pub use pema_workload::{
         wikipedia_like_trace, BurstPattern, Constant, DiurnalPattern, StepPattern, TracePattern,
